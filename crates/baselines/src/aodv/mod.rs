@@ -1,0 +1,717 @@
+//! AODV — Ad hoc On-demand Distance Vector routing
+//! (draft-ietf-manet-aodv-10, the comparison baseline of the paper).
+//!
+//! AODV attains loop freedom purely through per-destination sequence
+//! numbers: numbers are non-increasing moving away from the
+//! destination, and a node that loses a route *increments its stored
+//! copy of the destination's number* before re-querying. That inflation
+//! is exactly what LDR eliminates — it suppresses replies from
+//! downstream nodes holding perfectly good loop-free routes under the
+//! previous number, and it is what Fig. 7 measures.
+
+pub mod messages;
+
+use manet_sim::packet::{ControlKind, ControlPacket, DataPacket, NodeId, Packet, PacketBody};
+use manet_sim::protocol::{Ctx, DropReason, ProtoCounter, RouteDump, RoutingProtocol};
+use manet_sim::time::{SimDuration, SimTime};
+use messages::{Rerr, RerrEntry, Rreq, Rrep};
+use std::collections::{HashMap, VecDeque};
+
+/// Timer token for the periodic state sweep.
+const CLEANUP_TOKEN: u64 = u64::MAX;
+/// Timer token for periodic hello emission and neighbour sweeps.
+const HELLO_TOKEN: u64 = u64::MAX - 1;
+const CLEANUP_INTERVAL: SimDuration = SimDuration::from_secs(10);
+
+fn discovery_token(dest: NodeId, generation: u64) -> u64 {
+    (u64::from(dest.0) << 32) | (generation & 0xFFFF_FFFF)
+}
+
+/// AODV protocol constants (RFC 3561 defaults).
+#[derive(Clone, Debug, PartialEq)]
+pub struct AodvConfig {
+    /// ACTIVE_ROUTE_TIMEOUT.
+    pub active_route_timeout: SimDuration,
+    /// MY_ROUTE_TIMEOUT (granted by destinations).
+    pub my_route_timeout: SimDuration,
+    /// NODE_TRAVERSAL_TIME.
+    pub node_traversal_time: SimDuration,
+    /// TTL_START.
+    pub ttl_start: u8,
+    /// TTL_INCREMENT.
+    pub ttl_increment: u8,
+    /// TTL_THRESHOLD.
+    pub ttl_threshold: u8,
+    /// NET_DIAMETER.
+    pub net_diameter: u8,
+    /// Total discovery attempts before giving up.
+    pub max_attempts: u32,
+    /// Data packets buffered per destination during discovery.
+    pub buffer_cap: usize,
+    /// PATH_DISCOVERY_TIME (RREQ flood dedup state lifetime).
+    pub rreq_cache_ttl: SimDuration,
+    /// `D` flag on originated RREQs: only destinations may answer.
+    pub destination_only: bool,
+    /// Periodic hello messages (RFC 3561 §6.9) for link sensing, as an
+    /// alternative to MAC-layer feedback. `None` (the default, and the
+    /// evaluation's configuration) relies on link-layer detection only.
+    pub hello_interval: Option<SimDuration>,
+    /// Hellos missed before a neighbour is declared lost.
+    pub allowed_hello_loss: u32,
+}
+
+impl Default for AodvConfig {
+    fn default() -> Self {
+        AodvConfig {
+            active_route_timeout: SimDuration::from_secs(3),
+            my_route_timeout: SimDuration::from_secs(6),
+            node_traversal_time: SimDuration::from_millis(40),
+            ttl_start: 2,
+            ttl_increment: 2,
+            ttl_threshold: 7,
+            net_diameter: 35,
+            max_attempts: 5,
+            buffer_cap: 64,
+            rreq_cache_ttl: SimDuration::from_millis(2800),
+            destination_only: false,
+            hello_interval: None,
+            allowed_hello_loss: 2,
+        }
+    }
+}
+
+impl AodvConfig {
+    /// TTL for discovery attempt `attempt` (1-based expanding ring).
+    fn ttl_for_attempt(&self, attempt: u32) -> u8 {
+        let mut ttl = self.ttl_start;
+        for _ in 1..attempt {
+            if ttl >= self.ttl_threshold {
+                return self.net_diameter;
+            }
+            ttl = ttl.saturating_add(self.ttl_increment);
+            if ttl > self.ttl_threshold {
+                return self.net_diameter;
+            }
+        }
+        ttl.min(self.net_diameter)
+    }
+
+    fn discovery_timeout(&self, ttl: u8) -> SimDuration {
+        self.node_traversal_time.saturating_mul(2 * u64::from(ttl.max(1)))
+    }
+}
+
+/// One AODV routing-table entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Route {
+    /// Destination sequence number (`None` = unknown/invalid flag).
+    pub seq: Option<u32>,
+    /// Hop count.
+    pub hops: u32,
+    /// Next hop.
+    pub next: NodeId,
+    /// Validity (false after breaks/errors).
+    pub valid: bool,
+    /// Soft-state expiry.
+    pub expires: SimTime,
+    /// Upstream nodes known to route through us (RERR recipients).
+    pub precursors: Vec<NodeId>,
+}
+
+impl Route {
+    fn is_active(&self, now: SimTime) -> bool {
+        self.valid && now < self.expires
+    }
+}
+
+#[derive(Debug)]
+struct Discovery {
+    generation: u64,
+    attempts: u32,
+    queue: VecDeque<DataPacket>,
+}
+
+/// An AODV node.
+pub struct Aodv {
+    id: NodeId,
+    cfg: AodvConfig,
+    own_seq: u32,
+    routes: HashMap<NodeId, Route>,
+    /// RREQ flood dedup: (origin, rreqid) → expiry.
+    seen: HashMap<(NodeId, u32), SimTime>,
+    /// Strongest RREP forwarded per (orig, dst): (seq, hops, expiry).
+    forwarded: HashMap<(NodeId, NodeId), (u32, u8, SimTime)>,
+    pending: HashMap<NodeId, Discovery>,
+    /// Hello-based link sensing: neighbour -> liveness deadline.
+    neighbors: HashMap<NodeId, SimTime>,
+    next_rreqid: u32,
+    next_generation: u64,
+    clock: SimTime,
+}
+
+impl Aodv {
+    /// A new node.
+    pub fn new(id: NodeId, cfg: AodvConfig) -> Self {
+        Aodv {
+            id,
+            cfg,
+            own_seq: 0,
+            routes: HashMap::new(),
+            seen: HashMap::new(),
+            forwarded: HashMap::new(),
+            pending: HashMap::new(),
+            neighbors: HashMap::new(),
+            next_rreqid: 0,
+            next_generation: 0,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// A factory closure for [`manet_sim::world::World::new`].
+    pub fn factory(cfg: AodvConfig) -> impl FnMut(NodeId, usize) -> Box<dyn RoutingProtocol> {
+        move |id, _| Box::new(Aodv::new(id, cfg.clone()))
+    }
+
+    /// This node's own sequence number.
+    pub fn own_seq(&self) -> u32 {
+        self.own_seq
+    }
+
+    /// Routing-table entry for a destination.
+    pub fn route(&self, dest: NodeId) -> Option<&Route> {
+        self.routes.get(&dest)
+    }
+
+    fn active(&self, dest: NodeId, now: SimTime) -> Option<&Route> {
+        self.routes.get(&dest).filter(|r| r.is_active(now))
+    }
+
+    /// RFC 3561 §6.2 update rule: accept if the sequence number is
+    /// newer, or unknown locally, or equal with a shorter hop count, or
+    /// equal while the current entry is invalid.
+    fn update_route(
+        &mut self,
+        dest: NodeId,
+        seq: Option<u32>,
+        hops: u32,
+        next: NodeId,
+        now: SimTime,
+        expires: SimTime,
+    ) -> bool {
+        match self.routes.get_mut(&dest) {
+            None => {
+                self.routes.insert(
+                    dest,
+                    Route { seq, hops, next, valid: true, expires, precursors: Vec::new() },
+                );
+                true
+            }
+            Some(r) => {
+                let accept = match (seq, r.seq) {
+                    (Some(n), Some(o)) => {
+                        n > o || (n == o && (hops < r.hops || !r.is_active(now)))
+                    }
+                    (Some(_), None) => true,
+                    (None, _) => !r.is_active(now),
+                };
+                if accept {
+                    r.seq = seq.or(r.seq);
+                    r.hops = hops;
+                    r.next = next;
+                    r.valid = true;
+                    r.expires = r.expires.max(expires);
+                    true
+                } else {
+                    if r.is_active(now) && r.next == next {
+                        r.expires = r.expires.max(expires);
+                    }
+                    false
+                }
+            }
+        }
+    }
+
+    fn refresh(&mut self, dest: NodeId, expires: SimTime) {
+        if let Some(r) = self.routes.get_mut(&dest) {
+            r.expires = r.expires.max(expires);
+        }
+    }
+
+    fn add_precursor(&mut self, dest: NodeId, precursor: NodeId) {
+        if let Some(r) = self.routes.get_mut(&dest) {
+            if !r.precursors.contains(&precursor) {
+                r.precursors.push(precursor);
+            }
+        }
+    }
+
+    // ----- discovery ---------------------------------------------------------
+
+    fn queue_and_discover(&mut self, ctx: &mut Ctx, data: DataPacket) {
+        let dest = data.dst;
+        match self.pending.get_mut(&dest) {
+            Some(d) => {
+                if d.queue.len() >= self.cfg.buffer_cap {
+                    ctx.drop_data(data, DropReason::BufferOverflow);
+                } else {
+                    d.queue.push_back(data);
+                }
+            }
+            None => {
+                let generation = self.next_generation;
+                self.next_generation += 1;
+                let mut queue = VecDeque::new();
+                queue.push_back(data);
+                self.pending.insert(dest, Discovery { generation, attempts: 1, queue });
+                ctx.count(ProtoCounter::DiscoveryStarted);
+                self.send_rreq(ctx, dest, 1, generation);
+            }
+        }
+    }
+
+    fn send_rreq(&mut self, ctx: &mut Ctx, dest: NodeId, attempt: u32, generation: u64) {
+        // "Immediately before a node originates a route discovery, it
+        // MUST increment its own sequence number" — this, plus the
+        // break-time inflation below, is what Fig. 7 measures.
+        self.own_seq = self.own_seq.wrapping_add(1);
+        ctx.count(ProtoCounter::SeqnoIncrement);
+        let ttl = self.cfg.ttl_for_attempt(attempt);
+        let rreqid = self.next_rreqid;
+        self.next_rreqid += 1;
+        let rreq = Rreq {
+            dst: dest,
+            dst_seq: self.routes.get(&dest).and_then(|r| r.seq),
+            rreqid,
+            src: self.id,
+            src_seq: self.own_seq,
+            hop_count: 0,
+            ttl,
+            dest_only: self.cfg.destination_only,
+        };
+        ctx.broadcast(ControlKind::Rreq, rreq.encode(), true);
+        ctx.set_timer(self.cfg.discovery_timeout(ttl), discovery_token(dest, generation));
+    }
+
+    fn finish_success(&mut self, ctx: &mut Ctx, dest: NodeId) {
+        let Some(mut d) = self.pending.remove(&dest) else { return };
+        ctx.count(ProtoCounter::DiscoverySucceeded);
+        let now = ctx.now();
+        while let Some(p) = d.queue.pop_front() {
+            match self.active(dest, now).map(|r| r.next) {
+                Some(next) => {
+                    self.refresh(dest, now + self.cfg.active_route_timeout);
+                    ctx.send_data(next, p);
+                }
+                None => ctx.drop_data(p, DropReason::NoRoute),
+            }
+        }
+    }
+
+    // ----- RREQ --------------------------------------------------------------
+
+    fn handle_rreq(&mut self, ctx: &mut Ctx, prev: NodeId, rreq: Rreq) {
+        if rreq.src == self.id {
+            return;
+        }
+        let now = ctx.now();
+        let key = (rreq.src, rreq.rreqid);
+        if self.seen.get(&key).is_some_and(|&e| e > now) {
+            return;
+        }
+        self.seen.insert(key, now + self.cfg.rreq_cache_ttl);
+
+        let hops = u32::from(rreq.hop_count) + 1;
+        // Reverse route to the originator.
+        self.update_route(
+            rreq.src,
+            Some(rreq.src_seq),
+            hops,
+            prev,
+            now,
+            now + self.cfg.active_route_timeout,
+        );
+
+        if rreq.dst == self.id {
+            // Destination reply: catch up with inflation done by other
+            // nodes, and increment when the request matches our number.
+            if let Some(rs) = rreq.dst_seq {
+                if rs > self.own_seq {
+                    self.own_seq = rs;
+                    ctx.count(ProtoCounter::SeqnoIncrement);
+                }
+                if rs == self.own_seq {
+                    self.own_seq = self.own_seq.wrapping_add(1);
+                    ctx.count(ProtoCounter::SeqnoIncrement);
+                }
+            }
+            let rrep = Rrep {
+                dst: self.id,
+                dst_seq: self.own_seq,
+                orig: rreq.src,
+                hop_count: 0,
+                lifetime_ms: self.cfg.my_route_timeout.as_millis() as u32,
+            };
+            ctx.unicast_control(prev, ControlKind::Rrep, rrep.encode(), true, true);
+            return;
+        }
+
+        // Intermediate reply: active route with a known, fresh-enough
+        // sequence number.
+        if !rreq.dest_only {
+            if let Some(r) = self.active(rreq.dst, now) {
+                if let Some(seq) = r.seq {
+                    let fresh = rreq.dst_seq.is_none_or(|rs| seq >= rs);
+                    if fresh {
+                        let (r_hops, r_next, r_exp) = (r.hops, r.next, r.expires);
+                        let rrep = Rrep {
+                            dst: rreq.dst,
+                            dst_seq: seq,
+                            orig: rreq.src,
+                            hop_count: r_hops.min(255) as u8,
+                            lifetime_ms: r_exp.saturating_since(now).as_millis() as u32,
+                        };
+                        ctx.unicast_control(prev, ControlKind::Rrep, rrep.encode(), true, true);
+                        // Precursor bookkeeping for later RERRs.
+                        self.add_precursor(rreq.dst, prev);
+                        self.add_precursor(rreq.src, r_next);
+                        return;
+                    }
+                }
+            }
+        }
+
+        // Relay, raising the requested number to our stored one.
+        if rreq.ttl <= 1 {
+            return;
+        }
+        let stored = self.routes.get(&rreq.dst).and_then(|r| r.seq);
+        let dst_seq = match (rreq.dst_seq, stored) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        let fwd = Rreq {
+            dst_seq,
+            hop_count: rreq.hop_count.saturating_add(1),
+            ttl: rreq.ttl - 1,
+            ..rreq
+        };
+        ctx.broadcast(ControlKind::Rreq, fwd.encode(), false);
+    }
+
+    // ----- RREP --------------------------------------------------------------
+
+    fn handle_rrep(&mut self, ctx: &mut Ctx, prev: NodeId, rrep: Rrep) {
+        let now = ctx.now();
+        if rrep.orig == rrep.dst {
+            // A hello (RFC 3561 §6.9): refresh the neighbour route and
+            // liveness, never forward.
+            let life = SimDuration::from_millis(u64::from(rrep.lifetime_ms));
+            self.update_route(prev, Some(rrep.dst_seq), 1, prev, now, now + life);
+            self.refresh(prev, now + life);
+            self.neighbors.insert(prev, now + life);
+            return;
+        }
+        let hops = u32::from(rrep.hop_count) + 1;
+        let lifetime = SimDuration::from_millis(u64::from(rrep.lifetime_ms));
+        let installed = self.update_route(
+            rrep.dst,
+            Some(rrep.dst_seq),
+            hops,
+            prev,
+            now,
+            now + lifetime,
+        );
+        if installed {
+            ctx.count(ProtoCounter::RrepUsableRecv);
+        }
+        if rrep.orig == self.id {
+            if self.active(rrep.dst, now).is_some() {
+                self.finish_success(ctx, rrep.dst);
+            }
+            return;
+        }
+        // Forward towards the originator via the reverse route.
+        let Some(rev) = self.active(rrep.orig, now) else { return };
+        let rev_next = rev.next;
+        // Forward only the first RREP per (orig, dst), or a strictly
+        // better one (greater seq, or equal seq and fewer hops).
+        let fkey = (rrep.orig, rrep.dst);
+        let better = match self.forwarded.get(&fkey) {
+            Some(&(s, h, exp)) if exp > now => {
+                rrep.dst_seq > s || (rrep.dst_seq == s && rrep.hop_count.saturating_add(1) < h)
+            }
+            _ => true,
+        };
+        if !better {
+            return;
+        }
+        self.forwarded.insert(
+            fkey,
+            (rrep.dst_seq, rrep.hop_count.saturating_add(1), now + self.cfg.rreq_cache_ttl),
+        );
+        let fwd = Rrep { hop_count: rrep.hop_count.saturating_add(1), ..rrep };
+        ctx.unicast_control(rev_next, ControlKind::Rrep, fwd.encode(), false, true);
+        // Precursors: downstream knows upstream uses it, and vice versa.
+        self.add_precursor(rrep.dst, rev_next);
+        self.add_precursor(rrep.orig, prev);
+    }
+
+    // ----- RERR --------------------------------------------------------------
+
+    fn handle_rerr(&mut self, ctx: &mut Ctx, prev: NodeId, rerr: Rerr) {
+        let now = ctx.now();
+        let mut propagate = Vec::new();
+        for e in &rerr.entries {
+            if let Some(r) = self.routes.get_mut(&e.dst) {
+                if r.is_active(now) && r.next == prev {
+                    r.valid = false;
+                    r.seq = Some(e.dst_seq);
+                    propagate.push(RerrEntry { dst: e.dst, dst_seq: e.dst_seq });
+                }
+            }
+        }
+        if !propagate.is_empty() {
+            ctx.broadcast(ControlKind::Rerr, Rerr { entries: propagate }.encode(), false);
+        }
+    }
+}
+
+impl RoutingProtocol for Aodv {
+    fn name(&self) -> &'static str {
+        "AODV"
+    }
+
+    fn start(&mut self, ctx: &mut Ctx) {
+        self.clock = ctx.now();
+        ctx.set_timer(CLEANUP_INTERVAL, CLEANUP_TOKEN);
+        if let Some(interval) = self.cfg.hello_interval {
+            // Stagger first hellos across the interval.
+            let j = ctx.rng().below(interval.as_nanos().max(1));
+            ctx.set_timer(SimDuration::from_nanos(j), HELLO_TOKEN);
+        }
+    }
+
+    fn handle_data_origination(&mut self, ctx: &mut Ctx, data: DataPacket) {
+        self.clock = ctx.now();
+        if data.dst == self.id {
+            ctx.deliver(data);
+            return;
+        }
+        let now = ctx.now();
+        match self.active(data.dst, now).map(|r| r.next) {
+            Some(next) => {
+                self.refresh(data.dst, now + self.cfg.active_route_timeout);
+                ctx.send_data(next, data);
+            }
+            None => self.queue_and_discover(ctx, data),
+        }
+    }
+
+    fn handle_data_packet(&mut self, ctx: &mut Ctx, prev_hop: NodeId, mut data: DataPacket) {
+        self.clock = ctx.now();
+        let now = ctx.now();
+        self.refresh(data.src, now + self.cfg.active_route_timeout);
+        self.refresh(prev_hop, now + self.cfg.active_route_timeout);
+        if data.dst == self.id {
+            ctx.deliver(data);
+            return;
+        }
+        if data.ttl == 0 {
+            ctx.drop_data(data, DropReason::TtlExpired);
+            return;
+        }
+        data.ttl -= 1;
+        match self.active(data.dst, now).map(|r| r.next) {
+            Some(next) => {
+                self.refresh(data.dst, now + self.cfg.active_route_timeout);
+                ctx.send_data(next, data);
+            }
+            None => {
+                // Unrepairable at a relay: RERR upstream, drop.
+                let seq = self
+                    .routes
+                    .get_mut(&data.dst)
+                    .map(|r| {
+                        let s = r.seq.map_or(1, |s| s.wrapping_add(1));
+                        r.seq = Some(s);
+                        s
+                    })
+                    .unwrap_or(0);
+                let rerr = Rerr { entries: vec![RerrEntry { dst: data.dst, dst_seq: seq }] };
+                ctx.broadcast(ControlKind::Rerr, rerr.encode(), true);
+                ctx.drop_data(data, DropReason::NoRoute);
+            }
+        }
+    }
+
+    fn handle_control(
+        &mut self,
+        ctx: &mut Ctx,
+        prev_hop: NodeId,
+        ctrl: ControlPacket,
+        _was_broadcast: bool,
+    ) {
+        self.clock = ctx.now();
+        match ctrl.kind {
+            ControlKind::Rreq => {
+                if let Some(m) = Rreq::decode(&ctrl.bytes) {
+                    self.handle_rreq(ctx, prev_hop, m);
+                }
+            }
+            ControlKind::Rrep => {
+                if let Some(m) = Rrep::decode(&ctrl.bytes) {
+                    self.handle_rrep(ctx, prev_hop, m);
+                }
+            }
+            ControlKind::Rerr => {
+                if let Some(m) = Rerr::decode(&ctrl.bytes) {
+                    self.handle_rerr(ctx, prev_hop, m);
+                }
+            }
+            ControlKind::Hello => {
+                if let Some(m) = Rrep::decode(&ctrl.bytes) {
+                    self.handle_rrep(ctx, prev_hop, m);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        self.clock = ctx.now();
+        if token == CLEANUP_TOKEN {
+            let now = ctx.now();
+            self.seen.retain(|_, &mut e| e > now);
+            self.forwarded.retain(|_, &mut (_, _, e)| e > now);
+            ctx.set_timer(CLEANUP_INTERVAL, CLEANUP_TOKEN);
+            return;
+        }
+        if token == HELLO_TOKEN {
+            let Some(interval) = self.cfg.hello_interval else { return };
+            let now = ctx.now();
+            // Declare hello-silent neighbours lost.
+            let dead: Vec<NodeId> = self
+                .neighbors
+                .iter()
+                .filter(|(_, &deadline)| deadline <= now)
+                .map(|(&n, _)| n)
+                .collect();
+            for n in dead {
+                self.neighbors.remove(&n);
+                let mut lost = Vec::new();
+                for (&dest, r) in self.routes.iter_mut() {
+                    if r.next == n && r.is_active(now) {
+                        r.valid = false;
+                        let s = r.seq.map_or(1, |s| s.wrapping_add(1));
+                        r.seq = Some(s);
+                        lost.push(RerrEntry { dst: dest, dst_seq: s });
+                    }
+                }
+                lost.sort_unstable_by_key(|e| e.dst.0);
+                if !lost.is_empty() {
+                    ctx.broadcast(ControlKind::Rerr, Rerr { entries: lost }.encode(), true);
+                }
+            }
+            // Emit a hello if this node is part of any active route.
+            if self.routes.values().any(|r| r.is_active(now)) {
+                let life = interval
+                    .saturating_mul(u64::from(self.cfg.allowed_hello_loss) + 1);
+                let hello = Rrep {
+                    dst: self.id,
+                    dst_seq: self.own_seq,
+                    orig: self.id,
+                    hop_count: 0,
+                    lifetime_ms: life.as_millis() as u32,
+                };
+                ctx.broadcast(ControlKind::Hello, hello.encode(), true);
+            }
+            ctx.set_timer(interval, HELLO_TOKEN);
+            return;
+        }
+        let dest = NodeId((token >> 32) as u16);
+        let gen32 = token & 0xFFFF_FFFF;
+        let now = ctx.now();
+        let Some(d) = self.pending.get(&dest) else { return };
+        if (d.generation & 0xFFFF_FFFF) != gen32 {
+            return;
+        }
+        if self.active(dest, now).is_some() {
+            self.finish_success(ctx, dest);
+            return;
+        }
+        let attempts = d.attempts + 1;
+        if attempts > self.cfg.max_attempts {
+            let d = self.pending.remove(&dest).expect("checked above");
+            for p in d.queue {
+                ctx.drop_data(p, DropReason::NoRoute);
+            }
+            ctx.count(ProtoCounter::DiscoveryFailed);
+        } else {
+            let generation = d.generation;
+            self.pending.get_mut(&dest).expect("checked above").attempts = attempts;
+            self.send_rreq(ctx, dest, attempts, generation);
+        }
+    }
+
+    fn handle_unicast_failure(&mut self, ctx: &mut Ctx, next_hop: NodeId, packet: Packet) {
+        self.clock = ctx.now();
+        let now = ctx.now();
+        // Invalidate every route through the dead hop, incrementing the
+        // stored destination sequence numbers (AODV's signature move).
+        let mut lost = Vec::new();
+        for (&dest, r) in self.routes.iter_mut() {
+            if r.next == next_hop && r.is_active(now) {
+                r.valid = false;
+                let s = r.seq.map_or(1, |s| s.wrapping_add(1));
+                r.seq = Some(s);
+                lost.push(RerrEntry { dst: dest, dst_seq: s });
+            }
+        }
+        lost.sort_unstable_by_key(|e| e.dst.0);
+        if let PacketBody::Data(data) = packet.body {
+            if data.src == self.id {
+                self.queue_and_discover(ctx, data);
+            } else {
+                ctx.drop_data(data, DropReason::NoRoute);
+            }
+        }
+        if !lost.is_empty() {
+            ctx.broadcast(ControlKind::Rerr, Rerr { entries: lost }.encode(), true);
+        }
+    }
+
+    fn route_successors(&self) -> Vec<(NodeId, NodeId)> {
+        let mut v: Vec<(NodeId, NodeId)> = self
+            .routes
+            .iter()
+            .filter(|(_, r)| r.is_active(self.clock))
+            .map(|(&d, r)| (d, r.next))
+            .collect();
+        v.sort_unstable_by_key(|(d, _)| d.0);
+        v
+    }
+
+    fn route_table_dump(&self) -> Vec<RouteDump> {
+        let mut v: Vec<RouteDump> = self
+            .routes
+            .iter()
+            .map(|(&dest, r)| RouteDump {
+                dest,
+                next: r.next,
+                dist: r.hops,
+                feasible_dist: None,
+                seqno: r.seq.map(u64::from),
+                valid: r.is_active(self.clock),
+            })
+            .collect();
+        v.sort_unstable_by_key(|r| r.dest.0);
+        v
+    }
+
+    fn own_seqno_value(&self) -> Option<f64> {
+        Some(f64::from(self.own_seq))
+    }
+}
+
+#[cfg(test)]
+mod tests;

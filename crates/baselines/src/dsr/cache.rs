@@ -1,0 +1,214 @@
+//! The DSR route cache (path cache).
+//!
+//! Stores complete paths from this node to destinations. Draft-03-style
+//! caches have no timeout — stale routes linger until a route error
+//! removes the broken link, which is a major contributor to DSR's poor
+//! delivery under mobility (§4 of the paper). A draft-07-flavoured
+//! expiry is available via [`RouteCache::new`]'s `timeout`.
+
+use manet_sim::packet::NodeId;
+use manet_sim::time::{SimDuration, SimTime};
+
+/// One cached path (this node excluded; `path[0]` is the first hop and
+/// `path.last()` the destination).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct CachedPath {
+    path: Vec<NodeId>,
+    added: SimTime,
+}
+
+/// A bounded path cache.
+#[derive(Clone, Debug)]
+pub struct RouteCache {
+    owner: NodeId,
+    paths: Vec<CachedPath>,
+    cap: usize,
+    timeout: Option<SimDuration>,
+}
+
+impl RouteCache {
+    /// A cache for `owner` holding at most `cap` paths; `timeout` of
+    /// `None` reproduces draft-03 behaviour (entries never expire).
+    pub fn new(owner: NodeId, cap: usize, timeout: Option<SimDuration>) -> Self {
+        RouteCache { owner, paths: Vec::new(), cap, timeout }
+    }
+
+    fn alive(&self, p: &CachedPath, now: SimTime) -> bool {
+        match self.timeout {
+            Some(t) => now < p.added + t,
+            None => true,
+        }
+    }
+
+    /// Inserts a path from this node (`path[0]` = first hop, last =
+    /// destination). Rejects paths containing the owner or duplicate
+    /// nodes (source routes must be loop-free by construction). Evicts
+    /// the oldest entry when full. Returns whether the path was stored.
+    pub fn insert(&mut self, path: &[NodeId], now: SimTime) -> bool {
+        if path.is_empty() || path.contains(&self.owner) {
+            return false;
+        }
+        let mut seen = std::collections::HashSet::new();
+        if !path.iter().all(|n| seen.insert(*n)) {
+            return false;
+        }
+        if let Some(existing) = self.paths.iter_mut().find(|p| p.path == path) {
+            existing.added = now;
+            return true;
+        }
+        if self.paths.len() >= self.cap {
+            // Evict the oldest.
+            if let Some((i, _)) = self
+                .paths
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, p)| p.added)
+            {
+                self.paths.remove(i);
+            }
+        }
+        self.paths.push(CachedPath { path: path.to_vec(), added: now });
+        true
+    }
+
+    /// The shortest live cached path to `dst`, if any.
+    pub fn lookup(&self, dst: NodeId, now: SimTime) -> Option<Vec<NodeId>> {
+        self.paths
+            .iter()
+            .filter(|p| self.alive(p, now))
+            .filter(|p| p.path.last() == Some(&dst))
+            .min_by_key(|p| p.path.len())
+            .map(|p| p.path.clone())
+    }
+
+    /// A live cached path to `dst` that avoids the directed link
+    /// `from → to` (for salvaging).
+    pub fn lookup_avoiding(
+        &self,
+        dst: NodeId,
+        from: NodeId,
+        to: NodeId,
+        now: SimTime,
+    ) -> Option<Vec<NodeId>> {
+        self.paths
+            .iter()
+            .filter(|p| self.alive(p, now))
+            .filter(|p| p.path.last() == Some(&dst))
+            .filter(|p| !contains_link(self.owner, &p.path, from, to))
+            .min_by_key(|p| p.path.len())
+            .map(|p| p.path.clone())
+    }
+
+    /// Removes every path using the directed link `from → to`.
+    /// Returns how many paths were dropped.
+    pub fn remove_link(&mut self, from: NodeId, to: NodeId) -> usize {
+        let owner = self.owner;
+        let before = self.paths.len();
+        self.paths.retain(|p| !contains_link(owner, &p.path, from, to));
+        before - self.paths.len()
+    }
+
+    /// Number of cached paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+/// Whether the path (owned by `owner`, implicitly prefixed with it)
+/// traverses the directed link `from → to`.
+fn contains_link(owner: NodeId, path: &[NodeId], from: NodeId, to: NodeId) -> bool {
+    if owner == from && path.first() == Some(&to) {
+        return true;
+    }
+    path.windows(2).any(|w| w[0] == from && w[1] == to)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: &[u16]) -> Vec<NodeId> {
+        v.iter().map(|&i| NodeId(i)).collect()
+    }
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn insert_and_lookup_shortest() {
+        let mut c = RouteCache::new(NodeId(0), 10, None);
+        assert!(c.insert(&ids(&[1, 2, 9]), t(0)));
+        assert!(c.insert(&ids(&[3, 9]), t(1)));
+        assert_eq!(c.lookup(NodeId(9), t(2)), Some(ids(&[3, 9])));
+        assert_eq!(c.lookup(NodeId(7), t(2)), None);
+    }
+
+    #[test]
+    fn rejects_loops_and_self() {
+        let mut c = RouteCache::new(NodeId(0), 10, None);
+        assert!(!c.insert(&ids(&[1, 2, 1, 9]), t(0)), "duplicate node");
+        assert!(!c.insert(&ids(&[1, 0, 9]), t(0)), "contains owner");
+        assert!(!c.insert(&[], t(0)));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn eviction_at_capacity_removes_oldest() {
+        let mut c = RouteCache::new(NodeId(0), 2, None);
+        c.insert(&ids(&[1, 8]), t(0));
+        c.insert(&ids(&[2, 9]), t(1));
+        c.insert(&ids(&[3, 7]), t(2)); // evicts the t(0) entry
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.lookup(NodeId(8), t(3)), None);
+        assert!(c.lookup(NodeId(9), t(3)).is_some());
+    }
+
+    #[test]
+    fn remove_link_drops_affected_paths() {
+        let mut c = RouteCache::new(NodeId(0), 10, None);
+        c.insert(&ids(&[1, 2, 9]), t(0));
+        c.insert(&ids(&[3, 4, 9]), t(0));
+        assert_eq!(c.remove_link(NodeId(1), NodeId(2)), 1);
+        assert_eq!(c.lookup(NodeId(9), t(1)), Some(ids(&[3, 4, 9])));
+        // First-hop links count too (owner -> 3).
+        assert_eq!(c.remove_link(NodeId(0), NodeId(3)), 1);
+        assert_eq!(c.lookup(NodeId(9), t(1)), None);
+    }
+
+    #[test]
+    fn lookup_avoiding_skips_broken_link() {
+        let mut c = RouteCache::new(NodeId(0), 10, None);
+        c.insert(&ids(&[1, 2, 9]), t(0));
+        c.insert(&ids(&[3, 4, 9]), t(0));
+        let got = c.lookup_avoiding(NodeId(9), NodeId(1), NodeId(2), t(1));
+        assert_eq!(got, Some(ids(&[3, 4, 9])));
+        let none = c.lookup_avoiding(NodeId(9), NodeId(0), NodeId(1), t(1));
+        assert_eq!(none, Some(ids(&[3, 4, 9])), "only the broken first hop is avoided");
+    }
+
+    #[test]
+    fn draft7_timeout_expires_entries() {
+        let mut c = RouteCache::new(NodeId(0), 10, Some(SimDuration::from_secs(5)));
+        c.insert(&ids(&[1, 9]), t(0));
+        assert!(c.lookup(NodeId(9), t(4)).is_some());
+        assert_eq!(c.lookup(NodeId(9), t(5)), None, "expired");
+        // Draft-03: never expires.
+        let mut c3 = RouteCache::new(NodeId(0), 10, None);
+        c3.insert(&ids(&[1, 9]), t(0));
+        assert!(c3.lookup(NodeId(9), t(10_000)).is_some());
+    }
+
+    #[test]
+    fn reinsert_refreshes_age() {
+        let mut c = RouteCache::new(NodeId(0), 10, Some(SimDuration::from_secs(5)));
+        c.insert(&ids(&[1, 9]), t(0));
+        c.insert(&ids(&[1, 9]), t(4));
+        assert!(c.lookup(NodeId(9), t(8)).is_some(), "refreshed at t=4");
+        assert_eq!(c.len(), 1, "no duplicate entry");
+    }
+}

@@ -1,0 +1,473 @@
+//! DSR — Dynamic Source Routing (draft-ietf-manet-dsr-03 behaviour,
+//! with a draft-07 flavour for the paper's Fig. 6 Qualnet cross-check).
+//!
+//! Every data packet carries its complete route in an extension header;
+//! loop freedom is by construction (source routes never repeat a node).
+//! Route discovery floods an RREQ that accumulates the traversed path;
+//! any node holding a cached route to the destination may answer with
+//! the concatenation. Route maintenance detects broken links hop-by-hop
+//! and reports them to sources with RERRs; packets can be *salvaged*
+//! onto alternate cached routes mid-path.
+//!
+//! The paper observes DSR's delivery collapsing under mobility and
+//! load — stale route caches keep answering discoveries with dead
+//! routes (draft-03 caches never expire). This implementation
+//! reproduces that behaviour faithfully. Promiscuous-mode optimisations
+//! (overhearing, automatic route shortening) are not modelled — the
+//! simulator's MAC does not deliver frames promiscuously.
+
+pub mod cache;
+pub mod messages;
+
+use cache::RouteCache;
+use manet_sim::packet::{ControlKind, ControlPacket, DataPacket, NodeId, Packet, PacketBody};
+use manet_sim::protocol::{Ctx, DropReason, ProtoCounter, RouteDump, RoutingProtocol};
+use manet_sim::time::{SimDuration, SimTime};
+use messages::{Rerr, Rreq, Rrep, SourceRoute};
+use std::collections::{HashMap, VecDeque};
+
+const CLEANUP_TOKEN: u64 = u64::MAX;
+const CLEANUP_INTERVAL: SimDuration = SimDuration::from_secs(10);
+
+fn discovery_token(dest: NodeId, generation: u64) -> u64 {
+    (u64::from(dest.0) << 32) | (generation & 0xFFFF_FFFF)
+}
+
+/// DSR parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DsrConfig {
+    /// Maximum cached paths.
+    pub cache_cap: usize,
+    /// Cache entry lifetime: `None` = draft-03 (never expires),
+    /// `Some(300 s)` approximates draft-07's RouteCacheTimeout.
+    pub cache_timeout: Option<SimDuration>,
+    /// RREQ dedup-table entry lifetime.
+    pub rreq_cache_ttl: SimDuration,
+    /// Discovery attempts before giving up.
+    pub max_attempts: u32,
+    /// First retransmission timeout; doubles per attempt.
+    pub backoff_base: SimDuration,
+    /// First attempt is a non-propagating (TTL 1) neighbourhood query.
+    pub non_propagating_first: bool,
+    /// Flood TTL for propagating requests.
+    pub flood_ttl: u8,
+    /// Packets buffered per destination during discovery.
+    pub buffer_cap: usize,
+    /// Maximum times one packet may be salvaged.
+    pub salvage_limit: u8,
+}
+
+impl Default for DsrConfig {
+    fn default() -> Self {
+        Self::draft3()
+    }
+}
+
+impl DsrConfig {
+    /// Draft-03 behaviour (the paper's GloMoSim runs).
+    pub fn draft3() -> Self {
+        DsrConfig {
+            cache_cap: 64,
+            cache_timeout: None,
+            rreq_cache_ttl: SimDuration::from_secs(30),
+            max_attempts: 6,
+            backoff_base: SimDuration::from_millis(500),
+            non_propagating_first: true,
+            flood_ttl: 35,
+            buffer_cap: 64,
+            salvage_limit: 4,
+        }
+    }
+
+    /// Draft-07 flavour (the paper's Qualnet cross-check, Fig. 6):
+    /// cached routes expire, which slightly improves mobile delivery.
+    pub fn draft7() -> Self {
+        DsrConfig { cache_timeout: Some(SimDuration::from_secs(300)), ..Self::draft3() }
+    }
+
+    fn discovery_timeout(&self, attempt: u32) -> SimDuration {
+        self.backoff_base.saturating_mul(1u64 << (attempt - 1).min(10))
+    }
+}
+
+#[derive(Debug)]
+struct Discovery {
+    generation: u64,
+    attempts: u32,
+    queue: VecDeque<DataPacket>,
+}
+
+/// A DSR node.
+pub struct Dsr {
+    id: NodeId,
+    cfg: DsrConfig,
+    cache: RouteCache,
+    seen: HashMap<(NodeId, u32), SimTime>,
+    pending: HashMap<NodeId, Discovery>,
+    next_id: u32,
+    next_generation: u64,
+    clock: SimTime,
+}
+
+impl Dsr {
+    /// A new node.
+    pub fn new(id: NodeId, cfg: DsrConfig) -> Self {
+        let cache = RouteCache::new(id, cfg.cache_cap, cfg.cache_timeout);
+        Dsr {
+            id,
+            cfg,
+            cache,
+            seen: HashMap::new(),
+            pending: HashMap::new(),
+            next_id: 0,
+            next_generation: 0,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// A factory closure for [`manet_sim::world::World::new`].
+    pub fn factory(cfg: DsrConfig) -> impl FnMut(NodeId, usize) -> Box<dyn RoutingProtocol> {
+        move |id, _| Box::new(Dsr::new(id, cfg.clone()))
+    }
+
+    /// The route cache (for tests and inspection).
+    pub fn cache(&self) -> &RouteCache {
+        &self.cache
+    }
+
+    /// Whether a discovery for `dest` is pending.
+    pub fn is_discovering(&self, dest: NodeId) -> bool {
+        self.pending.contains_key(&dest)
+    }
+
+    fn send_with_route(&mut self, ctx: &mut Ctx, mut data: DataPacket, cached: Vec<NodeId>) {
+        let mut path = Vec::with_capacity(cached.len() + 1);
+        path.push(self.id);
+        path.extend_from_slice(&cached);
+        let sr = SourceRoute { path, idx: 1, salvage: 0 };
+        let next = cached[0];
+        data.ext = sr.encode();
+        ctx.send_data(next, data);
+    }
+
+    fn queue_and_discover(&mut self, ctx: &mut Ctx, data: DataPacket) {
+        let dest = data.dst;
+        match self.pending.get_mut(&dest) {
+            Some(d) => {
+                if d.queue.len() >= self.cfg.buffer_cap {
+                    ctx.drop_data(data, DropReason::BufferOverflow);
+                } else {
+                    d.queue.push_back(data);
+                }
+            }
+            None => {
+                let generation = self.next_generation;
+                self.next_generation += 1;
+                let mut queue = VecDeque::new();
+                queue.push_back(data);
+                self.pending.insert(dest, Discovery { generation, attempts: 1, queue });
+                ctx.count(ProtoCounter::DiscoveryStarted);
+                self.send_rreq(ctx, dest, 1, generation);
+            }
+        }
+    }
+
+    fn send_rreq(&mut self, ctx: &mut Ctx, dest: NodeId, attempt: u32, generation: u64) {
+        let ttl = if attempt == 1 && self.cfg.non_propagating_first {
+            1
+        } else {
+            self.cfg.flood_ttl
+        };
+        let id = self.next_id;
+        self.next_id += 1;
+        let rreq = Rreq { src: self.id, dst: dest, id, ttl, route: vec![] };
+        ctx.broadcast(ControlKind::Rreq, rreq.encode(), true);
+        ctx.set_timer(self.cfg.discovery_timeout(attempt), discovery_token(dest, generation));
+    }
+
+    fn finish_success(&mut self, ctx: &mut Ctx, dest: NodeId) {
+        let Some(mut d) = self.pending.remove(&dest) else { return };
+        ctx.count(ProtoCounter::DiscoverySucceeded);
+        let now = ctx.now();
+        while let Some(p) = d.queue.pop_front() {
+            match self.cache.lookup(dest, now) {
+                Some(cached) => self.send_with_route(ctx, p, cached),
+                None => ctx.drop_data(p, DropReason::NoRoute),
+            }
+        }
+    }
+
+    // ----- control ------------------------------------------------------------
+
+    fn handle_rreq(&mut self, ctx: &mut Ctx, _prev: NodeId, m: Rreq) {
+        if m.src == self.id || m.route.contains(&self.id) {
+            return;
+        }
+        let now = ctx.now();
+        // Learn the reverse path to the originator.
+        let mut back: Vec<NodeId> = m.route.iter().rev().copied().collect();
+        back.push(m.src);
+        self.cache.insert(&back, now);
+
+        let key = (m.src, m.id);
+        if self.seen.get(&key).is_some_and(|&e| e > now) {
+            return;
+        }
+        self.seen.insert(key, now + self.cfg.rreq_cache_ttl);
+
+        if m.dst == self.id {
+            // Target reply: the accumulated record is the route. The
+            // reply's idx always addresses the node it is sent to.
+            let mut path = Vec::with_capacity(m.route.len() + 2);
+            path.push(m.src);
+            path.extend_from_slice(&m.route);
+            path.push(self.id);
+            let idx = (path.len() - 2) as u8;
+            let back_hop = path[path.len() - 2];
+            let rrep = Rrep { orig: m.src, id: m.id, path, idx };
+            ctx.unicast_control(back_hop, ControlKind::Rrep, rrep.encode(), true, true);
+            return;
+        }
+
+        // Cache reply: concatenate the record with a cached route,
+        // provided the splice repeats no node.
+        if let Some(cached) = self.cache.lookup(m.dst, now) {
+            let mut path = Vec::with_capacity(m.route.len() + cached.len() + 2);
+            path.push(m.src);
+            path.extend_from_slice(&m.route);
+            path.push(self.id);
+            path.extend_from_slice(&cached);
+            let mut uniq = std::collections::HashSet::new();
+            if path.iter().all(|n| uniq.insert(*n)) {
+                // This node sits at position route.len() + 1; the reply
+                // goes to the previous hop, whose position is idx.
+                let idx = m.route.len() as u8;
+                let back_hop = path[idx as usize];
+                let rrep = Rrep { orig: m.src, id: m.id, path, idx };
+                ctx.unicast_control(back_hop, ControlKind::Rrep, rrep.encode(), true, true);
+                return;
+            }
+        }
+
+        if m.ttl <= 1 {
+            return;
+        }
+        let mut route = m.route.clone();
+        route.push(self.id);
+        let fwd = Rreq { route, ttl: m.ttl - 1, ..m };
+        ctx.broadcast(ControlKind::Rreq, fwd.encode(), false);
+    }
+
+    fn handle_rrep(&mut self, ctx: &mut Ctx, _prev: NodeId, m: Rrep) {
+        let now = ctx.now();
+        let idx = m.idx as usize;
+        if m.path.get(idx) != Some(&self.id) {
+            return;
+        }
+        // Learn both directions.
+        if idx + 1 < m.path.len() {
+            self.cache.insert(&m.path[idx + 1..], now);
+        }
+        if idx > 0 {
+            let back: Vec<NodeId> = m.path[..idx].iter().rev().copied().collect();
+            self.cache.insert(&back, now);
+        }
+        ctx.count(ProtoCounter::RrepUsableRecv);
+        if idx == 0 {
+            // We are the originator.
+            if let Some(&dst) = m.path.last() {
+                if self.pending.contains_key(&dst) {
+                    self.finish_success(ctx, dst);
+                }
+            }
+            return;
+        }
+        let fwd = Rrep { idx: (idx - 1) as u8, ..m.clone() };
+        ctx.unicast_control(m.path[idx - 1], ControlKind::Rrep, fwd.encode(), false, true);
+    }
+
+    fn handle_rerr(&mut self, ctx: &mut Ctx, _prev: NodeId, m: Rerr) {
+        self.cache.remove_link(m.from, m.to);
+        if m.target == self.id || m.path.is_empty() {
+            return;
+        }
+        let next = m.path[0];
+        let fwd = Rerr { path: m.path[1..].to_vec(), ..m };
+        ctx.unicast_control(next, ControlKind::Rerr, fwd.encode(), false, false);
+    }
+}
+
+impl RoutingProtocol for Dsr {
+    fn name(&self) -> &'static str {
+        "DSR"
+    }
+
+    fn start(&mut self, ctx: &mut Ctx) {
+        self.clock = ctx.now();
+        ctx.set_timer(CLEANUP_INTERVAL, CLEANUP_TOKEN);
+    }
+
+    fn handle_data_origination(&mut self, ctx: &mut Ctx, data: DataPacket) {
+        self.clock = ctx.now();
+        if data.dst == self.id {
+            ctx.deliver(data);
+            return;
+        }
+        match self.cache.lookup(data.dst, ctx.now()) {
+            Some(cached) => self.send_with_route(ctx, data, cached),
+            None => self.queue_and_discover(ctx, data),
+        }
+    }
+
+    fn handle_data_packet(&mut self, ctx: &mut Ctx, _prev_hop: NodeId, mut data: DataPacket) {
+        self.clock = ctx.now();
+        let now = ctx.now();
+        let Some(sr) = SourceRoute::decode(&data.ext) else {
+            ctx.drop_data(data, DropReason::BrokenSourceRoute);
+            return;
+        };
+        let idx = sr.idx as usize;
+        if sr.path.get(idx) != Some(&self.id) {
+            ctx.drop_data(data, DropReason::BrokenSourceRoute);
+            return;
+        }
+        // Learn from the carried route.
+        if idx + 1 < sr.path.len() {
+            self.cache.insert(&sr.path[idx + 1..], now);
+        }
+        if idx > 0 {
+            let back: Vec<NodeId> = sr.path[..idx].iter().rev().copied().collect();
+            self.cache.insert(&back, now);
+        }
+        if data.dst == self.id {
+            ctx.deliver(data);
+            return;
+        }
+        if data.ttl == 0 {
+            ctx.drop_data(data, DropReason::TtlExpired);
+            return;
+        }
+        data.ttl -= 1;
+        let Some(next) = sr.next_hop() else {
+            ctx.drop_data(data, DropReason::BrokenSourceRoute);
+            return;
+        };
+        let fwd = SourceRoute { idx: sr.idx + 1, ..sr };
+        data.ext = fwd.encode();
+        ctx.send_data(next, data);
+    }
+
+    fn handle_control(
+        &mut self,
+        ctx: &mut Ctx,
+        prev_hop: NodeId,
+        ctrl: ControlPacket,
+        _was_broadcast: bool,
+    ) {
+        self.clock = ctx.now();
+        match ctrl.kind {
+            ControlKind::Rreq => {
+                if let Some(m) = Rreq::decode(&ctrl.bytes) {
+                    self.handle_rreq(ctx, prev_hop, m);
+                }
+            }
+            ControlKind::Rrep => {
+                if let Some(m) = Rrep::decode(&ctrl.bytes) {
+                    self.handle_rrep(ctx, prev_hop, m);
+                }
+            }
+            ControlKind::Rerr => {
+                if let Some(m) = Rerr::decode(&ctrl.bytes) {
+                    self.handle_rerr(ctx, prev_hop, m);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        self.clock = ctx.now();
+        if token == CLEANUP_TOKEN {
+            let now = ctx.now();
+            self.seen.retain(|_, &mut e| e > now);
+            ctx.set_timer(CLEANUP_INTERVAL, CLEANUP_TOKEN);
+            return;
+        }
+        let dest = NodeId((token >> 32) as u16);
+        let gen32 = token & 0xFFFF_FFFF;
+        let Some(d) = self.pending.get(&dest) else { return };
+        if (d.generation & 0xFFFF_FFFF) != gen32 {
+            return;
+        }
+        if self.cache.lookup(dest, ctx.now()).is_some() {
+            self.finish_success(ctx, dest);
+            return;
+        }
+        let attempts = d.attempts + 1;
+        if attempts > self.cfg.max_attempts {
+            let d = self.pending.remove(&dest).expect("checked above");
+            for p in d.queue {
+                ctx.drop_data(p, DropReason::NoRoute);
+            }
+            ctx.count(ProtoCounter::DiscoveryFailed);
+        } else {
+            let generation = d.generation;
+            self.pending.get_mut(&dest).expect("checked above").attempts = attempts;
+            self.send_rreq(ctx, dest, attempts, generation);
+        }
+    }
+
+    fn handle_unicast_failure(&mut self, ctx: &mut Ctx, next_hop: NodeId, packet: Packet) {
+        self.clock = ctx.now();
+        let now = ctx.now();
+        self.cache.remove_link(self.id, next_hop);
+        let PacketBody::Data(mut data) = packet.body else { return };
+        let Some(sr) = SourceRoute::decode(&data.ext) else {
+            ctx.drop_data(data, DropReason::BrokenSourceRoute);
+            return;
+        };
+        // Report the broken link to the packet's source.
+        let holder = (sr.idx as usize).saturating_sub(1).min(sr.path.len().saturating_sub(1));
+        if sr.path.first() != Some(&self.id) && holder > 0 {
+            let mut back: Vec<NodeId> = sr.path[..holder].iter().rev().copied().collect();
+            let target = *sr.path.first().expect("non-empty path");
+            let first = back.remove(0);
+            let rerr = Rerr { from: self.id, to: next_hop, target, path: back };
+            ctx.unicast_control(first, ControlKind::Rerr, rerr.encode(), true, false);
+        }
+        // Salvage onto an alternate cached route, or drop / re-discover.
+        if data.src == self.id {
+            data.ext.clear();
+            self.handle_data_origination(ctx, data);
+            return;
+        }
+        if sr.salvage < self.cfg.salvage_limit {
+            if let Some(alt) = self.cache.lookup_avoiding(data.dst, self.id, next_hop, now) {
+                let mut path = Vec::with_capacity(alt.len() + 1);
+                path.push(self.id);
+                path.extend_from_slice(&alt);
+                let next = alt[0];
+                let new_sr = SourceRoute { path, idx: 1, salvage: sr.salvage + 1 };
+                data.ext = new_sr.encode();
+                ctx.count(ProtoCounter::Salvage);
+                ctx.send_data(next, data);
+                return;
+            }
+        }
+        ctx.drop_data(data, DropReason::BrokenSourceRoute);
+    }
+
+    fn route_successors(&self) -> Vec<(NodeId, NodeId)> {
+        // DSR keeps no next-hop table; loop freedom is per packet
+        // (source routes never repeat a node), so the successor-graph
+        // auditor does not apply.
+        Vec::new()
+    }
+
+    fn route_table_dump(&self) -> Vec<RouteDump> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,163 @@
+//! OLSR control messages (after draft-ietf-manet-olsr-06): HELLOs for
+//! link sensing / MPR signalling and TCs for topology dissemination.
+
+use manet_sim::packet::NodeId;
+
+/// A neighbour-sensing hello.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hello {
+    /// Neighbours heard bidirectionally (symmetric links).
+    pub sym: Vec<NodeId>,
+    /// Neighbours heard only one way so far.
+    pub heard: Vec<NodeId>,
+    /// The sender's chosen multipoint relays.
+    pub mpr: Vec<NodeId>,
+}
+
+/// A topology-control broadcast, flooded via multipoint relays.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Tc {
+    /// Node whose links are advertised.
+    pub originator: NodeId,
+    /// Advertised neighbour sequence number (replaces older sets).
+    pub ansn: u16,
+    /// Per-originator flood sequence number (duplicate suppression).
+    pub seq: u16,
+    /// Remaining flood TTL.
+    pub ttl: u8,
+    /// The originator's MPR selectors (its advertised links).
+    pub selectors: Vec<NodeId>,
+}
+
+fn push_ids(b: &mut Vec<u8>, ids: &[NodeId]) {
+    for n in ids {
+        b.extend_from_slice(&n.0.to_be_bytes());
+    }
+}
+
+fn read_ids(b: &[u8], at: usize, n: usize) -> Option<Vec<NodeId>> {
+    let end = at + 2 * n;
+    if b.len() < end {
+        return None;
+    }
+    Some(
+        (0..n)
+            .map(|i| NodeId(u16::from_be_bytes([b[at + 2 * i], b[at + 2 * i + 1]])))
+            .collect(),
+    )
+}
+
+impl Hello {
+    /// Encodes the hello.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = vec![4u8, self.sym.len() as u8, self.heard.len() as u8, self.mpr.len() as u8];
+        push_ids(&mut b, &self.sym);
+        push_ids(&mut b, &self.heard);
+        push_ids(&mut b, &self.mpr);
+        b
+    }
+
+    /// Decodes; `None` on malformed input.
+    pub fn decode(b: &[u8]) -> Option<Self> {
+        if b.len() < 4 || b[0] != 4 {
+            return None;
+        }
+        let (ns, nh, nm) = (b[1] as usize, b[2] as usize, b[3] as usize);
+        if b.len() != 4 + 2 * (ns + nh + nm) {
+            return None;
+        }
+        let sym = read_ids(b, 4, ns)?;
+        let heard = read_ids(b, 4 + 2 * ns, nh)?;
+        let mpr = read_ids(b, 4 + 2 * (ns + nh), nm)?;
+        Some(Hello { sym, heard, mpr })
+    }
+}
+
+impl Tc {
+    /// Encodes the TC.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = vec![5u8, self.ttl];
+        b.extend_from_slice(&self.originator.0.to_be_bytes());
+        b.extend_from_slice(&self.ansn.to_be_bytes());
+        b.extend_from_slice(&self.seq.to_be_bytes());
+        b.push(self.selectors.len() as u8);
+        push_ids(&mut b, &self.selectors);
+        b
+    }
+
+    /// Decodes; `None` on malformed input.
+    pub fn decode(b: &[u8]) -> Option<Self> {
+        if b.len() < 9 || b[0] != 5 {
+            return None;
+        }
+        let n = b[8] as usize;
+        if b.len() != 9 + 2 * n {
+            return None;
+        }
+        Some(Tc {
+            originator: NodeId(u16::from_be_bytes([b[2], b[3]])),
+            ansn: u16::from_be_bytes([b[4], b[5]]),
+            seq: u16::from_be_bytes([b[6], b[7]]),
+            ttl: b[1],
+            selectors: read_ids(b, 9, n)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ids(v: &[u16]) -> Vec<NodeId> {
+        v.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn hello_round_trip() {
+        let h = Hello { sym: ids(&[1, 2]), heard: ids(&[3]), mpr: ids(&[1]) };
+        assert_eq!(Hello::decode(&h.encode()), Some(h.clone()));
+        let empty = Hello { sym: vec![], heard: vec![], mpr: vec![] };
+        assert_eq!(Hello::decode(&empty.encode()), Some(empty));
+    }
+
+    #[test]
+    fn tc_round_trip() {
+        let t = Tc { originator: NodeId(9), ansn: 3, seq: 77, ttl: 30, selectors: ids(&[1, 4]) };
+        assert_eq!(Tc::decode(&t.encode()), Some(t));
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert!(Hello::decode(&[4, 1, 0, 0]).is_none());
+        assert!(Tc::decode(&[5, 1, 0, 9, 0, 1, 0, 3, 2, 0]).is_none());
+        assert!(Hello::decode(&[]).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn hello_round_trips(
+            sym in proptest::collection::vec(any::<u16>(), 0..20),
+            heard in proptest::collection::vec(any::<u16>(), 0..20),
+            mpr in proptest::collection::vec(any::<u16>(), 0..20),
+        ) {
+            let h = Hello { sym: ids(&sym), heard: ids(&heard), mpr: ids(&mpr) };
+            prop_assert_eq!(Hello::decode(&h.encode()), Some(h.clone()));
+        }
+
+        #[test]
+        fn tc_round_trips(
+            orig in any::<u16>(), ansn in any::<u16>(), seq in any::<u16>(),
+            ttl in any::<u8>(), sel in proptest::collection::vec(any::<u16>(), 0..30),
+        ) {
+            let t = Tc { originator: NodeId(orig), ansn, seq, ttl, selectors: ids(&sel) };
+            prop_assert_eq!(Tc::decode(&t.encode()), Some(t.clone()));
+        }
+
+        #[test]
+        fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = Hello::decode(&bytes);
+            let _ = Tc::decode(&bytes);
+        }
+    }
+}

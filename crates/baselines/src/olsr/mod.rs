@@ -1,0 +1,542 @@
+//! OLSR — Optimized Link State Routing
+//! (draft-ietf-manet-olsr-06, the paper's proactive baseline).
+//!
+//! Periodic HELLOs perform link sensing and signal each node's chosen
+//! *multipoint relays* (MPRs — the minimal neighbour subset covering
+//! the two-hop neighbourhood); only MPRs forward topology-control (TC)
+//! floods, and only MPR-selector links are advertised. Routes are
+//! recomputed by breadth-first search over the learned topology.
+//!
+//! The paper found the INRIA OLSR code suffered packet-jitter problems
+//! and added "a new FIFO jitter queue … a uniformly chosen inter-packet
+//! jitter between 0 and 15 ms" that "performs substantially better than
+//! the base OLSR" — reproduced here as [`Olsr`]'s outgoing control
+//! queue (enabled by default, switchable for ablation).
+
+pub mod messages;
+
+use manet_sim::packet::{ControlKind, ControlPacket, DataPacket, NodeId, Packet, PacketBody};
+use manet_sim::protocol::{Ctx, DropReason, RouteDump, RoutingProtocol};
+use manet_sim::time::{SimDuration, SimTime};
+use messages::{Hello, Tc};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+const HELLO_TOKEN: u64 = 1;
+const TC_TOKEN: u64 = 2;
+const JITTER_TOKEN: u64 = 3;
+const CLEANUP_TOKEN: u64 = u64::MAX;
+
+/// OLSR parameters (draft defaults).
+#[derive(Clone, Debug, PartialEq)]
+pub struct OlsrConfig {
+    /// HELLO_INTERVAL.
+    pub hello_interval: SimDuration,
+    /// TC_INTERVAL.
+    pub tc_interval: SimDuration,
+    /// NEIGHB_HOLD_TIME.
+    pub neighbor_hold: SimDuration,
+    /// TOP_HOLD_TIME.
+    pub topology_hold: SimDuration,
+    /// Duplicate-set hold time.
+    pub duplicate_hold: SimDuration,
+    /// The paper's FIFO jitter queue: uniform inter-packet spacing in
+    /// `[0, jitter_max]`; `None` disables the queue (base OLSR).
+    pub jitter_max: Option<SimDuration>,
+    /// Treat MAC retry exhaustion as link loss (link-layer feedback).
+    pub link_layer_feedback: bool,
+    /// TC flood TTL.
+    pub tc_ttl: u8,
+}
+
+impl Default for OlsrConfig {
+    fn default() -> Self {
+        OlsrConfig {
+            hello_interval: SimDuration::from_secs(2),
+            tc_interval: SimDuration::from_secs(5),
+            neighbor_hold: SimDuration::from_secs(6),
+            topology_hold: SimDuration::from_secs(15),
+            duplicate_hold: SimDuration::from_secs(30),
+            jitter_max: Some(SimDuration::from_millis(15)),
+            link_layer_feedback: true,
+            tc_ttl: 32,
+        }
+    }
+}
+
+impl OlsrConfig {
+    /// The un-fixed variant the paper compares against (no FIFO jitter
+    /// queue).
+    pub fn without_jitter_queue() -> Self {
+        OlsrConfig { jitter_max: None, ..OlsrConfig::default() }
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LinkState {
+    sym: bool,
+    expires: SimTime,
+}
+
+/// An OLSR node.
+pub struct Olsr {
+    id: NodeId,
+    cfg: OlsrConfig,
+    links: HashMap<NodeId, LinkState>,
+    /// neighbour → (its symmetric neighbours, expiry).
+    two_hop: HashMap<NodeId, (Vec<NodeId>, SimTime)>,
+    mpr_set: HashSet<NodeId>,
+    mpr_selectors: HashMap<NodeId, SimTime>,
+    /// (originator, selector) → (ansn, expiry).
+    topology: HashMap<(NodeId, NodeId), (u16, SimTime)>,
+    /// TC duplicate set: (originator, seq) → expiry.
+    dup: HashMap<(NodeId, u16), SimTime>,
+    table: HashMap<NodeId, (NodeId, u32)>,
+    dirty: bool,
+    ansn: u16,
+    tc_seq: u16,
+    /// Outgoing control queue (the paper's FIFO jitter fix).
+    outq: VecDeque<(ControlKind, Vec<u8>, bool)>,
+    drain_scheduled: bool,
+    clock: SimTime,
+}
+
+impl Olsr {
+    /// A new node.
+    pub fn new(id: NodeId, cfg: OlsrConfig) -> Self {
+        Olsr {
+            id,
+            cfg,
+            links: HashMap::new(),
+            two_hop: HashMap::new(),
+            mpr_set: HashSet::new(),
+            mpr_selectors: HashMap::new(),
+            topology: HashMap::new(),
+            dup: HashMap::new(),
+            table: HashMap::new(),
+            dirty: false,
+            ansn: 0,
+            tc_seq: 0,
+            outq: VecDeque::new(),
+            drain_scheduled: false,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// A factory closure for [`manet_sim::world::World::new`].
+    pub fn factory(cfg: OlsrConfig) -> impl FnMut(NodeId, usize) -> Box<dyn RoutingProtocol> {
+        move |id, _| Box::new(Olsr::new(id, cfg.clone()))
+    }
+
+    /// Currently selected multipoint relays.
+    pub fn mprs(&self) -> &HashSet<NodeId> {
+        &self.mpr_set
+    }
+
+    /// The computed routing table: destination → (next hop, hops).
+    pub fn table(&self) -> &HashMap<NodeId, (NodeId, u32)> {
+        &self.table
+    }
+
+    fn sym_neighbors(&self, now: SimTime) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .links
+            .iter()
+            .filter(|(_, l)| l.sym && l.expires > now)
+            .map(|(&n, _)| n)
+            .collect();
+        v.sort_unstable_by_key(|n| n.0);
+        v
+    }
+
+    fn heard_neighbors(&self, now: SimTime) -> Vec<NodeId> {
+        let mut v: Vec<NodeId> = self
+            .links
+            .iter()
+            .filter(|(_, l)| !l.sym && l.expires > now)
+            .map(|(&n, _)| n)
+            .collect();
+        v.sort_unstable_by_key(|n| n.0);
+        v
+    }
+
+    /// Greedy MPR selection: cover every strict two-hop neighbour.
+    pub(crate) fn recompute_mprs(&mut self, now: SimTime) {
+        let n1: Vec<NodeId> = self.sym_neighbors(now);
+        let n1_set: HashSet<NodeId> = n1.iter().copied().collect();
+        // coverage[n2] = the one-hop neighbours reaching it.
+        let mut coverage: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        for &n in &n1 {
+            if let Some((twos, exp)) = self.two_hop.get(&n) {
+                if *exp > now {
+                    for &t in twos {
+                        if t != self.id && !n1_set.contains(&t) {
+                            coverage.entry(t).or_default().push(n);
+                        }
+                    }
+                }
+            }
+        }
+        let mut mprs: HashSet<NodeId> = HashSet::new();
+        let mut uncovered: HashSet<NodeId> = coverage.keys().copied().collect();
+        // Mandatory: sole providers.
+        for (t, providers) in &coverage {
+            if providers.len() == 1 {
+                mprs.insert(providers[0]);
+                let _ = t;
+            }
+        }
+        uncovered.retain(|t| !coverage[t].iter().any(|p| mprs.contains(p)));
+        // Greedy: max coverage, ties by smallest id (deterministic).
+        while !uncovered.is_empty() {
+            let mut best: Option<(usize, NodeId)> = None;
+            for &n in &n1 {
+                if mprs.contains(&n) {
+                    continue;
+                }
+                let covers = uncovered
+                    .iter()
+                    .filter(|t| coverage[t].contains(&n))
+                    .count();
+                if covers > 0 {
+                    let cand = (covers, n);
+                    best = Some(match best {
+                        None => cand,
+                        Some((bc, bn)) => {
+                            if covers > bc || (covers == bc && n.0 < bn.0) {
+                                cand
+                            } else {
+                                (bc, bn)
+                            }
+                        }
+                    });
+                }
+            }
+            match best {
+                Some((_, n)) => {
+                    mprs.insert(n);
+                    uncovered.retain(|t| !coverage[t].contains(&n));
+                }
+                None => break, // unreachable two-hop nodes
+            }
+        }
+        self.mpr_set = mprs;
+    }
+
+    /// Breadth-first route computation over links + topology.
+    fn recompute_routes(&mut self, now: SimTime) {
+        self.dirty = false;
+        let mut edges: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        let n1 = self.sym_neighbors(now);
+        edges.insert(self.id, n1.clone());
+        for (&n, (twos, exp)) in &self.two_hop {
+            if *exp > now {
+                edges.entry(n).or_default().extend(twos.iter().copied());
+            }
+        }
+        for (&(orig, sel), &(_, exp)) in &self.topology {
+            if exp > now {
+                edges.entry(orig).or_default().push(sel);
+                edges.entry(sel).or_default().push(orig);
+            }
+        }
+        for v in edges.values_mut() {
+            v.sort_unstable_by_key(|n| n.0);
+            v.dedup();
+        }
+        let mut table = HashMap::new();
+        let mut first_hop: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut dist: HashMap<NodeId, u32> = HashMap::new();
+        let mut queue = VecDeque::new();
+        dist.insert(self.id, 0);
+        for &n in &n1 {
+            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(n) {
+                e.insert(1);
+                first_hop.insert(n, n);
+                table.insert(n, (n, 1));
+                queue.push_back(n);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            let du = dist[&u];
+            let fh = first_hop[&u];
+            if let Some(nexts) = edges.get(&u) {
+                for &v in nexts {
+                    if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
+                        e.insert(du + 1);
+                        first_hop.insert(v, fh);
+                        table.insert(v, (fh, du + 1));
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        self.table = table;
+    }
+
+    fn enqueue_control(&mut self, ctx: &mut Ctx, kind: ControlKind, bytes: Vec<u8>, initiated: bool) {
+        match self.cfg.jitter_max {
+            None => ctx.broadcast(kind, bytes, initiated),
+            Some(maxj) => {
+                self.outq.push_back((kind, bytes, initiated));
+                if !self.drain_scheduled {
+                    self.drain_scheduled = true;
+                    let j = SimDuration::from_nanos(ctx.rng().below(maxj.as_nanos().max(1)));
+                    ctx.set_timer(j, JITTER_TOKEN);
+                }
+            }
+        }
+    }
+
+    fn drain_one(&mut self, ctx: &mut Ctx) {
+        self.drain_scheduled = false;
+        if let Some((kind, bytes, initiated)) = self.outq.pop_front() {
+            ctx.broadcast(kind, bytes, initiated);
+        }
+        if !self.outq.is_empty() {
+            self.drain_scheduled = true;
+            let maxj = self.cfg.jitter_max.unwrap_or(SimDuration::from_millis(1));
+            let j = SimDuration::from_nanos(ctx.rng().below(maxj.as_nanos().max(1)));
+            ctx.set_timer(j, JITTER_TOKEN);
+        }
+    }
+
+    fn send_hello(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        self.recompute_mprs(now);
+        let mut mpr: Vec<NodeId> = self.mpr_set.iter().copied().collect();
+        mpr.sort_unstable_by_key(|n| n.0);
+        let hello = Hello {
+            sym: self.sym_neighbors(now),
+            heard: self.heard_neighbors(now),
+            mpr,
+        };
+        self.enqueue_control(ctx, ControlKind::Hello, hello.encode(), true);
+    }
+
+    fn send_tc(&mut self, ctx: &mut Ctx) {
+        let now = ctx.now();
+        self.mpr_selectors.retain(|_, &mut e| e > now);
+        if self.mpr_selectors.is_empty() {
+            return;
+        }
+        self.ansn = self.ansn.wrapping_add(1);
+        self.tc_seq = self.tc_seq.wrapping_add(1);
+        let mut selectors: Vec<NodeId> = self.mpr_selectors.keys().copied().collect();
+        selectors.sort_unstable_by_key(|n| n.0);
+        let tc = Tc {
+            originator: self.id,
+            ansn: self.ansn,
+            seq: self.tc_seq,
+            ttl: self.cfg.tc_ttl,
+            selectors,
+        };
+        self.enqueue_control(ctx, ControlKind::Tc, tc.encode(), true);
+    }
+
+    fn handle_hello(&mut self, ctx: &mut Ctx, prev: NodeId, h: Hello) {
+        let now = ctx.now();
+        let hold = self.cfg.neighbor_hold;
+        // Link sensing: symmetric once the neighbour lists us.
+        let hears_us = h.sym.contains(&self.id) || h.heard.contains(&self.id);
+        let entry = self.links.entry(prev).or_insert(LinkState { sym: false, expires: now + hold });
+        entry.sym = hears_us;
+        entry.expires = now + hold;
+        // Two-hop set (only via symmetric links).
+        self.two_hop.insert(prev, (h.sym.clone(), now + hold));
+        // MPR selector set.
+        if h.mpr.contains(&self.id) {
+            self.mpr_selectors.insert(prev, now + hold);
+        } else {
+            self.mpr_selectors.remove(&prev);
+        }
+        self.dirty = true;
+    }
+
+    fn handle_tc(&mut self, ctx: &mut Ctx, prev: NodeId, tc: Tc) {
+        let now = ctx.now();
+        if tc.originator == self.id {
+            return;
+        }
+        let dkey = (tc.originator, tc.seq);
+        let seen = self.dup.get(&dkey).is_some_and(|&e| e > now);
+        if !seen {
+            self.dup.insert(dkey, now + self.cfg.duplicate_hold);
+            // ANSN logic: ignore stale sets; replace older ones.
+            let current = self
+                .topology
+                .iter()
+                .filter(|((o, _), _)| *o == tc.originator)
+                .map(|(_, &(a, _))| a)
+                .max();
+            let stale = current.is_some_and(|a| ansn_newer(a, tc.ansn));
+            if !stale {
+                if current.is_some_and(|a| ansn_newer(tc.ansn, a)) {
+                    self.topology.retain(|(o, _), _| *o != tc.originator);
+                }
+                for &sel in &tc.selectors {
+                    self.topology
+                        .insert((tc.originator, sel), (tc.ansn, now + self.cfg.topology_hold));
+                }
+                self.dirty = true;
+            }
+            // Default forwarding: retransmit only if the sender selected
+            // us as an MPR.
+            let from_selector = self.mpr_selectors.get(&prev).is_some_and(|&e| e > now);
+            if from_selector && tc.ttl > 1 {
+                let fwd = Tc { ttl: tc.ttl - 1, ..tc };
+                self.enqueue_control(ctx, ControlKind::Tc, fwd.encode(), false);
+            }
+        }
+    }
+}
+
+/// Sequence-number comparison with wraparound (RFC 3626 §19).
+fn ansn_newer(a: u16, b: u16) -> bool {
+    a != b && ((a > b && a - b <= 32768) || (b > a && b - a > 32768))
+}
+
+impl RoutingProtocol for Olsr {
+    fn name(&self) -> &'static str {
+        "OLSR"
+    }
+
+    fn start(&mut self, ctx: &mut Ctx) {
+        self.clock = ctx.now();
+        // Stagger the first hello across the interval to avoid
+        // network-wide synchronisation.
+        let h = ctx.rng().below(self.cfg.hello_interval.as_nanos().max(1));
+        ctx.set_timer(SimDuration::from_nanos(h), HELLO_TOKEN);
+        let t = ctx.rng().below(self.cfg.tc_interval.as_nanos().max(1));
+        ctx.set_timer(SimDuration::from_nanos(t), TC_TOKEN);
+        ctx.set_timer(SimDuration::from_secs(30), CLEANUP_TOKEN);
+    }
+
+    fn handle_data_origination(&mut self, ctx: &mut Ctx, data: DataPacket) {
+        self.clock = ctx.now();
+        if data.dst == self.id {
+            ctx.deliver(data);
+            return;
+        }
+        if self.dirty {
+            self.recompute_routes(ctx.now());
+        }
+        match self.table.get(&data.dst) {
+            Some(&(next, _)) => ctx.send_data(next, data),
+            None => ctx.drop_data(data, DropReason::NoRoute),
+        }
+    }
+
+    fn handle_data_packet(&mut self, ctx: &mut Ctx, _prev_hop: NodeId, mut data: DataPacket) {
+        self.clock = ctx.now();
+        if data.dst == self.id {
+            ctx.deliver(data);
+            return;
+        }
+        if data.ttl == 0 {
+            ctx.drop_data(data, DropReason::TtlExpired);
+            return;
+        }
+        data.ttl -= 1;
+        if self.dirty {
+            self.recompute_routes(ctx.now());
+        }
+        match self.table.get(&data.dst) {
+            Some(&(next, _)) => ctx.send_data(next, data),
+            None => ctx.drop_data(data, DropReason::NoRoute),
+        }
+    }
+
+    fn handle_control(
+        &mut self,
+        ctx: &mut Ctx,
+        prev_hop: NodeId,
+        ctrl: ControlPacket,
+        _was_broadcast: bool,
+    ) {
+        self.clock = ctx.now();
+        match ctrl.kind {
+            ControlKind::Hello => {
+                if let Some(h) = Hello::decode(&ctrl.bytes) {
+                    self.handle_hello(ctx, prev_hop, h);
+                }
+            }
+            ControlKind::Tc => {
+                if let Some(t) = Tc::decode(&ctrl.bytes) {
+                    self.handle_tc(ctx, prev_hop, t);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        self.clock = ctx.now();
+        match token {
+            HELLO_TOKEN => {
+                self.send_hello(ctx);
+                ctx.set_timer(self.cfg.hello_interval, HELLO_TOKEN);
+            }
+            TC_TOKEN => {
+                self.send_tc(ctx);
+                ctx.set_timer(self.cfg.tc_interval, TC_TOKEN);
+            }
+            JITTER_TOKEN => self.drain_one(ctx),
+            CLEANUP_TOKEN => {
+                let now = ctx.now();
+                self.dup.retain(|_, &mut e| e > now);
+                self.topology.retain(|_, &mut (_, e)| e > now);
+                self.links.retain(|_, l| l.expires > now);
+                self.two_hop.retain(|_, (_, e)| *e > now);
+                self.dirty = true;
+                ctx.set_timer(SimDuration::from_secs(30), CLEANUP_TOKEN);
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_unicast_failure(&mut self, ctx: &mut Ctx, next_hop: NodeId, packet: Packet) {
+        self.clock = ctx.now();
+        if self.cfg.link_layer_feedback {
+            self.links.remove(&next_hop);
+            self.two_hop.remove(&next_hop);
+            self.dirty = true;
+        }
+        if let PacketBody::Data(data) = packet.body {
+            // Try once more over the recomputed topology.
+            if self.dirty {
+                self.recompute_routes(ctx.now());
+            }
+            match self.table.get(&data.dst) {
+                Some(&(next, _)) if next != next_hop => ctx.send_data(next, data),
+                _ => ctx.drop_data(data, DropReason::NoRoute),
+            }
+        }
+    }
+
+    fn route_successors(&self) -> Vec<(NodeId, NodeId)> {
+        let mut v: Vec<(NodeId, NodeId)> =
+            self.table.iter().map(|(&d, &(n, _))| (d, n)).collect();
+        v.sort_unstable_by_key(|(d, _)| d.0);
+        v
+    }
+
+    fn route_table_dump(&self) -> Vec<RouteDump> {
+        let mut v: Vec<RouteDump> = self
+            .table
+            .iter()
+            .map(|(&dest, &(next, hops))| RouteDump {
+                dest,
+                next,
+                dist: hops,
+                feasible_dist: None,
+                seqno: None,
+                valid: true,
+            })
+            .collect();
+        v.sort_unstable_by_key(|r| r.dest.0);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests;

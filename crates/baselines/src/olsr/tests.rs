@@ -1,0 +1,259 @@
+//! OLSR unit tests.
+
+use super::*;
+use manet_sim::protocol::Action;
+use manet_sim::rng::SimRng;
+
+struct Node {
+    olsr: Olsr,
+    rng: SimRng,
+    now: SimTime,
+}
+
+impl Node {
+    fn new(id: u16) -> Self {
+        Self::with_cfg(id, OlsrConfig::default())
+    }
+
+    fn with_cfg(id: u16, cfg: OlsrConfig) -> Self {
+        Node {
+            olsr: Olsr::new(NodeId(id), cfg),
+            rng: SimRng::from_seed(u64::from(id)),
+            now: SimTime::from_secs(1),
+        }
+    }
+
+    fn call<F: FnOnce(&mut Olsr, &mut Ctx)>(&mut self, f: F) -> Vec<Action> {
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::new(self.now, self.olsr.id, 50, &mut self.rng, &mut actions);
+        f(&mut self.olsr, &mut ctx);
+        actions
+    }
+
+    fn hello_from(&mut self, prev: u16, h: Hello) -> Vec<Action> {
+        self.call(|o, ctx| o.handle_hello(ctx, NodeId(prev), h))
+    }
+
+    fn tc_from(&mut self, prev: u16, t: Tc) -> Vec<Action> {
+        self.call(|o, ctx| o.handle_tc(ctx, NodeId(prev), t))
+    }
+}
+
+fn ids(v: &[u16]) -> Vec<NodeId> {
+    v.iter().map(|&i| NodeId(i)).collect()
+}
+
+fn hello(sym: &[u16], heard: &[u16], mpr: &[u16]) -> Hello {
+    Hello { sym: ids(sym), heard: ids(heard), mpr: ids(mpr) }
+}
+
+fn data(src: u16, dst: u16) -> DataPacket {
+    DataPacket {
+        src: NodeId(src),
+        dst: NodeId(dst),
+        flow: 1,
+        seq: 0,
+        created: SimTime::from_secs(1),
+        payload_len: 512,
+        ttl: 64,
+        ext: vec![],
+    }
+}
+
+fn broadcasts(actions: &[Action], kind: ControlKind) -> usize {
+    actions
+        .iter()
+        .filter(|a| matches!(a, Action::Broadcast { ctrl, .. } if ctrl.kind == kind))
+        .count()
+}
+
+#[test]
+fn link_sensing_two_phase() {
+    let mut n = Node::new(0);
+    // Neighbour 2 hellos without listing us: asymmetric.
+    n.hello_from(2, hello(&[], &[], &[]));
+    assert_eq!(n.olsr.sym_neighbors(n.now), vec![]);
+    assert_eq!(n.olsr.heard_neighbors(n.now), ids(&[2]));
+    // Once it lists us: symmetric.
+    n.hello_from(2, hello(&[], &[0], &[]));
+    assert_eq!(n.olsr.sym_neighbors(n.now), ids(&[2]));
+}
+
+#[test]
+fn links_expire_after_hold_time() {
+    let mut n = Node::new(0);
+    n.hello_from(2, hello(&[0], &[], &[]));
+    assert_eq!(n.olsr.sym_neighbors(n.now), ids(&[2]));
+    n.now = SimTime::from_secs(8); // hold is 6 s from t=1
+    assert_eq!(n.olsr.sym_neighbors(n.now), vec![]);
+}
+
+#[test]
+fn mpr_selection_covers_two_hop_neighbourhood() {
+    let mut n = Node::new(0);
+    // Neighbours 1 and 2; 1 reaches {3, 4}, 2 reaches {4}.
+    n.hello_from(1, hello(&[0, 3, 4], &[], &[]));
+    n.hello_from(2, hello(&[0, 4], &[], &[]));
+    n.olsr.recompute_mprs(n.now);
+    // 1 alone covers everything; greedy picks it.
+    assert!(n.olsr.mprs().contains(&NodeId(1)));
+    assert!(!n.olsr.mprs().contains(&NodeId(2)), "2 adds no coverage");
+}
+
+#[test]
+fn sole_provider_is_mandatory_mpr() {
+    let mut n = Node::new(0);
+    n.hello_from(1, hello(&[0, 3], &[], &[]));
+    n.hello_from(2, hello(&[0, 3, 4], &[], &[]));
+    n.olsr.recompute_mprs(n.now);
+    // Only 2 reaches 4 — it must be selected.
+    assert!(n.olsr.mprs().contains(&NodeId(2)));
+}
+
+#[test]
+fn hello_advertises_mprs_and_selector_set_updates() {
+    let mut n = Node::new(0);
+    n.hello_from(1, hello(&[0, 3], &[], &[0]));
+    assert!(n.olsr.mpr_selectors.contains_key(&NodeId(1)), "1 selected us");
+    n.hello_from(1, hello(&[0, 3], &[], &[]));
+    assert!(!n.olsr.mpr_selectors.contains_key(&NodeId(1)), "deselected");
+}
+
+#[test]
+fn tc_only_generated_by_selected_relays() {
+    let mut n = Node::new(0);
+    let acts = n.call(|o, ctx| o.send_tc(ctx));
+    assert!(acts.is_empty(), "no selectors: no TC");
+    n.hello_from(1, hello(&[0], &[], &[0]));
+    let acts = n.call(|o, ctx| o.send_tc(ctx));
+    // With the jitter queue, the TC lands in the queue + a timer.
+    assert!(acts.iter().any(|a| matches!(a, Action::SetTimer { .. })));
+    let acts = n.call(|o, ctx| o.drain_one(ctx));
+    assert_eq!(broadcasts(&acts, ControlKind::Tc), 1);
+}
+
+#[test]
+fn tc_forwarded_only_by_mprs_of_the_sender() {
+    let cfg = OlsrConfig { jitter_max: None, ..OlsrConfig::default() };
+    let mut n = Node::with_cfg(0, cfg.clone());
+    // Node 5 selected us as MPR.
+    n.hello_from(5, hello(&[0], &[], &[0]));
+    let tc = Tc { originator: NodeId(9), ansn: 1, seq: 1, ttl: 10, selectors: ids(&[4]) };
+    let acts = n.tc_from(5, tc.clone());
+    assert_eq!(broadcasts(&acts, ControlKind::Tc), 1, "selector's TC is relayed");
+    // Duplicate suppressed.
+    let acts = n.tc_from(5, tc.clone());
+    assert_eq!(broadcasts(&acts, ControlKind::Tc), 0);
+    // From a node that did NOT select us: processed but not relayed.
+    let mut m = Node::with_cfg(0, cfg);
+    m.hello_from(5, hello(&[0], &[], &[]));
+    let acts = m.tc_from(5, tc);
+    assert_eq!(broadcasts(&acts, ControlKind::Tc), 0);
+    assert!(m.olsr.topology.contains_key(&(NodeId(9), NodeId(4))), "still learned");
+}
+
+#[test]
+fn stale_ansn_ignored_newer_replaces() {
+    let mut n = Node::new(0);
+    let tc1 = Tc { originator: NodeId(9), ansn: 5, seq: 1, ttl: 10, selectors: ids(&[4]) };
+    n.tc_from(5, tc1);
+    // Older ANSN (different seq so it passes dup check): ignored.
+    let old = Tc { originator: NodeId(9), ansn: 4, seq: 2, ttl: 10, selectors: ids(&[6]) };
+    n.tc_from(5, old);
+    assert!(n.olsr.topology.contains_key(&(NodeId(9), NodeId(4))));
+    assert!(!n.olsr.topology.contains_key(&(NodeId(9), NodeId(6))));
+    // Newer ANSN replaces the set.
+    let new = Tc { originator: NodeId(9), ansn: 6, seq: 3, ttl: 10, selectors: ids(&[7]) };
+    n.tc_from(5, new);
+    assert!(!n.olsr.topology.contains_key(&(NodeId(9), NodeId(4))));
+    assert!(n.olsr.topology.contains_key(&(NodeId(9), NodeId(7))));
+}
+
+#[test]
+fn routes_computed_over_links_and_topology() {
+    let mut n = Node::new(0);
+    // Sym neighbour 1, which reaches 2; TC says 2 reaches 3.
+    n.hello_from(1, hello(&[0, 2], &[], &[]));
+    let tc = Tc { originator: NodeId(2), ansn: 1, seq: 1, ttl: 10, selectors: ids(&[3]) };
+    n.tc_from(1, tc);
+    n.olsr.recompute_routes(n.now);
+    let t = n.olsr.table();
+    assert_eq!(t.get(&NodeId(1)), Some(&(NodeId(1), 1)));
+    assert_eq!(t.get(&NodeId(2)), Some(&(NodeId(1), 2)));
+    assert_eq!(t.get(&NodeId(3)), Some(&(NodeId(1), 3)));
+}
+
+#[test]
+fn data_forwarded_by_table_or_dropped() {
+    let mut n = Node::new(0);
+    n.hello_from(1, hello(&[0, 9], &[], &[]));
+    let acts = n.call(|o, ctx| o.handle_data_origination(ctx, data(0, 9)));
+    assert!(acts.iter().any(|a| matches!(a, Action::SendData { next, .. } if *next == NodeId(1))));
+    let acts = n.call(|o, ctx| o.handle_data_origination(ctx, data(0, 33)));
+    assert!(acts
+        .iter()
+        .any(|a| matches!(a, Action::DropData { reason: DropReason::NoRoute, .. })));
+}
+
+#[test]
+fn jitter_queue_preserves_fifo_order() {
+    let mut n = Node::new(0);
+    n.call(|o, ctx| {
+        o.enqueue_control(ctx, ControlKind::Hello, vec![1], true);
+        o.enqueue_control(ctx, ControlKind::Tc, vec![2], true);
+        o.enqueue_control(ctx, ControlKind::Hello, vec![3], true);
+    });
+    let mut order = Vec::new();
+    for _ in 0..3 {
+        let acts = n.call(|o, ctx| o.drain_one(ctx));
+        for a in &acts {
+            if let Action::Broadcast { ctrl, .. } = a {
+                order.push(ctrl.bytes[0]);
+            }
+        }
+    }
+    assert_eq!(order, vec![1, 2, 3], "FIFO preserved across jitter");
+}
+
+#[test]
+fn jitter_disabled_broadcasts_immediately() {
+    let mut n = Node::with_cfg(0, OlsrConfig::without_jitter_queue());
+    let acts = n.call(|o, ctx| {
+        o.enqueue_control(ctx, ControlKind::Hello, vec![1], true);
+    });
+    assert_eq!(broadcasts(&acts, ControlKind::Hello), 1);
+}
+
+#[test]
+fn link_layer_feedback_reroutes_or_drops() {
+    let mut n = Node::new(0);
+    n.hello_from(1, hello(&[0, 9], &[], &[]));
+    n.hello_from(2, hello(&[0, 9], &[], &[]));
+    n.olsr.recompute_routes(n.now);
+    let next = n.olsr.table()[&NodeId(9)].0;
+    let other = if next == NodeId(1) { NodeId(2) } else { NodeId(1) };
+    let p = Packet { uid: 1, origin: NodeId(0), body: PacketBody::Data(data(0, 9)) };
+    let acts = n.call(|o, ctx| o.handle_unicast_failure(ctx, next, p));
+    assert!(
+        acts.iter()
+            .any(|a| matches!(a, Action::SendData { next: nn, .. } if *nn == other)),
+        "rerouted around the dead link"
+    );
+}
+
+#[test]
+fn ansn_wraparound_comparison() {
+    assert!(ansn_newer(1, 0));
+    assert!(!ansn_newer(0, 1));
+    assert!(ansn_newer(0, 65535), "wrap");
+    assert!(!ansn_newer(65535, 0));
+    assert!(!ansn_newer(5, 5));
+}
+
+#[test]
+fn start_schedules_periodic_timers() {
+    let mut n = Node::new(0);
+    let acts = n.call(|o, ctx| o.start(ctx));
+    let timers = acts.iter().filter(|a| matches!(a, Action::SetTimer { .. })).count();
+    assert!(timers >= 3, "hello, tc and cleanup timers");
+}

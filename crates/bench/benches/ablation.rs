@@ -1,0 +1,51 @@
+//! Ablation benchmark: LDR with each §4 optimisation disabled
+//! individually, at reduced scale. The design-level question each arm
+//! answers is recorded in DESIGN.md; paper-scale numbers come from the
+//! `ablation` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldr_bench::scenario::{Ablation, Protocol, Scenario, SimFlavor};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario {
+        n_nodes: 20,
+        terrain: (900.0, 300.0),
+        n_flows: 5,
+        pause_secs: 30,
+        duration_secs: 40,
+        trials: 1,
+        seed_base: seed,
+        flavor: SimFlavor::Default,
+        audit: false,
+    }
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let variants = [
+        Protocol::Ldr,
+        Protocol::LdrWithout(Ablation::MultipleRreps),
+        Protocol::LdrWithout(Ablation::RequestAsError),
+        Protocol::LdrWithout(Ablation::ReducedDistance),
+        Protocol::LdrWithout(Ablation::MinimumLifetime),
+        Protocol::LdrWithout(Ablation::OptimalTtl),
+        Protocol::LdrNoOpts,
+    ];
+    let mut g = c.benchmark_group("ldr_ablation_scaled");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for proto in variants {
+        g.bench_with_input(BenchmarkId::from_parameter(proto.name()), &proto, |b, &p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let m = ldr_bench::run_once(p, &scenario(seed), seed);
+                black_box((m.delivery_ratio(), m.rreq_tx()))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

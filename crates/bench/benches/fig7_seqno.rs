@@ -1,0 +1,51 @@
+//! `cargo bench` guard for **Fig. 7** (mean destination sequence
+//! number): a scaled-down LDR-vs-AODV run that asserts the headline
+//! property — AODV's numbers grow well past LDR's — while measuring
+//! simulation cost. Paper-scale series come from the `fig7` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldr_bench::scenario::{Protocol, Scenario, SimFlavor};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario {
+        n_nodes: 20,
+        terrain: (900.0, 300.0),
+        n_flows: 6,
+        pause_secs: 0, // maximum mobility: maximum breaks
+        duration_secs: 60,
+        trials: 1,
+        seed_base: seed,
+        flavor: SimFlavor::Default,
+        audit: false,
+    }
+}
+
+fn bench_seqno_growth(c: &mut Criterion) {
+    // One-time shape check, so a regression in either protocol's
+    // sequence-number behaviour fails the bench run loudly.
+    let ldr = ldr_bench::run_once(Protocol::Ldr, &scenario(3), 3).mean_own_seqno;
+    let aodv = ldr_bench::run_once(Protocol::Aodv, &scenario(3), 3).mean_own_seqno;
+    assert!(
+        aodv > ldr,
+        "AODV sequence numbers ({aodv:.1}) must outgrow LDR's ({ldr:.1})"
+    );
+
+    let mut g = c.benchmark_group("fig7_seqno_scaled");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for proto in [Protocol::Ldr, Protocol::Aodv] {
+        g.bench_with_input(BenchmarkId::from_parameter(proto.name()), &proto, |b, &p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let m = ldr_bench::run_once(p, &scenario(seed), seed);
+                black_box(m.mean_own_seqno)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_seqno_growth);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! `cargo bench` guard for **Figs. 2–6** (delivery ratio vs pause
+//! time): scaled-down sweeps over two pause extremes per protocol,
+//! asserting the runs complete and reporting simulation throughput.
+//! Paper-scale series come from the `fig2`–`fig6` binaries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldr_bench::scenario::{Protocol, Scenario, SimFlavor};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn scenario(pause: u64, seed: u64) -> Scenario {
+    Scenario {
+        n_nodes: 20,
+        terrain: (900.0, 300.0),
+        n_flows: 6,
+        pause_secs: pause,
+        duration_secs: 30,
+        trials: 1,
+        seed_base: seed,
+        flavor: SimFlavor::Default,
+        audit: false,
+    }
+}
+
+fn bench_delivery(c: &mut Criterion) {
+    let mut g = c.benchmark_group("delivery_vs_pause_scaled");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for proto in Protocol::PAPER_SET {
+        for pause in [0u64, 120] {
+            let id = format!("{}/pause{}", proto.name(), pause);
+            g.bench_with_input(BenchmarkId::from_parameter(id), &(proto, pause), |b, &(p, pa)| {
+                let mut seed = 0u64;
+                b.iter(|| {
+                    seed += 1;
+                    let m = ldr_bench::run_once(p, &scenario(pa, seed), seed);
+                    black_box(m.delivery_ratio())
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_fig6_alt_flavor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_alt_flavor_scaled");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    g.bench_function("DSR-d7/alt", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut sc = scenario(60, seed);
+            sc.flavor = SimFlavor::Alt;
+            let m = ldr_bench::run_once(Protocol::Dsr7, &sc, seed);
+            black_box(m.delivery_ratio())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_delivery, bench_fig6_alt_flavor);
+criterion_main!(benches);

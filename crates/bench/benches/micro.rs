@@ -1,0 +1,136 @@
+//! Micro-benchmarks of the hot paths: the loop-freedom conditions, the
+//! routing table (Procedure 3), message codecs, the event queue and the
+//! RNG. These bound the per-event cost of the simulator and the
+//! per-packet cost of an LDR node.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ldr::invariants::{fdc_violated, ndc_accepts, sdc_allows, strengthen, Invariants, Solicited};
+use ldr::messages::{Rreq, Rrep};
+use ldr::route_table::RouteTable;
+use ldr::seqno::SeqNo;
+use manet_sim::event::{Event, EventQueue};
+use manet_sim::packet::NodeId;
+use manet_sim::rng::SimRng;
+use manet_sim::time::SimTime;
+use std::hint::black_box;
+
+fn sn(c: u32) -> SeqNo {
+    SeqNo { epoch: 1, counter: c }
+}
+
+fn bench_invariants(c: &mut Criterion) {
+    let mine = Invariants { sn: Some(sn(5)), d: 4, fd: 3 };
+    let sol = Solicited { sn: Some(sn(5)), fd: 4, rr: false };
+    c.bench_function("invariants/ndc", |b| {
+        b.iter(|| ndc_accepts(black_box(mine), black_box(sn(5)), black_box(2)))
+    });
+    c.bench_function("invariants/fdc", |b| {
+        b.iter(|| fdc_violated(black_box(mine), black_box(sol)))
+    });
+    c.bench_function("invariants/sdc", |b| {
+        b.iter(|| sdc_allows(black_box(mine), black_box(sol)))
+    });
+    c.bench_function("invariants/strengthen", |b| {
+        b.iter(|| strengthen(black_box(mine), black_box(sol)))
+    });
+}
+
+fn bench_route_table(c: &mut Criterion) {
+    c.bench_function("route_table/advertise_100_dests", |b| {
+        b.iter(|| {
+            let mut rt = RouteTable::new();
+            let now = SimTime::from_secs(1);
+            let exp = SimTime::from_secs(10);
+            for i in 0..100u16 {
+                rt.consider_advertisement(
+                    NodeId(i),
+                    sn(u32::from(i % 4)),
+                    u32::from(i % 7),
+                    NodeId(i % 10),
+                    now,
+                    exp,
+                );
+            }
+            black_box(rt.len())
+        })
+    });
+    let mut rt = RouteTable::new();
+    for i in 0..100u16 {
+        rt.consider_advertisement(
+            NodeId(i),
+            sn(1),
+            2,
+            NodeId(i % 10),
+            SimTime::from_secs(1),
+            SimTime::from_secs(10),
+        );
+    }
+    c.bench_function("route_table/successor_snapshot", |b| {
+        b.iter(|| black_box(rt.successors(SimTime::from_secs(2))))
+    });
+}
+
+fn bench_messages(c: &mut Criterion) {
+    let rreq = Rreq {
+        dst: NodeId(7),
+        sn_dst: Some(sn(9)),
+        rreqid: 42,
+        src: NodeId(3),
+        sn_src: sn(4),
+        fd: 5,
+        dist: 2,
+        ttl: 7,
+        t_bit: true,
+        n_bit: false,
+        d_bit: false,
+    };
+    let bytes = rreq.encode();
+    c.bench_function("messages/rreq_encode", |b| b.iter(|| black_box(rreq.encode())));
+    c.bench_function("messages/rreq_decode", |b| b.iter(|| black_box(Rreq::decode(&bytes))));
+    let rrep = Rrep {
+        dst: NodeId(7),
+        sn_dst: sn(9),
+        src: NodeId(3),
+        rreqid: 42,
+        dist: 2,
+        lifetime_ms: 3000,
+        n_bit: false,
+    };
+    c.bench_function("messages/rrep_encode", |b| b.iter(|| black_box(rrep.encode())));
+}
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue/schedule_pop_1000", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            let mut rng = SimRng::from_seed(1);
+            for _ in 0..1000 {
+                q.schedule(
+                    SimTime::from_nanos(rng.below(1_000_000_000)),
+                    Event::MacKick(NodeId(0)),
+                );
+            }
+            let mut count = 0;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            black_box(count)
+        })
+    });
+}
+
+fn bench_rng(c: &mut Criterion) {
+    let mut rng = SimRng::from_seed(7);
+    c.bench_function("rng/next_u64", |b| b.iter(|| black_box(rng.next_u64())));
+    c.bench_function("rng/exponential", |b| b.iter(|| black_box(rng.exponential(100.0))));
+}
+
+criterion_group!(
+    benches,
+    bench_invariants,
+    bench_route_table,
+    bench_messages,
+    bench_event_queue,
+    bench_rng
+);
+criterion_main!(benches);

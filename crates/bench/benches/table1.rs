@@ -1,0 +1,43 @@
+//! `cargo bench` guard for **Table 1**: runs a scaled-down version of
+//! the Table-1 pipeline (all four protocols, one pause time, reduced
+//! node count and duration) and reports wall time per full simulation.
+//! The paper-scale numbers are produced by `cargo run --release -p
+//! ldr-bench --bin table1 -- --full`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ldr_bench::scenario::{Protocol, Scenario, SimFlavor};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn scaled_scenario(seed: u64) -> Scenario {
+    Scenario {
+        n_nodes: 20,
+        terrain: (900.0, 300.0),
+        n_flows: 4,
+        pause_secs: 60,
+        duration_secs: 30,
+        trials: 1,
+        seed_base: seed,
+        flavor: SimFlavor::Default,
+        audit: false,
+    }
+}
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_scaled");
+    g.sample_size(10).measurement_time(Duration::from_secs(8));
+    for proto in Protocol::PAPER_SET {
+        g.bench_with_input(BenchmarkId::from_parameter(proto.name()), &proto, |b, &p| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let m = ldr_bench::run_once(p, &scaled_scenario(seed), seed);
+                black_box(m.data_delivered)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

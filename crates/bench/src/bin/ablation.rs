@@ -1,0 +1,6 @@
+//! Ablation study: each LDR optimisation disabled individually.
+
+fn main() {
+    let args = ldr_bench::experiments::Args::parse(std::env::args().skip(1));
+    ldr_bench::experiments::ablation(&args);
+}

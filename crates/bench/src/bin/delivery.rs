@@ -1,0 +1,32 @@
+//! Generic delivery-vs-pause-time series for any scenario family:
+//! `--scenario n50f10 | n50f30 | n100f10 | n100f30` (Figs. 2–5).
+
+fn main() {
+    let mut rest = Vec::new();
+    let mut scenario = String::from("n50f10");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--scenario" {
+            scenario = it.next().expect("--scenario needs a value");
+        } else {
+            rest.push(a);
+        }
+    }
+    let (nodes, flows, fig) = match scenario.as_str() {
+        "n50f10" => (50, 10, 2),
+        "n50f30" => (50, 30, 3),
+        "n100f10" => (100, 10, 4),
+        "n100f30" => (100, 30, 5),
+        other => {
+            eprintln!("unknown scenario {other}; use n50f10 | n50f30 | n100f10 | n100f30");
+            std::process::exit(2);
+        }
+    };
+    let args = ldr_bench::experiments::Args::parse(rest.into_iter());
+    ldr_bench::experiments::delivery_figure(
+        &format!("Fig. {fig} — delivery ratio, {nodes} nodes, {flows} flows"),
+        nodes,
+        flows,
+        &args,
+    );
+}

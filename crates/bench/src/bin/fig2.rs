@@ -1,0 +1,12 @@
+//! Regenerates Fig. 2: delivery ratio vs pause time, 50 nodes,
+//! 10 flows. `--full` for paper scale.
+
+fn main() {
+    let args = ldr_bench::experiments::Args::parse(std::env::args().skip(1));
+    ldr_bench::experiments::delivery_figure(
+        "Fig. 2 — delivery ratio, 50 nodes, 10 flows",
+        50,
+        10,
+        &args,
+    );
+}

@@ -1,0 +1,12 @@
+//! Regenerates Fig. 5: delivery ratio vs pause time, 100 nodes,
+//! 30 flows. `--full` for paper scale.
+
+fn main() {
+    let args = ldr_bench::experiments::Args::parse(std::env::args().skip(1));
+    ldr_bench::experiments::delivery_figure(
+        "Fig. 5 — delivery ratio, 100 nodes, 30 flows",
+        100,
+        30,
+        &args,
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerates Fig. 6: the Fig. 3 scenario under the alternate
+//! simulator flavour with DSR draft 7. `--full` for paper scale.
+
+fn main() {
+    let args = ldr_bench::experiments::Args::parse(std::env::args().skip(1));
+    ldr_bench::experiments::fig6(&args);
+}

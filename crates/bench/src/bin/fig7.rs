@@ -1,0 +1,7 @@
+//! Regenerates Fig. 7: mean destination sequence number vs pause time,
+//! LDR vs AODV, at 10 and 30 flows. `--full` for paper scale.
+
+fn main() {
+    let args = ldr_bench::experiments::Args::parse(std::env::args().skip(1));
+    ldr_bench::experiments::fig7(&args);
+}

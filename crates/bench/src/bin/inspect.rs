@@ -1,0 +1,40 @@
+//! Diagnostic: dump the full metrics breakdown for one run.
+
+use ldr_bench::scenario::{Protocol, Scenario};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    use ldr_bench::scenario::Ablation;
+    let proto = match args.next().as_deref() {
+        Some("aodv") => Protocol::Aodv,
+        Some("dsr") => Protocol::Dsr,
+        Some("olsr") => Protocol::Olsr,
+        Some("ldr-noopt") => Protocol::LdrNoOpts,
+        Some("ldr-nored") => Protocol::LdrWithout(Ablation::ReducedDistance),
+        Some("ldr-nottl") => Protocol::LdrWithout(Ablation::OptimalTtl),
+        Some("ldr-nolife") => Protocol::LdrWithout(Ablation::MinimumLifetime),
+        _ => Protocol::Ldr,
+    };
+    let flows: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(30);
+    let pause: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(600);
+    let duration: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(200);
+    let nodes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(50);
+    let mut sc = if nodes > 50 { Scenario::n100(flows, pause) } else { Scenario::n50(flows, pause) };
+    sc.duration_secs = duration;
+    sc.audit = true;
+    let m = ldr_bench::run_once(proto, &sc, 11);
+    println!("{} {flows}f pause={pause}s {duration}s", proto.name());
+    println!("  originated      {}", m.data_originated);
+    println!("  delivered       {} ({:.3})", m.data_delivered, m.delivery_ratio());
+    println!("  latency         {:.4} s", m.mean_latency_s());
+    println!("  data_tx_hops    {}", m.data_tx_hops);
+    println!("  control_tx      {:?}", m.control_tx);
+    println!("  control_init    {:?}", m.control_init);
+    println!("  drops           {:?}", m.drops);
+    println!("  proto counters  {:?}", m.proto);
+    println!("  ifq_drops       {}", m.ifq_drops);
+    println!("  mac_retry_fail  {}", m.mac_retry_failures);
+    println!("  collisions      {}", m.collisions);
+    println!("  loops           {}", m.loop_violations);
+    println!("  mean_own_seqno  {:.2}", m.mean_own_seqno);
+}

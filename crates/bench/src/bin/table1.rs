@@ -1,0 +1,7 @@
+//! Regenerates Table 1: summary metrics averaged over all pause times
+//! and both node counts, per flow count. `--full` for paper scale.
+
+fn main() {
+    let args = ldr_bench::experiments::Args::parse(std::env::args().skip(1));
+    ldr_bench::experiments::table1(&args);
+}

@@ -1,0 +1,263 @@
+//! The paper's experiments, one function per table/figure, shared by
+//! the `table1`, `fig2`–`fig7` and `ablation` binaries.
+
+use crate::report::{print_series, print_table, Summary};
+use crate::runner::run_trials;
+use crate::scenario::{Ablation, Protocol, Scenario, SimFlavor};
+
+/// Command-line options shared by all experiment binaries.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Args {
+    /// Paper-scale runs (900 s, 10 trials, full pause sweep) instead of
+    /// the quick defaults.
+    pub full: bool,
+    /// Override the trial count.
+    pub trials: Option<u32>,
+    /// Override the run length in seconds.
+    pub duration: Option<u64>,
+    /// Override the pause-time sweep.
+    pub pauses: Option<Vec<u64>>,
+    /// Run the loop auditor during every run.
+    pub audit: bool,
+}
+
+impl Args {
+    /// Parses the common flags; unknown flags abort with a usage
+    /// message.
+    pub fn parse(argv: impl Iterator<Item = String>) -> Args {
+        let mut args = Args::default();
+        let mut it = argv.peekable();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--full" => args.full = true,
+                "--quick" => args.full = false,
+                "--audit" => args.audit = true,
+                "--trials" => {
+                    let v = it.next().expect("--trials needs a value");
+                    args.trials = Some(v.parse().expect("--trials expects an integer"));
+                }
+                "--duration" => {
+                    let v = it.next().expect("--duration needs a value");
+                    args.duration = Some(v.parse().expect("--duration expects seconds"));
+                }
+                "--pauses" => {
+                    let v = it.next().expect("--pauses needs a csv list");
+                    args.pauses = Some(
+                        v.split(',')
+                            .map(|s| s.trim().parse().expect("--pauses expects integers"))
+                            .collect(),
+                    );
+                }
+                other => {
+                    eprintln!(
+                        "unknown flag {other}; supported: --quick --full --audit \
+                         --trials N --duration SECS --pauses a,b,c"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        args
+    }
+
+    /// The pause sweep this invocation should use.
+    pub fn pause_sweep(&self) -> Vec<u64> {
+        match &self.pauses {
+            Some(p) => p.clone(),
+            None if self.full => Scenario::PAUSE_SWEEP.to_vec(),
+            None => Scenario::PAUSE_SWEEP_QUICK.to_vec(),
+        }
+    }
+
+    /// Applies scale and overrides to a base scenario.
+    pub fn apply(&self, mut s: Scenario) -> Scenario {
+        if !self.full {
+            s = s.quick();
+        }
+        if let Some(t) = self.trials {
+            s.trials = t;
+        }
+        if let Some(d) = self.duration {
+            s.duration_secs = d;
+        }
+        s.audit = self.audit;
+        s
+    }
+}
+
+/// The four (nodes, flows) scenario families of §4.
+pub const FAMILIES: [(&str, usize, usize); 4] = [
+    ("50 nodes, 10 flows (40 pps)", 50, 10),
+    ("50 nodes, 30 flows (120 pps)", 50, 30),
+    ("100 nodes, 10 flows (40 pps)", 100, 10),
+    ("100 nodes, 30 flows (120 pps)", 100, 30),
+];
+
+fn base_scenario(n_nodes: usize, n_flows: usize, pause: u64) -> Scenario {
+    if n_nodes <= 50 {
+        Scenario::n50(n_flows, pause)
+    } else {
+        Scenario::n100(n_flows, pause)
+    }
+}
+
+/// **Table 1**: for each flow count, averages every §4 metric over all
+/// pause times and both node counts, per protocol.
+pub fn table1(args: &Args) {
+    let pauses = args.pause_sweep();
+    for flows in [10usize, 30] {
+        let mut rows: Vec<Summary> = Vec::new();
+        for proto in Protocol::PAPER_SET {
+            let mut total = Summary::new(proto.name());
+            for &nodes in &[50usize, 100] {
+                for &pause in &pauses {
+                    let sc = args.apply(base_scenario(nodes, flows, pause));
+                    let s = run_trials(proto, &sc);
+                    total.merge(&s);
+                }
+            }
+            eprintln!("  [table1] {} ({flows} flows) done", proto.name());
+            rows.push(total);
+        }
+        print_table(
+            &format!("Table 1 — {flows} flows (mean ± 95% CI over pause times and node counts)"),
+            &rows,
+        );
+    }
+}
+
+/// **Figs. 2–5**: delivery ratio vs pause time for one (nodes, flows)
+/// family, all four protocols.
+pub fn delivery_figure(title: &str, n_nodes: usize, n_flows: usize, args: &Args) {
+    delivery_figure_with(title, n_nodes, n_flows, args, SimFlavor::Default, Protocol::Dsr);
+}
+
+/// **Fig. 6**: the Fig. 3 scenario re-run under the alternate simulator
+/// flavour with DSR draft 7.
+pub fn fig6(args: &Args) {
+    delivery_figure_with(
+        "Fig. 6 — delivery ratio, 50 nodes, 30 flows (alternate simulator, DSR draft 7)",
+        50,
+        30,
+        args,
+        SimFlavor::Alt,
+        Protocol::Dsr7,
+    );
+}
+
+fn delivery_figure_with(
+    title: &str,
+    n_nodes: usize,
+    n_flows: usize,
+    args: &Args,
+    flavor: SimFlavor,
+    dsr_variant: Protocol,
+) {
+    let pauses = args.pause_sweep();
+    let protocols = [Protocol::Ldr, Protocol::Aodv, dsr_variant, Protocol::Olsr];
+    let names: Vec<String> = protocols.iter().map(|p| p.name()).collect();
+    let mut cells: Vec<Vec<(f64, f64)>> = vec![Vec::new(); protocols.len()];
+    for &pause in &pauses {
+        for (i, proto) in protocols.iter().enumerate() {
+            let mut sc = args.apply(base_scenario(n_nodes, n_flows, pause));
+            sc.flavor = flavor;
+            let s = run_trials(*proto, &sc);
+            cells[i].push((s.delivery.mean(), s.delivery.ci95_half_width()));
+        }
+        eprintln!("  [{title}] pause {pause}s done");
+    }
+    print_series(title, "pause(s)", &pauses, &names, &cells);
+}
+
+/// **Fig. 7**: mean destination sequence number vs pause time, LDR vs
+/// AODV, at low (10-flow) and high (30-flow) load.
+pub fn fig7(args: &Args) {
+    let pauses = args.pause_sweep();
+    for flows in [10usize, 30] {
+        let protocols = [Protocol::Ldr, Protocol::Aodv];
+        let names: Vec<String> = protocols.iter().map(|p| p.name()).collect();
+        let mut cells: Vec<Vec<(f64, f64)>> = vec![Vec::new(); protocols.len()];
+        for &pause in &pauses {
+            for (i, proto) in protocols.iter().enumerate() {
+                let sc = args.apply(base_scenario(50, flows, pause));
+                let s = run_trials(*proto, &sc);
+                cells[i].push((s.mean_seqno.mean(), s.mean_seqno.ci95_half_width()));
+            }
+            eprintln!("  [fig7/{flows}f] pause {pause}s done");
+        }
+        print_series(
+            &format!("Fig. 7 — mean destination sequence number, 50 nodes, {flows} flows"),
+            "pause(s)",
+            &pauses,
+            &names,
+            &cells,
+        );
+    }
+}
+
+/// **Ablation**: each LDR optimisation disabled individually (plus all
+/// disabled), on the 50-node 10-flow scenario.
+pub fn ablation(args: &Args) {
+    let variants = [
+        Protocol::Ldr,
+        Protocol::LdrWithout(Ablation::MultipleRreps),
+        Protocol::LdrWithout(Ablation::RequestAsError),
+        Protocol::LdrWithout(Ablation::ReducedDistance),
+        Protocol::LdrWithout(Ablation::MinimumLifetime),
+        Protocol::LdrWithout(Ablation::OptimalTtl),
+        Protocol::LdrNoOpts,
+    ];
+    let pauses = args.pause_sweep();
+    let mut rows = Vec::new();
+    for proto in variants {
+        let mut total = Summary::new(proto.name());
+        for &pause in &pauses {
+            let sc = args.apply(base_scenario(50, 10, pause));
+            total.merge(&run_trials(proto, &sc));
+        }
+        eprintln!("  [ablation] {} done", proto.name());
+        rows.push(total);
+    }
+    print_table("Ablation — LDR optimisations, 50 nodes, 10 flows", &rows);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> std::vec::IntoIter<String> {
+        s.iter().map(|x| x.to_string()).collect::<Vec<_>>().into_iter()
+    }
+
+    #[test]
+    fn parse_defaults_to_quick() {
+        let a = Args::parse(argv(&[]));
+        assert!(!a.full);
+        assert_eq!(a.pause_sweep(), Scenario::PAUSE_SWEEP_QUICK.to_vec());
+    }
+
+    #[test]
+    fn parse_full_and_overrides() {
+        let a = Args::parse(argv(&["--full", "--trials", "4", "--duration", "300", "--audit"]));
+        assert!(a.full && a.audit);
+        assert_eq!(a.trials, Some(4));
+        assert_eq!(a.duration, Some(300));
+        assert_eq!(a.pause_sweep(), Scenario::PAUSE_SWEEP.to_vec());
+    }
+
+    #[test]
+    fn parse_pauses_csv() {
+        let a = Args::parse(argv(&["--pauses", "0,60,900"]));
+        assert_eq!(a.pause_sweep(), vec![0, 60, 900]);
+    }
+
+    #[test]
+    fn apply_respects_quick_and_overrides() {
+        let a = Args::parse(argv(&["--trials", "2", "--duration", "50"]));
+        let s = a.apply(Scenario::n50(10, 0));
+        assert_eq!(s.trials, 2);
+        assert_eq!(s.duration_secs, 50);
+        let f = Args::parse(argv(&["--full"])).apply(Scenario::n50(10, 0));
+        assert_eq!((f.trials, f.duration_secs), (10, 900));
+    }
+}

@@ -1,0 +1,19 @@
+//! # ldr-bench — experiment harness for the LDR reproduction
+//!
+//! Reruns the paper's evaluation (§4): scenario definitions, protocol
+//! selection, multi-trial runs with 95% confidence intervals, and the
+//! table/figure printers used by the `table1`, `fig2`–`fig7` and
+//! `ablation` binaries. See `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for recorded results.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod report;
+pub mod runner;
+pub mod scenario;
+
+pub use report::Summary;
+pub use runner::{run_once, run_trials};
+pub use scenario::{Protocol, Scenario, SimFlavor};

@@ -1,0 +1,129 @@
+//! Executes scenarios: one deterministic run per `(protocol, scenario,
+//! trial)`, with trials parallelised across threads.
+
+use crate::report::Summary;
+use crate::scenario::{Protocol, Scenario};
+use manet_sim::config::SimConfig;
+use manet_sim::metrics::Metrics;
+use manet_sim::mobility::RandomWaypoint;
+use manet_sim::rng::SimRng;
+use manet_sim::time::SimDuration;
+use manet_sim::traffic::TrafficConfig;
+use manet_sim::world::World;
+
+/// Runs one trial and returns its metrics. Fully deterministic in
+/// `(protocol, scenario, seed)`.
+pub fn run_once(protocol: Protocol, scenario: &Scenario, seed: u64) -> Metrics {
+    let cfg = SimConfig {
+        phy: scenario.flavor.phy(),
+        duration: SimDuration::from_secs(scenario.duration_secs),
+        seed,
+        audit_interval: scenario.audit.then(|| SimDuration::from_secs(1)),
+        audit_every_event: false,
+    };
+    let mobility = RandomWaypoint::new(
+        scenario.n_nodes,
+        scenario.terrain(),
+        SimDuration::from_secs(scenario.pause_secs),
+        1.0,
+        20.0,
+        SimRng::stream(seed, "mobility"),
+    );
+    let mut factory = protocol.factory();
+    let mut world = World::new(cfg, Box::new(mobility), |id, n| factory(id, n));
+    world.with_cbr(TrafficConfig::paper(scenario.n_flows));
+    world.run()
+}
+
+/// Runs all trials of a scenario (in parallel threads) and aggregates
+/// them into a [`Summary`].
+pub fn run_trials(protocol: Protocol, scenario: &Scenario) -> Summary {
+    let results: Vec<Metrics> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..scenario.trials)
+            .map(|k| {
+                let sc = scenario.clone();
+                scope.spawn(move || run_once(protocol, &sc, sc.seed_base + u64::from(k)))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("trial thread panicked")).collect()
+    });
+    let mut summary = Summary::new(protocol.name());
+    for m in &results {
+        summary.add(m);
+    }
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(protocol: Protocol) -> Metrics {
+        let scenario = Scenario {
+            n_nodes: 20,
+            terrain: (800.0, 300.0),
+            n_flows: 4,
+            pause_secs: 30,
+            duration_secs: 60,
+            trials: 1,
+            seed_base: 7,
+            flavor: crate::scenario::SimFlavor::Default,
+            audit: true,
+        };
+        run_once(protocol, &scenario, 7)
+    }
+
+    #[test]
+    fn every_protocol_delivers_in_a_small_mobile_network() {
+        for p in Protocol::PAPER_SET {
+            let m = tiny(p);
+            assert!(m.data_originated > 100, "{}: no traffic originated", p.name());
+            assert!(
+                m.delivery_ratio() > 0.5,
+                "{} delivered only {:.1}% ({} of {})",
+                p.name(),
+                m.delivery_ratio() * 100.0,
+                m.data_delivered,
+                m.data_originated
+            );
+        }
+    }
+
+    #[test]
+    fn ldr_runs_loop_free() {
+        let m = tiny(Protocol::Ldr);
+        assert_eq!(m.loop_violations, 0, "LDR must be loop-free at every audit");
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let scenario = Scenario {
+            duration_secs: 30,
+            trials: 1,
+            ..Scenario::n50(4, 0)
+        };
+        let a = run_once(Protocol::Ldr, &scenario, 3);
+        let b = run_once(Protocol::Ldr, &scenario, 3);
+        assert_eq!(a.data_delivered, b.data_delivered);
+        assert_eq!(a.total_control_tx(), b.total_control_tx());
+        assert_eq!(a.collisions, b.collisions);
+    }
+
+    #[test]
+    fn trials_aggregate_into_summary() {
+        let scenario = Scenario {
+            n_nodes: 15,
+            terrain: (700.0, 300.0),
+            n_flows: 3,
+            pause_secs: 0,
+            duration_secs: 40,
+            trials: 3,
+            seed_base: 100,
+            flavor: crate::scenario::SimFlavor::Default,
+            audit: false,
+        };
+        let s = run_trials(Protocol::Aodv, &scenario);
+        assert_eq!(s.trials(), 3);
+        assert!(s.delivery.mean() > 0.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! LDR protocol parameters.
+
+use manet_sim::time::SimDuration;
+
+/// Tunable protocol constants and the §4 optimisations.
+///
+/// Defaults match the evaluation: AODV-compatible timing constants
+/// (ACTIVE_ROUTE_TIMEOUT etc.) with all five suggested optimisations
+/// enabled ("The LDR results reflect using the suggested
+/// optimizations"). Each optimisation can be disabled individually for
+/// the ablation benchmarks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LdrConfig {
+    /// Lifetime granted to a route on installation/refresh (AODV's
+    /// ACTIVE_ROUTE_TIMEOUT, 3 s).
+    pub active_route_timeout: SimDuration,
+    /// Lifetime a destination grants in its own replies (AODV's
+    /// MY_ROUTE_TIMEOUT, 6 s).
+    pub my_route_timeout: SimDuration,
+    /// Estimated per-hop latency (AODV's NODE_TRAVERSAL_TIME, 40 ms);
+    /// the discovery timer is `2 · ttl · latency` (Procedure 1).
+    pub node_traversal_time: SimDuration,
+    /// First expanding-ring TTL.
+    pub ttl_start: u8,
+    /// Expanding-ring TTL step.
+    pub ttl_increment: u8,
+    /// Last ring TTL before jumping to the network diameter.
+    pub ttl_threshold: u8,
+    /// Network-wide TTL.
+    pub net_diameter: u8,
+    /// Total discovery attempts (ring steps plus network-wide retries)
+    /// before the route request is abandoned.
+    pub max_attempts: u32,
+    /// Data packets buffered per destination awaiting discovery.
+    pub buffer_cap: usize,
+    /// How long RREQ-cache (computation) state is retained; must cover
+    /// the flood and the replies (AODV's PATH_DISCOVERY_TIME ≈ 2.8 s).
+    pub rreq_cache_ttl: SimDuration,
+    /// Extra TTL margin for the *optimal TTL* optimisation and for
+    /// unicast path-reset forwarding (LOCAL_ADD_TTL).
+    pub local_add_ttl: u8,
+
+    /// *Multiple RREPs*: a node may relay additional RREPs for the same
+    /// `(originator, rreqid)` as long as only strictly stronger
+    /// invariants cross over time.
+    pub opt_multiple_rreps: bool,
+    /// *Request as error*: an RREQ for `D` arriving from this node's
+    /// own next hop towards `D` implies that hop lost its route.
+    pub opt_request_as_error: bool,
+    /// *Reduced distance*: advertise an answering distance of
+    /// `max(1, ⌊factor · fd⌋)` in RREQs (paper uses 0.8).
+    pub opt_reduced_distance: Option<f64>,
+    /// *Minimum lifetime*: do not answer an RREQ from a route with less
+    /// than ⅓ ACTIVE_ROUTE_TIMEOUT remaining; relay instead.
+    pub opt_minimum_lifetime: bool,
+    /// *Optimal TTL*: seed the expanding ring with
+    /// `D − FD + LOCAL_ADD_TTL` when prior route state exists.
+    pub opt_optimal_ttl: bool,
+    /// N-bit reverse probe: after completing a discovery whose RREP
+    /// carried the N bit, raise the own sequence number and unicast a
+    /// D-bit probe to rebuild the reverse path. The paper makes this
+    /// optional ("it *may* send a unicast RREQ probe"); it is off by
+    /// default because each probe inflates the origin's sequence
+    /// number, and the reverse path is rebuilt on demand anyway.
+    pub opt_reverse_probe: bool,
+}
+
+impl Default for LdrConfig {
+    fn default() -> Self {
+        LdrConfig {
+            active_route_timeout: SimDuration::from_secs(3),
+            my_route_timeout: SimDuration::from_secs(6),
+            node_traversal_time: SimDuration::from_millis(40),
+            ttl_start: 2,
+            ttl_increment: 2,
+            ttl_threshold: 7,
+            net_diameter: 35,
+            max_attempts: 5,
+            buffer_cap: 64,
+            rreq_cache_ttl: SimDuration::from_millis(2800),
+            local_add_ttl: 2,
+            opt_multiple_rreps: true,
+            opt_request_as_error: true,
+            opt_reduced_distance: Some(0.8),
+            opt_minimum_lifetime: true,
+            opt_optimal_ttl: true,
+            opt_reverse_probe: false,
+        }
+    }
+}
+
+impl LdrConfig {
+    /// LDR with every §4 optimisation disabled (the ablation baseline).
+    pub fn without_optimizations() -> Self {
+        LdrConfig {
+            opt_multiple_rreps: false,
+            opt_request_as_error: false,
+            opt_reduced_distance: None,
+            opt_minimum_lifetime: false,
+            opt_optimal_ttl: false,
+            ..LdrConfig::default()
+        }
+    }
+
+    /// The answering distance advertised for a feasible distance `fd`
+    /// (*reduced distance* optimisation): "any distance no greater than
+    /// the node's feasible distance", here `max(1, ⌊factor · fd⌋)`.
+    ///
+    /// SDC tests the replier's distance *strictly below* the carried
+    /// value, so the bound a replier's distance may *equal* is
+    /// `answering_distance − 1`; we therefore advertise
+    /// `min(fd, ⌊factor·fd⌋ + 1)`. (With the pure floor the previous
+    /// next hop — at distance `fd − 1` — could never answer a
+    /// re-discovery over the short paths of these scenarios, forcing a
+    /// destination reset on almost every route break, which contradicts
+    /// the paper's measured sub-1 mean sequence numbers.) Loop safety
+    /// never depends on this value: NDC still gates acceptance at the
+    /// requester.
+    pub fn answering_distance(&self, fd: u32) -> u32 {
+        if fd == u32::MAX {
+            return u32::MAX;
+        }
+        match self.opt_reduced_distance {
+            Some(f) => ((((fd as f64) * f).floor() as u32).max(1).saturating_add(1)).min(fd.max(1)),
+            None => fd.max(1),
+        }
+    }
+
+    /// The minimum remaining lifetime a route needs before it may
+    /// answer an RREQ (⅓ of ACTIVE_ROUTE_TIMEOUT when the optimisation
+    /// is on, zero otherwise).
+    pub fn min_reply_lifetime(&self) -> SimDuration {
+        if self.opt_minimum_lifetime {
+            SimDuration::from_nanos(self.active_route_timeout.as_nanos() / 3)
+        } else {
+            SimDuration::ZERO
+        }
+    }
+
+    /// TTL of discovery attempt `attempt` (1-based). With prior route
+    /// state and *optimal TTL* enabled, the first attempt uses
+    /// `dist − fd# + LOCAL_ADD_TTL`; later attempts expand the ring and
+    /// finally use the network diameter.
+    pub fn ttl_for_attempt(&self, attempt: u32, prior: Option<(u32, u32)>) -> u8 {
+        let base = match (self.opt_optimal_ttl, prior) {
+            (true, Some((dist, fd_req))) if dist != u32::MAX => {
+                let extra = dist.saturating_sub(fd_req) as u8;
+                extra
+                    .saturating_add(self.local_add_ttl)
+                    .clamp(self.ttl_start, self.net_diameter)
+            }
+            _ => self.ttl_start,
+        };
+        let mut ttl = base;
+        for _ in 1..attempt {
+            if ttl >= self.ttl_threshold {
+                return self.net_diameter;
+            }
+            ttl = ttl.saturating_add(self.ttl_increment);
+            if ttl > self.ttl_threshold {
+                return self.net_diameter;
+            }
+        }
+        ttl.min(self.net_diameter)
+    }
+
+    /// The discovery timeout for a given TTL: `2 · ttl · latency`.
+    pub fn discovery_timeout(&self, ttl: u8) -> SimDuration {
+        self.node_traversal_time.saturating_mul(2 * u64::from(ttl.max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_all_optimizations() {
+        let c = LdrConfig::default();
+        assert!(c.opt_multiple_rreps && c.opt_request_as_error && c.opt_minimum_lifetime);
+        assert!(c.opt_optimal_ttl);
+        assert_eq!(c.opt_reduced_distance, Some(0.8));
+        let b = LdrConfig::without_optimizations();
+        assert!(!b.opt_multiple_rreps && b.opt_reduced_distance.is_none());
+    }
+
+    #[test]
+    fn answering_distance_factor() {
+        let c = LdrConfig::default();
+        assert_eq!(c.answering_distance(10), 9, "floor(8) + 1");
+        assert_eq!(c.answering_distance(6), 5, "floor(4.8) -> 4, + 1");
+        // The bound never exceeds fd and never goes below 1.
+        assert_eq!(c.answering_distance(5), 5, "short paths effectively unreduced");
+        assert_eq!(c.answering_distance(1), 1);
+        assert_eq!(c.answering_distance(2), 2);
+        assert_eq!(c.answering_distance(u32::MAX), u32::MAX);
+        let plain = LdrConfig { opt_reduced_distance: None, ..c };
+        assert_eq!(plain.answering_distance(10), 10);
+    }
+
+    #[test]
+    fn expanding_ring_ttl_sequence() {
+        let c = LdrConfig { opt_optimal_ttl: false, ..LdrConfig::default() };
+        assert_eq!(c.ttl_for_attempt(1, None), 2);
+        assert_eq!(c.ttl_for_attempt(2, None), 4);
+        assert_eq!(c.ttl_for_attempt(3, None), 6);
+        assert_eq!(c.ttl_for_attempt(4, None), 35, "past threshold: diameter");
+        assert_eq!(c.ttl_for_attempt(5, None), 35);
+    }
+
+    #[test]
+    fn optimal_ttl_uses_known_distance() {
+        let c = LdrConfig::default();
+        // dist 6, requested fd 4: 6 - 4 + 2 = 4.
+        assert_eq!(c.ttl_for_attempt(1, Some((6, 4))), 4);
+        // No history falls back to the ring start.
+        assert_eq!(c.ttl_for_attempt(1, None), 2);
+        // Infinite distance falls back too.
+        assert_eq!(c.ttl_for_attempt(1, Some((u32::MAX, 3))), 2);
+        // Never below ttl_start nor above the diameter.
+        assert_eq!(c.ttl_for_attempt(1, Some((3, 3))), 2);
+        assert_eq!(c.ttl_for_attempt(1, Some((200, 1))), 35);
+    }
+
+    #[test]
+    fn discovery_timeout_scales_with_ttl() {
+        let c = LdrConfig::default();
+        assert_eq!(c.discovery_timeout(2), SimDuration::from_millis(160));
+        assert_eq!(c.discovery_timeout(35), SimDuration::from_millis(2800));
+    }
+
+    #[test]
+    fn min_reply_lifetime_is_third_of_art() {
+        let c = LdrConfig::default();
+        assert_eq!(c.min_reply_lifetime(), SimDuration::from_secs(1));
+        let off = LdrConfig { opt_minimum_lifetime: false, ..c };
+        assert_eq!(off.min_reply_lifetime(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,414 @@
+//! The three sufficient conditions for loop freedom (§2.1).
+//!
+//! * **NDC** (numbered distance condition) — when a node may accept a
+//!   route advertisement and change its successor *without coordinating
+//!   with anyone* (Theorem 1).
+//! * **FDC** (feasible distance condition) — when a relay must set the
+//!   `T` (reset-required) bit in a solicitation it forwards, enforcing
+//!   the ordering of feasible distances along paths (Theorem 2).
+//! * **SDC** (start distance condition) — when a node may answer a
+//!   solicitation with an advertisement (Proposition 1).
+//!
+//! These are pure functions of the local invariants `(sn, d, fd)` and
+//! the message fields `(sn#, fd#, rr#)`; the protocol machinery in
+//! [`crate::protocol`] is built on them, and the property tests in this
+//! module check the algebraic relationships the proofs rely on.
+
+use crate::seqno::SeqNo;
+
+/// Hop-count distance; `INFINITY` means "no finite distance known".
+pub type Distance = u32;
+
+/// The unreachable distance.
+pub const INFINITY: Distance = u32::MAX;
+
+/// A node's stored invariants for one destination: the sequence number
+/// `sn`, measured distance `d`, and feasible distance `fd` (the minimum
+/// `d` ever attained under the current `sn`; `fd ≤ d` always).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Invariants {
+    /// Stored destination sequence number (`None` = no information).
+    pub sn: Option<SeqNo>,
+    /// Measured distance to the destination.
+    pub d: Distance,
+    /// Feasible distance (minimum `d` for the current `sn`).
+    pub fd: Distance,
+}
+
+impl Invariants {
+    /// "No information about the destination."
+    pub const NONE: Invariants = Invariants { sn: None, d: INFINITY, fd: INFINITY };
+}
+
+/// The invariant fields a solicitation (RREQ) carries: the requested
+/// sequence number `sn#`, the requester's feasible distance `fd#`
+/// (possibly lowered by the *reduced distance* optimisation), and the
+/// reset-required bit `rr#` (the `T` bit).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Solicited {
+    /// Requested destination sequence number (`None` = unknown).
+    pub sn: Option<SeqNo>,
+    /// Answering feasible distance.
+    pub fd: Distance,
+    /// Reset-required (`T`) bit.
+    pub rr: bool,
+}
+
+/// # Example
+///
+/// ```
+/// use ldr::invariants::{ndc_accepts, Invariants};
+/// use ldr::seqno::SeqNo;
+///
+/// let sn = SeqNo::initial();
+/// let mine = Invariants { sn: Some(sn), d: 4, fd: 3 };
+/// assert!(ndc_accepts(mine, sn, 2), "shorter than fd: safe");
+/// assert!(!ndc_accepts(mine, sn, 3), "equal to fd: could loop");
+/// let mut newer = sn;
+/// newer.increment();
+/// assert!(ndc_accepts(mine, newer, 99), "newer number resets the invariant");
+/// ```
+///
+/// **NDC**: node with stored invariants `mine` may accept an
+/// advertisement `(sn*, d*)` and update its routing table independently
+/// of other nodes iff it has no information, or
+///
+/// 1. `sn* > sn`, or
+/// 2. `sn* = sn ∧ d* < fd`.
+pub fn ndc_accepts(mine: Invariants, adv_sn: SeqNo, adv_d: Distance) -> bool {
+    match mine.sn {
+        None => true,
+        Some(sn) => adv_sn > sn || (adv_sn == sn && adv_d < mine.fd),
+    }
+}
+
+/// **FDC**: relay `I` must set `rr# = 1` in the solicitation it
+/// forwards iff `sn_I = sn# ∧ fd_I ≥ fd#`.
+///
+/// A relay with *no information* does not violate the ordering and
+/// leaves the bit unchanged; a relay with a *newer* sequence number
+/// clears it (its relayed solicitation acts as a reset — Eq. 8).
+///
+/// A relay whose feasible distance is [`INFINITY`] holds *no distance
+/// yet* under the current sequence number (e.g. it adopted the number
+/// from a route error): NDC lets it use **any** advertisement, exactly
+/// like the no-information case of Lemma 3, so it does not violate the
+/// ordering either.
+pub fn fdc_violated(mine: Invariants, sol: Solicited) -> bool {
+    match (mine.sn, sol.sn) {
+        (Some(sn_i), Some(sn_sol)) => {
+            sn_i == sn_sol && mine.fd >= sol.fd && mine.fd != INFINITY
+        }
+        (Some(_), None) => false, // solicitor knows nothing: any reply works
+        (None, _) => false,
+    }
+}
+
+/// The relayed `T` bit (Eq. 8): cleared when the relay's sequence
+/// number exceeds the solicitation's (the relay raised `sn#` by Eq. 5,
+/// so any reply now acts as a path reset); kept as-is when the relay
+/// matches the ordering criteria; set when the relay violates FDC.
+pub fn relayed_t_bit(mine: Invariants, sol: Solicited) -> bool {
+    match (mine.sn, sol.sn) {
+        (Some(sn_i), Some(sn_sol)) => {
+            if sn_i > sn_sol {
+                false
+            } else if sn_i == sn_sol {
+                if mine.fd < sol.fd || mine.fd == INFINITY {
+                    sol.rr
+                } else {
+                    true
+                }
+            } else {
+                sol.rr
+            }
+        }
+        (Some(_), None) => false, // relay raises the unknown sn# to its own
+        (None, _) => sol.rr,
+    }
+}
+
+/// Strengthened solicitation invariants a relay forwards (Eqs. 5–6):
+/// `sn#' = max(sn_B, sn#)`, and `fd#'` is the relay's own feasible
+/// distance when its sequence number is newer, the minimum of the two
+/// when equal, and unchanged when older (or when the relay knows
+/// nothing).
+pub fn strengthen(mine: Invariants, sol: Solicited) -> Solicited {
+    let rr = relayed_t_bit(mine, sol);
+    match (mine.sn, sol.sn) {
+        (Some(sn_i), Some(sn_sol)) => {
+            if sn_i > sn_sol {
+                Solicited { sn: Some(sn_i), fd: mine.fd, rr }
+            } else if sn_i == sn_sol {
+                Solicited { sn: sol.sn, fd: sol.fd.min(mine.fd), rr }
+            } else {
+                Solicited { rr, ..sol }
+            }
+        }
+        (Some(sn_i), None) => Solicited { sn: Some(sn_i), fd: mine.fd, rr },
+        (None, _) => Solicited { rr, ..sol },
+    }
+}
+
+/// **SDC**: node `I` (with an *active* route carrying invariants
+/// `mine`) may initiate an advertisement answering `sol` iff
+///
+/// 3. `sn_I = sn# ∧ d_I < fd# ∧ ¬rr#`, or
+/// 4. `sn_I > sn#`.
+pub fn sdc_allows(mine: Invariants, sol: Solicited) -> bool {
+    sdc_allows_ignoring_t(mine, sol) && !(matches!((mine.sn, sol.sn), (Some(a), Some(b)) if a == b) && sol.rr)
+}
+
+/// SDC "without consideration to the T bit" — used to pick the node
+/// that must *unicast* the solicitation to the destination for a path
+/// reset (§2.2).
+pub fn sdc_allows_ignoring_t(mine: Invariants, sol: Solicited) -> bool {
+    match (mine.sn, sol.sn) {
+        (Some(sn_i), Some(sn_sol)) => {
+            sn_i > sn_sol || (sn_i == sn_sol && mine.d < sol.fd)
+        }
+        (Some(_), None) => true, // any active route answers an uninformed request
+        (None, _) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sn(c: u32) -> SeqNo {
+        SeqNo { epoch: 1, counter: c }
+    }
+
+    fn inv(c: u32, d: Distance, fd: Distance) -> Invariants {
+        Invariants { sn: Some(sn(c)), d, fd }
+    }
+
+    // ---- NDC ----
+
+    #[test]
+    fn ndc_no_information_accepts_anything() {
+        assert!(ndc_accepts(Invariants::NONE, sn(0), INFINITY - 1));
+    }
+
+    #[test]
+    fn ndc_newer_seqno_accepts_any_distance() {
+        let mine = inv(5, 2, 2);
+        assert!(ndc_accepts(mine, sn(6), 100));
+    }
+
+    #[test]
+    fn ndc_equal_seqno_requires_distance_below_fd() {
+        let mine = inv(5, 4, 3);
+        assert!(ndc_accepts(mine, sn(5), 2));
+        assert!(!ndc_accepts(mine, sn(5), 3), "d* = fd must be rejected");
+        assert!(!ndc_accepts(mine, sn(5), 4));
+    }
+
+    #[test]
+    fn ndc_older_seqno_rejected() {
+        let mine = inv(5, 4, 3);
+        assert!(!ndc_accepts(mine, sn(4), 0));
+    }
+
+    // ---- FDC / T bit ----
+
+    #[test]
+    fn fdc_set_when_equal_sn_and_fd_not_smaller() {
+        let sol = Solicited { sn: Some(sn(5)), fd: 3, rr: false };
+        assert!(fdc_violated(inv(5, 4, 3), sol), "fd = fd# violates");
+        assert!(fdc_violated(inv(5, 9, 7), sol), "fd > fd# violates");
+        assert!(!fdc_violated(inv(5, 2, 2), sol), "fd < fd# is ordered");
+    }
+
+    #[test]
+    fn fdc_not_violated_with_newer_or_no_info() {
+        let sol = Solicited { sn: Some(sn(5)), fd: 3, rr: false };
+        assert!(!fdc_violated(inv(6, 9, 9), sol));
+        assert!(!fdc_violated(Invariants::NONE, sol));
+        let unknown = Solicited { sn: None, fd: INFINITY, rr: false };
+        assert!(!fdc_violated(inv(5, 4, 3), unknown));
+    }
+
+    #[test]
+    fn t_bit_cleared_by_newer_seqno() {
+        let sol = Solicited { sn: Some(sn(5)), fd: 3, rr: true };
+        assert!(!relayed_t_bit(inv(6, 9, 9), sol));
+    }
+
+    #[test]
+    fn t_bit_preserved_by_ordered_relay_and_set_by_violator() {
+        let clear = Solicited { sn: Some(sn(5)), fd: 3, rr: false };
+        let set = Solicited { sn: Some(sn(5)), fd: 3, rr: true };
+        // Ordered relay (fd 2 < 3): preserves whatever was there.
+        assert!(!relayed_t_bit(inv(5, 2, 2), clear));
+        assert!(relayed_t_bit(inv(5, 2, 2), set));
+        // Violator: sets it.
+        assert!(relayed_t_bit(inv(5, 4, 4), clear));
+        // No information: preserves.
+        assert!(!relayed_t_bit(Invariants::NONE, clear));
+        assert!(relayed_t_bit(Invariants::NONE, set));
+    }
+
+    // ---- strengthen (Eqs. 5–6) ----
+
+    #[test]
+    fn strengthen_with_newer_seqno_replaces_both() {
+        let sol = Solicited { sn: Some(sn(5)), fd: 3, rr: true };
+        let out = strengthen(inv(7, 6, 4), sol);
+        assert_eq!(out.sn, Some(sn(7)));
+        assert_eq!(out.fd, 4);
+        assert!(!out.rr, "raising sn# clears the reset bit");
+    }
+
+    #[test]
+    fn strengthen_equal_seqno_takes_min_fd() {
+        let sol = Solicited { sn: Some(sn(5)), fd: 3, rr: false };
+        let out = strengthen(inv(5, 2, 2), sol);
+        assert_eq!(out.fd, 2);
+        assert_eq!(out.sn, Some(sn(5)));
+        let out2 = strengthen(inv(5, 9, 8), sol);
+        assert_eq!(out2.fd, 3, "weaker relay leaves fd#");
+        assert!(out2.rr, "but must set the reset bit");
+    }
+
+    #[test]
+    fn strengthen_unknown_solicitation_adopts_relay_invariants() {
+        let sol = Solicited { sn: None, fd: INFINITY, rr: false };
+        let out = strengthen(inv(5, 4, 3), sol);
+        assert_eq!(out.sn, Some(sn(5)));
+        assert_eq!(out.fd, 3);
+        assert!(!out.rr);
+    }
+
+    #[test]
+    fn strengthen_no_information_is_identity_except_t() {
+        let sol = Solicited { sn: Some(sn(5)), fd: 3, rr: false };
+        let out = strengthen(Invariants::NONE, sol);
+        assert_eq!(out, sol);
+    }
+
+    // ---- SDC ----
+
+    #[test]
+    fn sdc_equal_seqno_needs_shorter_distance_and_clear_t() {
+        let sol = Solicited { sn: Some(sn(5)), fd: 3, rr: false };
+        assert!(sdc_allows(inv(5, 2, 2), sol));
+        assert!(!sdc_allows(inv(5, 3, 3), sol), "d = fd# insufficient");
+        let with_t = Solicited { rr: true, ..sol };
+        assert!(!sdc_allows(inv(5, 2, 2), with_t), "T bit blocks same-sn replies");
+        assert!(sdc_allows_ignoring_t(inv(5, 2, 2), with_t));
+    }
+
+    #[test]
+    fn sdc_newer_seqno_overrides_t_bit() {
+        let with_t = Solicited { sn: Some(sn(5)), fd: 3, rr: true };
+        assert!(sdc_allows(inv(6, 9, 9), with_t), "higher sn is itself a reset");
+    }
+
+    #[test]
+    fn sdc_unknown_request_answered_by_any_route() {
+        let sol = Solicited { sn: None, fd: INFINITY, rr: false };
+        assert!(sdc_allows(inv(1, 30, 30), sol));
+        assert!(!sdc_allows(Invariants::NONE, sol));
+    }
+
+    // ---- property tests on the proof obligations ----
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_inv() -> impl Strategy<Value = Invariants> {
+            (0u32..4, 0u32..20, prop::bool::ANY).prop_map(|(c, fd, none)| {
+                if none {
+                    Invariants::NONE
+                } else {
+                    let d = fd + 3; // d >= fd always
+                    Invariants { sn: Some(sn(c)), d, fd }
+                }
+            })
+        }
+
+        fn arb_sol() -> impl Strategy<Value = Solicited> {
+            (0u32..4, 0u32..20, prop::bool::ANY, prop::bool::ANY).prop_map(
+                |(c, fd, rr, none)| {
+                    if none {
+                        Solicited { sn: None, fd: INFINITY, rr }
+                    } else {
+                        Solicited { sn: Some(sn(c)), fd, rr }
+                    }
+                },
+            )
+        }
+
+        proptest! {
+            /// Theorem 2's ordering: a node that may *answer* under the
+            /// same sequence number always has fd strictly below the
+            /// requester's (because d < fd# and fd <= d).
+            #[test]
+            fn sdc_same_sn_implies_strict_fd_ordering(mine in arb_inv(), sol in arb_sol()) {
+                if let (Some(a), Some(b)) = (mine.sn, sol.sn) {
+                    if a == b && sdc_allows(mine, sol) {
+                        prop_assert!(mine.fd < sol.fd);
+                    }
+                }
+            }
+
+            /// A relay that does not violate FDC never weakens the
+            /// solicitation: sn#' ≥ sn#, and fd#' ≤ fd# at equal sn.
+            #[test]
+            fn strengthen_is_monotone(mine in arb_inv(), sol in arb_sol()) {
+                let out = strengthen(mine, sol);
+                match (out.sn, sol.sn) {
+                    (Some(o), Some(s)) => prop_assert!(o >= s),
+                    (None, Some(_)) => prop_assert!(false, "sn# lost"),
+                    _ => {}
+                }
+                if out.sn == sol.sn {
+                    prop_assert!(out.fd <= sol.fd);
+                }
+            }
+
+            /// NDC acceptance under equal sequence numbers implies the
+            /// advertised distance is strictly below fd — so the new
+            /// fd (min(fd, d*+1)) never increases: the feasible
+            /// distance is non-increasing for a fixed sn (Procedure 3).
+            #[test]
+            fn ndc_same_sn_never_raises_fd(mine in arb_inv(), d_star in 0u32..40) {
+                if let Some(s) = mine.sn {
+                    if ndc_accepts(mine, s, d_star) {
+                        let new_fd = mine.fd.min(d_star.saturating_add(1));
+                        prop_assert!(new_fd <= mine.fd);
+                        prop_assert!(d_star < mine.fd);
+                    }
+                }
+            }
+
+            /// FDC and the relayed T bit agree: a violating relay
+            /// always emits rr = 1; a relay with a strictly newer sn
+            /// always emits rr = 0.
+            #[test]
+            fn t_bit_consistent_with_fdc(mine in arb_inv(), sol in arb_sol()) {
+                if fdc_violated(mine, sol) {
+                    prop_assert!(relayed_t_bit(mine, sol));
+                }
+                if let (Some(a), Some(b)) = (mine.sn, sol.sn) {
+                    if a > b {
+                        prop_assert!(!relayed_t_bit(mine, sol));
+                    }
+                }
+            }
+
+            /// Answering and violating are mutually exclusive: SDC and
+            /// FDC cannot both hold (an ordered replier is never a
+            /// violator).
+            #[test]
+            fn sdc_and_fdc_disjoint(mine in arb_inv(), sol in arb_sol()) {
+                if sdc_allows(mine, sol) {
+                    prop_assert!(!fdc_violated(mine, sol) || mine.sn > sol.sn);
+                }
+            }
+        }
+    }
+}

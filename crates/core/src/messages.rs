@@ -1,0 +1,403 @@
+//! LDR control messages and their wire format.
+//!
+//! The messaging structure follows AODV's (§2): a route request
+//! ([`Rreq`]) is both a *solicitation* for the destination and an
+//! *advertisement* of the origin; a route reply ([`Rrep`]) is an
+//! advertisement; a route error ([`Rerr`]) revokes broken routes.
+//! Messages are encoded in a fixed big-endian layout so control-packet
+//! sizes in the simulator are realistic; encode/decode round-trips are
+//! tested below (including property tests).
+
+use crate::invariants::Distance;
+use crate::seqno::SeqNo;
+use manet_sim::packet::NodeId;
+
+/// Flag bits carried in RREQ/RREP headers.
+pub mod flags {
+    /// `T`: reset required — an invariant-ordering violation occurred
+    /// along the path and only the destination (or a higher sequence
+    /// number) may answer.
+    pub const T: u8 = 0b0000_0001;
+    /// `N`: no reverse path — the message no longer advertises a route
+    /// to the RREQ origin.
+    pub const N: u8 = 0b0000_0010;
+    /// `D`: destination-only — the solicitation is being unicast along
+    /// a successor path for a path reset; only the destination (or a
+    /// strictly newer sequence number) may answer.
+    pub const D: u8 = 0b0000_0100;
+    /// Internal: the destination sequence number field is unknown.
+    pub const SN_UNKNOWN: u8 = 0b0000_1000;
+}
+
+/// A route request: solicitation for `dst`, advertisement of `src`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rreq {
+    /// Sought destination.
+    pub dst: NodeId,
+    /// Last destination sequence number known to the requester
+    /// (`None` = no information).
+    pub sn_dst: Option<SeqNo>,
+    /// Origin-unique request identifier (flood control).
+    pub rreqid: u32,
+    /// Requesting node.
+    pub src: NodeId,
+    /// The origin's own sequence number (advertising a route to it).
+    pub sn_src: SeqNo,
+    /// The requester's (answering) feasible distance.
+    pub fd: Distance,
+    /// Distance accumulated along the path from `src`.
+    pub dist: Distance,
+    /// Remaining flood time-to-live.
+    pub ttl: u8,
+    /// Reset-required bit.
+    pub t_bit: bool,
+    /// No-reverse-path bit.
+    pub n_bit: bool,
+    /// Destination-only (unicast path-reset) bit.
+    pub d_bit: bool,
+}
+
+/// A route reply: advertisement of a route to `dst`, addressed to the
+/// computation `(src, rreqid)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Rrep {
+    /// Advertised destination.
+    pub dst: NodeId,
+    /// The advertised destination sequence number.
+    pub sn_dst: SeqNo,
+    /// Terminus: the origin of the RREQ being answered.
+    pub src: NodeId,
+    /// The answered request id.
+    pub rreqid: u32,
+    /// The replier's measured distance to `dst`.
+    pub dist: Distance,
+    /// Remaining route lifetime in milliseconds.
+    pub lifetime_ms: u32,
+    /// Set when the reverse path to `src` was not established.
+    pub n_bit: bool,
+}
+
+/// One unreachable destination inside a route error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RerrEntry {
+    /// The destination that became unreachable.
+    pub dst: NodeId,
+    /// The sender's stored sequence number for it (`None` = unknown).
+    pub sn: Option<SeqNo>,
+}
+
+/// A route error listing destinations lost via the sender.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rerr {
+    /// Unreachable destinations.
+    pub entries: Vec<RerrEntry>,
+}
+
+const RREQ_LEN: usize = 36;
+const RREP_LEN: usize = 28;
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_be_bytes());
+}
+fn get_u16(b: &[u8], at: usize) -> u16 {
+    u16::from_be_bytes([b[at], b[at + 1]])
+}
+fn get_u32(b: &[u8], at: usize) -> u32 {
+    u32::from_be_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]])
+}
+fn get_u64(b: &[u8], at: usize) -> u64 {
+    let mut x = [0u8; 8];
+    x.copy_from_slice(&b[at..at + 8]);
+    u64::from_be_bytes(x)
+}
+
+impl Rreq {
+    /// Encodes to the 32-byte wire layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut f = 0u8;
+        if self.t_bit {
+            f |= flags::T;
+        }
+        if self.n_bit {
+            f |= flags::N;
+        }
+        if self.d_bit {
+            f |= flags::D;
+        }
+        if self.sn_dst.is_none() {
+            f |= flags::SN_UNKNOWN;
+        }
+        let mut b = Vec::with_capacity(RREQ_LEN);
+        b.push(1u8); // type
+        b.push(f);
+        b.push(self.ttl);
+        b.push(0); // reserved
+        put_u16(&mut b, self.dst.0);
+        put_u16(&mut b, self.src.0);
+        put_u32(&mut b, self.rreqid);
+        put_u64(&mut b, self.sn_dst.unwrap_or(SeqNo { epoch: 0, counter: 0 }).to_u64());
+        put_u64(&mut b, self.sn_src.to_u64());
+        put_u32(&mut b, self.fd);
+        put_u32(&mut b, self.dist);
+        debug_assert_eq!(b.len(), RREQ_LEN);
+        b
+    }
+
+    /// Decodes from the wire layout; `None` on malformed input.
+    pub fn decode(b: &[u8]) -> Option<Self> {
+        if b.len() != RREQ_LEN || b[0] != 1 {
+            return None;
+        }
+        let f = b[1];
+        let sn_dst = if f & flags::SN_UNKNOWN != 0 {
+            None
+        } else {
+            Some(SeqNo::from_u64(get_u64(b, 12)))
+        };
+        Some(Rreq {
+            dst: NodeId(get_u16(b, 4)),
+            sn_dst,
+            rreqid: get_u32(b, 8),
+            src: NodeId(get_u16(b, 6)),
+            sn_src: SeqNo::from_u64(get_u64(b, 20)),
+            fd: get_u32(b, 28),
+            dist: get_u32(b, 32),
+            ttl: b[2],
+            t_bit: f & flags::T != 0,
+            n_bit: f & flags::N != 0,
+            d_bit: f & flags::D != 0,
+        })
+    }
+}
+
+impl Rrep {
+    /// Encodes to the 28-byte wire layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut f = 0u8;
+        if self.n_bit {
+            f |= flags::N;
+        }
+        let mut b = Vec::with_capacity(RREP_LEN);
+        b.push(2u8); // type
+        b.push(f);
+        put_u16(&mut b, 0); // reserved
+        put_u16(&mut b, self.dst.0);
+        put_u16(&mut b, self.src.0);
+        put_u32(&mut b, self.rreqid);
+        put_u64(&mut b, self.sn_dst.to_u64());
+        put_u32(&mut b, self.dist);
+        put_u32(&mut b, self.lifetime_ms);
+        debug_assert_eq!(b.len(), RREP_LEN);
+        b
+    }
+
+    /// Decodes from the wire layout; `None` on malformed input.
+    pub fn decode(b: &[u8]) -> Option<Self> {
+        if b.len() != RREP_LEN || b[0] != 2 {
+            return None;
+        }
+        Some(Rrep {
+            dst: NodeId(get_u16(b, 4)),
+            sn_dst: SeqNo::from_u64(get_u64(b, 12)),
+            src: NodeId(get_u16(b, 6)),
+            rreqid: get_u32(b, 8),
+            dist: get_u32(b, 20),
+            lifetime_ms: get_u32(b, 24),
+            n_bit: b[1] & flags::N != 0,
+        })
+    }
+}
+
+impl Rerr {
+    /// Encodes: 4-byte header plus 12 bytes per entry.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(4 + 12 * self.entries.len());
+        b.push(3u8); // type
+        b.push(self.entries.len() as u8);
+        put_u16(&mut b, 0); // reserved
+        for e in &self.entries {
+            put_u16(&mut b, e.dst.0);
+            put_u16(&mut b, if e.sn.is_some() { 1 } else { 0 });
+            put_u64(&mut b, e.sn.unwrap_or(SeqNo { epoch: 0, counter: 0 }).to_u64());
+        }
+        b
+    }
+
+    /// Decodes; `None` on malformed input.
+    pub fn decode(b: &[u8]) -> Option<Self> {
+        if b.len() < 4 || b[0] != 3 {
+            return None;
+        }
+        let count = b[1] as usize;
+        if b.len() != 4 + 12 * count {
+            return None;
+        }
+        let mut entries = Vec::with_capacity(count);
+        for i in 0..count {
+            let at = 4 + 12 * i;
+            let has_sn = get_u16(b, at + 2) != 0;
+            entries.push(RerrEntry {
+                dst: NodeId(get_u16(b, at)),
+                sn: if has_sn { Some(SeqNo::from_u64(get_u64(b, at + 4))) } else { None },
+            });
+        }
+        Some(Rerr { entries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_rreq() -> Rreq {
+        Rreq {
+            dst: NodeId(7),
+            sn_dst: Some(SeqNo { epoch: 2, counter: 9 }),
+            rreqid: 0xCAFE_BABE,
+            src: NodeId(3),
+            sn_src: SeqNo { epoch: 1, counter: 4 },
+            fd: 5,
+            dist: 2,
+            ttl: 7,
+            t_bit: true,
+            n_bit: false,
+            d_bit: true,
+        }
+    }
+
+    #[test]
+    fn rreq_round_trip() {
+        let m = sample_rreq();
+        let bytes = m.encode();
+        assert_eq!(bytes.len(), 36);
+        assert_eq!(Rreq::decode(&bytes), Some(m));
+    }
+
+    #[test]
+    fn rreq_unknown_seqno_round_trip() {
+        let m = Rreq { sn_dst: None, t_bit: false, d_bit: false, ..sample_rreq() };
+        assert_eq!(Rreq::decode(&m.encode()), Some(m));
+    }
+
+    #[test]
+    fn rrep_round_trip() {
+        let m = Rrep {
+            dst: NodeId(7),
+            sn_dst: SeqNo { epoch: 3, counter: 1 },
+            src: NodeId(3),
+            rreqid: 42,
+            dist: 4,
+            lifetime_ms: 6000,
+            n_bit: true,
+        };
+        let bytes = m.encode();
+        assert_eq!(bytes.len(), 28);
+        assert_eq!(Rrep::decode(&bytes), Some(m));
+    }
+
+    #[test]
+    fn rerr_round_trip_multiple_entries() {
+        let m = Rerr {
+            entries: vec![
+                RerrEntry { dst: NodeId(1), sn: Some(SeqNo { epoch: 1, counter: 2 }) },
+                RerrEntry { dst: NodeId(9), sn: None },
+                RerrEntry { dst: NodeId(400), sn: Some(SeqNo { epoch: 7, counter: 0 }) },
+            ],
+        };
+        let bytes = m.encode();
+        assert_eq!(bytes.len(), 4 + 36);
+        assert_eq!(Rerr::decode(&bytes), Some(m));
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert_eq!(Rreq::decode(&[]), None);
+        assert_eq!(Rreq::decode(&[1u8; 31]), None);
+        assert_eq!(Rrep::decode(&[2u8; 27]), None);
+        assert_eq!(Rerr::decode(&[3u8, 2, 0, 0, 0]), None, "length mismatch");
+        // Wrong type byte.
+        let mut ok = sample_rreq().encode();
+        ok[0] = 9;
+        assert_eq!(Rreq::decode(&ok), None);
+    }
+
+    #[test]
+    fn cross_type_decoding_fails() {
+        let rreq = sample_rreq().encode();
+        assert_eq!(Rrep::decode(&rreq), None);
+        let rrep = Rrep {
+            dst: NodeId(1),
+            sn_dst: SeqNo::initial(),
+            src: NodeId(2),
+            rreqid: 1,
+            dist: 1,
+            lifetime_ms: 1,
+            n_bit: false,
+        }
+        .encode();
+        assert_eq!(Rreq::decode(&rrep), None);
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_seqno() -> impl Strategy<Value = SeqNo> {
+            (any::<u32>(), any::<u32>()).prop_map(|(e, c)| SeqNo { epoch: e, counter: c })
+        }
+
+        proptest! {
+            #[test]
+            fn rreq_round_trips(
+                dst in any::<u16>(), src in any::<u16>(), rreqid in any::<u32>(),
+                sn_dst in proptest::option::of(arb_seqno()), sn_src in arb_seqno(),
+                fd in any::<u32>(), dist in any::<u32>(), ttl in any::<u8>(),
+                t in any::<bool>(), n in any::<bool>(), d in any::<bool>(),
+            ) {
+                let m = Rreq {
+                    dst: NodeId(dst), sn_dst, rreqid, src: NodeId(src), sn_src,
+                    fd, dist, ttl, t_bit: t, n_bit: n, d_bit: d,
+                };
+                prop_assert_eq!(Rreq::decode(&m.encode()), Some(m));
+            }
+
+            #[test]
+            fn rrep_round_trips(
+                dst in any::<u16>(), src in any::<u16>(), rreqid in any::<u32>(),
+                sn in arb_seqno(), dist in any::<u32>(), life in any::<u32>(),
+                n in any::<bool>(),
+            ) {
+                let m = Rrep {
+                    dst: NodeId(dst), sn_dst: sn, src: NodeId(src), rreqid,
+                    dist, lifetime_ms: life, n_bit: n,
+                };
+                prop_assert_eq!(Rrep::decode(&m.encode()), Some(m));
+            }
+
+            #[test]
+            fn rerr_round_trips(entries in proptest::collection::vec(
+                (any::<u16>(), proptest::option::of(arb_seqno())), 0..20)
+            ) {
+                let m = Rerr {
+                    entries: entries.into_iter()
+                        .map(|(d, sn)| RerrEntry { dst: NodeId(d), sn })
+                        .collect(),
+                };
+                prop_assert_eq!(Rerr::decode(&m.encode()), Some(m.clone()));
+            }
+
+            #[test]
+            fn random_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+                let _ = Rreq::decode(&bytes);
+                let _ = Rrep::decode(&bytes);
+                let _ = Rerr::decode(&bytes);
+            }
+        }
+    }
+}

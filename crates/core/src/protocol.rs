@@ -1,0 +1,710 @@
+//! The LDR protocol state machine (Procedures 1–4 of the paper).
+//!
+//! Each node keeps a [`RouteTable`] (invariants per destination), a
+//! route-request cache recording the computations it is *engaged* in
+//! (`(origin, rreqid) → last hop`, which forces replies onto the
+//! request's reverse path — Theorem 3), and the set of destinations it
+//! is *active* for (its own pending discoveries, with buffered data).
+//!
+//! * **Procedure 1** (initiate solicitation): expanding-ring RREQ with
+//!   the node's feasible distance and last-known destination sequence
+//!   number; retries with fresh `rreqid`s, then reports failure.
+//! * **Procedure 2** (relay solicitation): become engaged, strengthen
+//!   the invariants (Eqs. 5–8), answer if SDC permits, set the `T` bit
+//!   on an ordering violation (FDC), unicast the request to the
+//!   destination when a path reset is required, otherwise re-broadcast.
+//! * **Procedure 3** (set route) lives in [`RouteTable`].
+//! * **Procedure 4** (relay advertisement): forward RREPs along the
+//!   cached reverse path, substituting the relay's own (always equal or
+//!   stronger) invariants.
+//!
+//! All five §4 optimisations are implemented and individually
+//! switchable through [`LdrConfig`].
+
+use crate::config::LdrConfig;
+use crate::invariants::{self, Solicited, INFINITY};
+use crate::messages::{Rerr, RerrEntry, Rreq, Rrep};
+use crate::route_table::RouteTable;
+use crate::seqno::SeqNo;
+use manet_sim::packet::{ControlKind, ControlPacket, DataPacket, NodeId, Packet, PacketBody};
+use manet_sim::protocol::{Ctx, DropReason, ProtoCounter, RouteDump, RoutingProtocol};
+use manet_sim::time::{SimDuration, SimTime};
+use std::collections::{HashMap, VecDeque};
+
+/// Timer token for the periodic state sweep.
+const CLEANUP_TOKEN: u64 = u64::MAX;
+/// Interval of the periodic state sweep.
+const CLEANUP_INTERVAL: SimDuration = SimDuration::from_secs(10);
+
+fn discovery_token(dest: NodeId, generation: u64) -> u64 {
+    (u64::from(dest.0) << 32) | (generation & 0xFFFF_FFFF)
+}
+
+/// Engagement state for one computation `(origin, rreqid)`.
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    /// The neighbour the solicitation arrived from; replies for this
+    /// computation are forced through it (reverse-path forwarding).
+    last_hop: NodeId,
+    /// When the engagement lapses.
+    expires: SimTime,
+    /// Strongest `(sn, dist)` advertisement already sent for this
+    /// computation (reply dedup; the *multiple RREPs* optimisation
+    /// allows strictly stronger ones through).
+    relayed: Option<(SeqNo, u32)>,
+    /// Whether this node replied (as destination or via SDC).
+    replied: bool,
+    /// Whether a reverse route to the origin was installed.
+    reverse_ok: bool,
+}
+
+/// A pending route discovery at the origin (the node is *active* for
+/// this destination).
+#[derive(Debug)]
+struct Discovery {
+    generation: u64,
+    attempts: u32,
+    queue: VecDeque<DataPacket>,
+}
+
+/// A Labeled Distance Routing node.
+///
+/// # Example
+///
+/// Drive a node directly (the unit-test style) — origination without a
+/// route buffers the packet and floods a route request:
+///
+/// ```
+/// use ldr::{Ldr, LdrConfig};
+/// use manet_sim::packet::{DataPacket, NodeId};
+/// use manet_sim::protocol::{Ctx, RoutingProtocol};
+/// use manet_sim::rng::SimRng;
+/// use manet_sim::time::SimTime;
+///
+/// let mut node = Ldr::new(NodeId(0), LdrConfig::default());
+/// let mut rng = SimRng::from_seed(1);
+/// let mut actions = Vec::new();
+/// let mut ctx = Ctx::new(SimTime::from_secs(1), NodeId(0), 50, &mut rng, &mut actions);
+/// node.handle_data_origination(&mut ctx, DataPacket {
+///     src: NodeId(0), dst: NodeId(7), flow: 0, seq: 0,
+///     created: SimTime::from_secs(1), payload_len: 512, ttl: 64, ext: vec![],
+/// });
+/// assert!(node.is_active_for(NodeId(7)));
+/// assert!(!actions.is_empty()); // RREQ broadcast + retry timer
+/// ```
+pub struct Ldr {
+    id: NodeId,
+    cfg: LdrConfig,
+    own_seqno: SeqNo,
+    routes: RouteTable,
+    cache: HashMap<(NodeId, u32), CacheEntry>,
+    pending: HashMap<NodeId, Discovery>,
+    next_rreqid: u32,
+    next_generation: u64,
+    /// Time of the most recent callback (for the auditor snapshot).
+    clock: SimTime,
+}
+
+impl Ldr {
+    /// A new node with the given configuration.
+    pub fn new(id: NodeId, cfg: LdrConfig) -> Self {
+        Ldr {
+            id,
+            cfg,
+            own_seqno: SeqNo::initial(),
+            routes: RouteTable::new(),
+            cache: HashMap::new(),
+            pending: HashMap::new(),
+            next_rreqid: 0,
+            next_generation: 0,
+            clock: SimTime::ZERO,
+        }
+    }
+
+    /// A factory closure for [`manet_sim::world::World::new`].
+    pub fn factory(
+        cfg: LdrConfig,
+    ) -> impl FnMut(NodeId, usize) -> Box<dyn RoutingProtocol> {
+        move |id, _| Box::new(Ldr::new(id, cfg.clone()))
+    }
+
+    /// This node's routing table.
+    pub fn routes(&self) -> &RouteTable {
+        &self.routes
+    }
+
+    /// This node's own destination sequence number.
+    pub fn own_seqno(&self) -> SeqNo {
+        self.own_seqno
+    }
+
+    /// Whether a discovery for `dest` is in progress.
+    pub fn is_active_for(&self, dest: NodeId) -> bool {
+        self.pending.contains_key(&dest)
+    }
+
+    // ----- discovery (Procedure 1) -----------------------------------------
+
+    fn queue_and_discover(&mut self, ctx: &mut Ctx, data: DataPacket) {
+        let dest = data.dst;
+        match self.pending.get_mut(&dest) {
+            Some(d) => {
+                if d.queue.len() >= self.cfg.buffer_cap {
+                    ctx.drop_data(data, DropReason::BufferOverflow);
+                } else {
+                    d.queue.push_back(data);
+                }
+            }
+            None => {
+                let generation = self.next_generation;
+                self.next_generation += 1;
+                let mut queue = VecDeque::new();
+                queue.push_back(data);
+                self.pending.insert(dest, Discovery { generation, attempts: 1, queue });
+                ctx.count(ProtoCounter::DiscoveryStarted);
+                self.send_rreq(ctx, dest, 1, generation);
+            }
+        }
+    }
+
+    fn send_rreq(&mut self, ctx: &mut Ctx, dest: NodeId, attempt: u32, generation: u64) {
+        let inv = self.routes.invariants(dest);
+        let fd_req = self.cfg.answering_distance(inv.fd);
+        let prior = (inv.d != INFINITY).then_some((inv.d, fd_req));
+        let ttl = self.cfg.ttl_for_attempt(attempt, prior);
+        let rreqid = self.next_rreqid;
+        self.next_rreqid += 1;
+        let rreq = Rreq {
+            dst: dest,
+            sn_dst: inv.sn,
+            rreqid,
+            src: self.id,
+            sn_src: self.own_seqno,
+            fd: fd_req,
+            dist: 0,
+            ttl,
+            t_bit: false,
+            n_bit: false,
+            d_bit: false,
+        };
+        ctx.broadcast(ControlKind::Rreq, rreq.encode(), true);
+        ctx.set_timer(self.cfg.discovery_timeout(ttl), discovery_token(dest, generation));
+    }
+
+    fn finish_success(&mut self, ctx: &mut Ctx, dest: NodeId) {
+        let Some(mut d) = self.pending.remove(&dest) else { return };
+        ctx.count(ProtoCounter::DiscoverySucceeded);
+        let now = ctx.now();
+        while let Some(p) = d.queue.pop_front() {
+            match self.routes.active(dest, now).copied() {
+                Some(e) => {
+                    self.routes.refresh(dest, now + self.cfg.active_route_timeout);
+                    ctx.send_data(e.next_hop, p);
+                }
+                None => ctx.drop_data(p, DropReason::NoRoute),
+            }
+        }
+    }
+
+    // ----- solicitation handling (Procedure 2) -----------------------------
+
+    fn handle_rreq(&mut self, ctx: &mut Ctx, prev: NodeId, rreq: Rreq) {
+        if rreq.src == self.id {
+            // A node may not relay its own solicitation (it is active,
+            // never engaged, for its own computations).
+            return;
+        }
+        let now = ctx.now();
+        let art = self.cfg.active_route_timeout;
+
+        // The RREQ doubles as an advertisement of the origin: try to
+        // install/refresh the reverse route (unless the N bit voided it).
+        let reverse_ok = if rreq.n_bit {
+            self.routes.active(rreq.src, now).is_some()
+        } else {
+            let out = self.routes.consider_advertisement(
+                rreq.src,
+                rreq.sn_src,
+                rreq.dist,
+                prev,
+                now,
+                now + art,
+            );
+            out.usable() || self.routes.active(rreq.src, now).is_some()
+        };
+
+        // "Request as error" (§4): if my successor towards D is itself
+        // soliciting D, it evidently lost its route.
+        if self.cfg.opt_request_as_error && !rreq.d_bit && rreq.dst != self.id {
+            if let Some(e) = self.routes.active(rreq.dst, now).copied() {
+                if e.next_hop == prev && rreq.fd > e.dist.saturating_sub(1) {
+                    self.routes.invalidate(rreq.dst, now);
+                }
+            }
+        }
+
+        // Engagement: a node enters each computation at most once; later
+        // broadcast copies are ignored. A unicast (D-bit) copy is still
+        // *forwarded* by an engaged node — it travels on successor
+        // paths, which Theorem 3 shows cannot loop — but the original
+        // reverse-path cache entry is retained.
+        let key = (rreq.src, rreq.rreqid);
+        let engaged = self.cache.get(&key).is_some_and(|c| c.expires > now);
+        if engaged && !rreq.d_bit {
+            return;
+        }
+        if !engaged {
+            self.cache.insert(
+                key,
+                CacheEntry {
+                    last_hop: prev,
+                    expires: now + self.cfg.rreq_cache_ttl,
+                    relayed: None,
+                    replied: false,
+                    reverse_ok,
+                },
+            );
+        }
+
+        if rreq.dst == self.id {
+            self.reply_as_destination(ctx, prev, &rreq, now);
+            return;
+        }
+
+        let sol = Solicited { sn: rreq.sn_dst, fd: rreq.fd, rr: rreq.t_bit };
+        let active = self.routes.active(rreq.dst, now).copied();
+
+        if let Some(e) = active {
+            let lifetime_ok =
+                e.expires.saturating_since(now) >= self.cfg.min_reply_lifetime();
+            let mine = e.invariants();
+            // SDC; on a D-bit (path-reset) solicitation only a strictly
+            // newer sequence number may answer in the destination's
+            // stead.
+            let allowed = if rreq.d_bit {
+                crate::seqno::newer(mine.sn, sol.sn)
+            } else {
+                invariants::sdc_allows(mine, sol)
+            };
+            if lifetime_ok && allowed {
+                self.send_rrep_from_route(ctx, prev, &rreq, reverse_ok, now);
+                return;
+            }
+            // Path reset (§2.2): the first node that satisfies SDC
+            // ignoring the T bit unicasts the solicitation towards the
+            // destination so it can raise its sequence number.
+            if !rreq.d_bit
+                && rreq.t_bit
+                && lifetime_ok
+                && invariants::sdc_allows_ignoring_t(mine, sol)
+            {
+                let st = invariants::strengthen(self.routes.invariants(rreq.dst), sol);
+                let needed = (e.dist.min(250) as u8).saturating_add(self.cfg.local_add_ttl);
+                let fwd = Rreq {
+                    sn_dst: st.sn,
+                    fd: st.fd,
+                    t_bit: true,
+                    d_bit: true,
+                    n_bit: rreq.n_bit || !reverse_ok,
+                    dist: rreq.dist.saturating_add(1),
+                    ttl: needed.max(rreq.ttl),
+                    ..rreq
+                };
+                ctx.unicast_control(e.next_hop, ControlKind::Rreq, fwd.encode(), false, false);
+                return;
+            }
+        }
+
+        // Plain relay with strengthened invariants (Eqs. 5–8).
+        if rreq.ttl <= 1 {
+            return;
+        }
+        let st = invariants::strengthen(self.routes.invariants(rreq.dst), sol);
+        let fwd = Rreq {
+            sn_dst: st.sn,
+            fd: st.fd,
+            t_bit: st.rr,
+            n_bit: rreq.n_bit || !reverse_ok,
+            d_bit: rreq.d_bit,
+            dist: rreq.dist.saturating_add(1),
+            ttl: rreq.ttl - 1,
+            ..rreq
+        };
+        if rreq.d_bit {
+            if let Some(e) = active {
+                ctx.unicast_control(e.next_hop, ControlKind::Rreq, fwd.encode(), false, false);
+            }
+            // Without an active route the reset attempt dies here; the
+            // origin's timer will retry.
+        } else {
+            ctx.broadcast(ControlKind::Rreq, fwd.encode(), false);
+        }
+    }
+
+    fn reply_as_destination(&mut self, ctx: &mut Ctx, prev: NodeId, rreq: &Rreq, _now: SimTime) {
+        let key = (rreq.src, rreq.rreqid);
+        if self.cache.get(&key).is_some_and(|c| c.replied) {
+            // Only one advertisement per (source, rreqid) pair.
+            return;
+        }
+        // Only the destination increments its own number. A request can
+        // never carry a newer number than ours, but be defensive.
+        if let Some(snr) = rreq.sn_dst {
+            if snr > self.own_seqno {
+                self.own_seqno = snr;
+            }
+        }
+        if rreq.t_bit {
+            // Path reset: if our current number does not already exceed
+            // the requested one, move past it.
+            let exceeds = rreq.sn_dst.is_some_and(|snr| self.own_seqno > snr);
+            if !exceeds {
+                self.own_seqno.increment();
+                ctx.count(ProtoCounter::SeqnoIncrement);
+            }
+        }
+        let reverse_ok = self.cache.get(&key).is_some_and(|c| c.reverse_ok);
+        let rrep = Rrep {
+            dst: self.id,
+            sn_dst: self.own_seqno,
+            src: rreq.src,
+            rreqid: rreq.rreqid,
+            dist: 0,
+            lifetime_ms: (self.cfg.my_route_timeout.as_millis()).min(u64::from(u32::MAX)) as u32,
+            n_bit: rreq.n_bit || !reverse_ok,
+        };
+        ctx.unicast_control(prev, ControlKind::Rrep, rrep.encode(), true, true);
+        if let Some(c) = self.cache.get_mut(&key) {
+            c.replied = true;
+            c.relayed = Some((self.own_seqno, 0));
+        }
+    }
+
+    /// SDC reply from an intermediate node's active route.
+    fn send_rrep_from_route(
+        &mut self,
+        ctx: &mut Ctx,
+        prev: NodeId,
+        rreq: &Rreq,
+        reverse_ok: bool,
+        now: SimTime,
+    ) {
+        let Some(e) = self.routes.active(rreq.dst, now).copied() else { return };
+        let remaining =
+            e.expires.saturating_since(now).as_millis().min(u64::from(u32::MAX)) as u32;
+        let rrep = Rrep {
+            dst: rreq.dst,
+            sn_dst: e.seqno,
+            src: rreq.src,
+            rreqid: rreq.rreqid,
+            dist: e.dist,
+            lifetime_ms: remaining,
+            n_bit: rreq.n_bit || !reverse_ok,
+        };
+        ctx.unicast_control(prev, ControlKind::Rrep, rrep.encode(), true, true);
+        if let Some(c) = self.cache.get_mut(&(rreq.src, rreq.rreqid)) {
+            c.replied = true;
+            c.relayed = Some((e.seqno, e.dist));
+        }
+    }
+
+    // ----- advertisement handling (Procedures 3 & 4) -----------------------
+
+    fn handle_rrep(&mut self, ctx: &mut Ctx, prev: NodeId, rrep: Rrep) {
+        let now = ctx.now();
+        let lifetime = SimDuration::from_millis(u64::from(rrep.lifetime_ms));
+        let out = self.routes.consider_advertisement(
+            rrep.dst,
+            rrep.sn_dst,
+            rrep.dist,
+            prev,
+            now,
+            now + lifetime,
+        );
+        if out.usable() {
+            ctx.count(ProtoCounter::RrepUsableRecv);
+        }
+        if rrep.src == self.id {
+            // Terminus: the computation ends on the first feasible
+            // advertisement.
+            if self.routes.active(rrep.dst, now).is_some() {
+                let had_pending = self.pending.contains_key(&rrep.dst);
+                self.finish_success(ctx, rrep.dst);
+                if rrep.n_bit && had_pending && self.cfg.opt_reverse_probe {
+                    self.send_reverse_probe(ctx, rrep.dst, now);
+                }
+            }
+            return;
+        }
+        // Relay along the computation's reverse path (never the routing
+        // table), substituting this node's own invariants (Procedure 4).
+        let key = (rrep.src, rrep.rreqid);
+        let Some(c) = self.cache.get(&key) else { return };
+        if c.expires <= now {
+            return;
+        }
+        let last_hop = c.last_hop;
+        let reverse_ok = c.reverse_ok;
+        let relayed = c.relayed;
+        let Some(e) = self.routes.active(rrep.dst, now).copied() else {
+            // Cannot issue an advertisement without an active route —
+            // even when our stored invariants are stronger (§2.2).
+            return;
+        };
+        let allowed = match relayed {
+            None => true,
+            Some((psn, pd)) => {
+                self.cfg.opt_multiple_rreps && (e.seqno > psn || (e.seqno == psn && e.dist < pd))
+            }
+        };
+        if !allowed {
+            return;
+        }
+        if let Some(c) = self.cache.get_mut(&key) {
+            c.relayed = Some((e.seqno, e.dist));
+        }
+        let remaining =
+            e.expires.saturating_since(now).as_millis().min(u64::from(u32::MAX)) as u32;
+        let fwd = Rrep {
+            dst: rrep.dst,
+            sn_dst: e.seqno,
+            src: rrep.src,
+            rreqid: rrep.rreqid,
+            dist: e.dist,
+            lifetime_ms: remaining,
+            n_bit: rrep.n_bit || !reverse_ok,
+        };
+        ctx.unicast_control(last_hop, ControlKind::Rrep, fwd.encode(), false, true);
+    }
+
+    /// After completing a discovery whose RREP carried the N bit (no
+    /// reverse path), rebuild the reverse path: raise our own sequence
+    /// number and unicast a D-bit probe RREQ along the forward path.
+    fn send_reverse_probe(&mut self, ctx: &mut Ctx, dest: NodeId, now: SimTime) {
+        let Some(e) = self.routes.active(dest, now).copied() else { return };
+        self.own_seqno.increment();
+        ctx.count(ProtoCounter::SeqnoIncrement);
+        let rreqid = self.next_rreqid;
+        self.next_rreqid += 1;
+        let inv = self.routes.invariants(dest);
+        let rreq = Rreq {
+            dst: dest,
+            sn_dst: inv.sn,
+            rreqid,
+            src: self.id,
+            sn_src: self.own_seqno,
+            fd: self.cfg.answering_distance(inv.fd),
+            dist: 0,
+            ttl: (e.dist.min(250) as u8).saturating_add(self.cfg.local_add_ttl),
+            t_bit: false,
+            n_bit: false,
+            d_bit: true,
+        };
+        ctx.unicast_control(e.next_hop, ControlKind::Rreq, rreq.encode(), true, false);
+    }
+
+    // ----- errors -----------------------------------------------------------
+
+    fn handle_rerr(&mut self, ctx: &mut Ctx, prev: NodeId, rerr: Rerr) {
+        let now = ctx.now();
+        let mut propagate = Vec::new();
+        for en in &rerr.entries {
+            if let Some(me) = self.routes.get(en.dst).copied() {
+                if me.is_active(now) && me.next_hop == prev {
+                    self.routes.invalidate(en.dst, now);
+                    propagate.push(RerrEntry { dst: en.dst, sn: Some(me.seqno) });
+                }
+            }
+            if let Some(sn) = en.sn {
+                self.routes.adopt_seqno(en.dst, sn);
+            }
+        }
+        if !propagate.is_empty() {
+            ctx.broadcast(ControlKind::Rerr, Rerr { entries: propagate }.encode(), false);
+        }
+    }
+}
+
+impl RoutingProtocol for Ldr {
+    fn name(&self) -> &'static str {
+        "LDR"
+    }
+
+    fn start(&mut self, ctx: &mut Ctx) {
+        self.clock = ctx.now();
+        ctx.set_timer(CLEANUP_INTERVAL, CLEANUP_TOKEN);
+    }
+
+    fn handle_data_origination(&mut self, ctx: &mut Ctx, data: DataPacket) {
+        self.clock = ctx.now();
+        if data.dst == self.id {
+            ctx.deliver(data);
+            return;
+        }
+        let now = ctx.now();
+        match self.routes.active(data.dst, now).copied() {
+            Some(e) => {
+                self.routes.refresh(data.dst, now + self.cfg.active_route_timeout);
+                ctx.send_data(e.next_hop, data);
+            }
+            None => self.queue_and_discover(ctx, data),
+        }
+    }
+
+    fn handle_data_packet(&mut self, ctx: &mut Ctx, _prev_hop: NodeId, mut data: DataPacket) {
+        self.clock = ctx.now();
+        let now = ctx.now();
+        // Data traffic keeps both route directions warm.
+        self.routes.refresh(data.src, now + self.cfg.active_route_timeout);
+        if data.dst == self.id {
+            ctx.deliver(data);
+            return;
+        }
+        if data.ttl == 0 {
+            ctx.drop_data(data, DropReason::TtlExpired);
+            return;
+        }
+        data.ttl -= 1;
+        match self.routes.active(data.dst, now).copied() {
+            Some(e) => {
+                self.routes.refresh(data.dst, now + self.cfg.active_route_timeout);
+                ctx.send_data(e.next_hop, data);
+            }
+            None => {
+                // Mid-path break: tell the upstream and drop.
+                let sn = self.routes.get(data.dst).map(|e| e.seqno);
+                let rerr = Rerr { entries: vec![RerrEntry { dst: data.dst, sn }] };
+                ctx.broadcast(ControlKind::Rerr, rerr.encode(), true);
+                ctx.drop_data(data, DropReason::NoRoute);
+            }
+        }
+    }
+
+    fn handle_control(
+        &mut self,
+        ctx: &mut Ctx,
+        prev_hop: NodeId,
+        ctrl: ControlPacket,
+        _was_broadcast: bool,
+    ) {
+        self.clock = ctx.now();
+        match ctrl.kind {
+            ControlKind::Rreq => {
+                if let Some(m) = Rreq::decode(&ctrl.bytes) {
+                    self.handle_rreq(ctx, prev_hop, m);
+                }
+            }
+            ControlKind::Rrep => {
+                if let Some(m) = Rrep::decode(&ctrl.bytes) {
+                    self.handle_rrep(ctx, prev_hop, m);
+                }
+            }
+            ControlKind::Rerr => {
+                if let Some(m) = Rerr::decode(&ctrl.bytes) {
+                    self.handle_rerr(ctx, prev_hop, m);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn handle_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        self.clock = ctx.now();
+        if token == CLEANUP_TOKEN {
+            let now = ctx.now();
+            self.cache.retain(|_, c| c.expires > now);
+            ctx.set_timer(CLEANUP_INTERVAL, CLEANUP_TOKEN);
+            return;
+        }
+        let dest = NodeId((token >> 32) as u16);
+        let gen32 = token & 0xFFFF_FFFF;
+        let now = ctx.now();
+        let Some(d) = self.pending.get(&dest) else { return };
+        if (d.generation & 0xFFFF_FFFF) != gen32 {
+            return;
+        }
+        if self.routes.active(dest, now).is_some() {
+            self.finish_success(ctx, dest);
+            return;
+        }
+        let attempts = d.attempts + 1;
+        if attempts > self.cfg.max_attempts {
+            let d = self.pending.remove(&dest).expect("checked above");
+            for p in d.queue {
+                ctx.drop_data(p, DropReason::NoRoute);
+            }
+            ctx.count(ProtoCounter::DiscoveryFailed);
+        } else {
+            let generation = d.generation;
+            self.pending
+                .get_mut(&dest)
+                .expect("checked above")
+                .attempts = attempts;
+            self.send_rreq(ctx, dest, attempts, generation);
+        }
+    }
+
+    fn handle_unicast_failure(&mut self, ctx: &mut Ctx, next_hop: NodeId, packet: Packet) {
+        self.clock = ctx.now();
+        let now = ctx.now();
+        let lost = self.routes.invalidate_via(next_hop, now);
+        if let PacketBody::Data(data) = packet.body {
+            if data.src == self.id {
+                // Re-discover with the feasible-distance invariant
+                // intact — LDR does *not* raise anyone's sequence
+                // number here (that is AODV's move).
+                self.queue_and_discover(ctx, data);
+            } else {
+                ctx.drop_data(data, DropReason::NoRoute);
+            }
+        }
+        if !lost.is_empty() {
+            let entries = lost
+                .into_iter()
+                .map(|(dst, sn)| RerrEntry { dst, sn: Some(sn) })
+                .collect();
+            ctx.broadcast(ControlKind::Rerr, Rerr { entries }.encode(), true);
+        }
+    }
+
+    fn handle_reboot(&mut self, ctx: &mut Ctx) {
+        self.clock = ctx.now();
+        // Volatile state is gone. The real-time clock survives, so the
+        // fresh epoch dominates every number we issued before the crash
+        // — no AODV-style reboot-hold quarantine is needed (§3).
+        let epoch = self.own_seqno.epoch + 1;
+        self.own_seqno = SeqNo::after_reboot(epoch);
+        self.routes = RouteTable::new();
+        self.cache.clear();
+        self.pending.clear();
+        ctx.set_timer(CLEANUP_INTERVAL, CLEANUP_TOKEN);
+    }
+
+    fn route_successors(&self) -> Vec<(NodeId, NodeId)> {
+        self.routes.successors(self.clock)
+    }
+
+    fn route_table_dump(&self) -> Vec<RouteDump> {
+        let mut v: Vec<RouteDump> = self
+            .routes
+            .iter()
+            .map(|(&dest, e)| RouteDump {
+                dest,
+                next: e.next_hop,
+                dist: e.dist,
+                feasible_dist: Some(e.fd),
+                seqno: Some(e.seqno.to_u64()),
+                valid: e.is_active(self.clock),
+            })
+            .collect();
+        v.sort_unstable_by_key(|r| r.dest.0);
+        v
+    }
+
+    fn own_seqno_value(&self) -> Option<f64> {
+        Some(f64::from(self.own_seqno.epoch - 1) * 2f64.powi(32) + f64::from(self.own_seqno.counter))
+    }
+}
+
+#[cfg(test)]
+mod tests;

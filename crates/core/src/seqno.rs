@@ -1,0 +1,160 @@
+//! Destination-controlled sequence numbers (§3 of the paper).
+//!
+//! LDR's sequence number is "a destination-specific time stamp taken
+//! from a node's real-time clock and an unsigned monotonically
+//! increasing counter. When the counter reaches its maximum value, the
+//! node places a new time stamp in its sequence number and resets the
+//! counter to zero." Only the *owning destination* ever increments its
+//! number — unlike AODV, where any node whose route breaks increments
+//! its stored copy of the destination's number.
+//!
+//! The pair orders lexicographically: `(epoch, counter)`.
+
+use std::fmt;
+
+/// A destination sequence number: `(epoch, counter)`.
+///
+/// `epoch` models the boot-stable real-time-clock stamp; `counter` is
+/// the monotonically increasing part. Comparison is lexicographic.
+///
+/// ```
+/// use ldr::seqno::SeqNo;
+/// let mut sn = SeqNo::initial();
+/// let old = sn;
+/// sn.increment();
+/// assert!(sn > old);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SeqNo {
+    /// Real-time-clock stamp (advances only on counter wrap or reboot).
+    pub epoch: u32,
+    /// Monotonically increasing counter.
+    pub counter: u32,
+}
+
+impl SeqNo {
+    /// The first sequence number a node uses after (simulated) boot.
+    pub const fn initial() -> Self {
+        SeqNo { epoch: 1, counter: 0 }
+    }
+
+    /// A sequence number for a later "reboot" — the fresh clock stamp
+    /// dominates anything issued under earlier epochs, which is how the
+    /// scheme avoids AODV's reboot-hold procedure.
+    pub const fn after_reboot(epoch: u32) -> Self {
+        SeqNo { epoch, counter: 0 }
+    }
+
+    /// Increments the number (owner-only operation). Wraps the counter
+    /// into a new epoch when exhausted.
+    pub fn increment(&mut self) {
+        match self.counter.checked_add(1) {
+            Some(c) => self.counter = c,
+            None => {
+                self.epoch += 1;
+                self.counter = 0;
+            }
+        }
+    }
+
+    /// Packs into a `u64` for wire encoding.
+    pub const fn to_u64(self) -> u64 {
+        ((self.epoch as u64) << 32) | self.counter as u64
+    }
+
+    /// Unpacks from a `u64`.
+    pub const fn from_u64(v: u64) -> Self {
+        SeqNo { epoch: (v >> 32) as u32, counter: v as u32 }
+    }
+}
+
+impl fmt::Debug for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sn({},{})", self.epoch, self.counter)
+    }
+}
+
+impl fmt::Display for SeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.epoch, self.counter)
+    }
+}
+
+/// Compares a known sequence number with a possibly-unknown one:
+/// "no information" is weaker than any real number.
+///
+/// Returns `true` when `a` is strictly newer than `b`.
+pub fn newer(a: Option<SeqNo>, b: Option<SeqNo>) -> bool {
+    match (a, b) {
+        (Some(x), Some(y)) => x > y,
+        (Some(_), None) => true,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increment_orders() {
+        let mut a = SeqNo::initial();
+        let b = a;
+        a.increment();
+        assert!(a > b);
+        a.increment();
+        assert_eq!(a.counter, 2);
+    }
+
+    #[test]
+    fn counter_wrap_advances_epoch() {
+        let mut s = SeqNo { epoch: 3, counter: u32::MAX };
+        let before = s;
+        s.increment();
+        assert_eq!(s, SeqNo { epoch: 4, counter: 0 });
+        assert!(s > before, "wrap must still move forward");
+    }
+
+    #[test]
+    fn epoch_dominates_counter() {
+        let old_epoch_huge_counter = SeqNo { epoch: 1, counter: u32::MAX };
+        let new_epoch = SeqNo { epoch: 2, counter: 0 };
+        assert!(new_epoch > old_epoch_huge_counter);
+    }
+
+    #[test]
+    fn reboot_dominates_prior_history() {
+        let mut pre = SeqNo::initial();
+        for _ in 0..1000 {
+            pre.increment();
+        }
+        let post = SeqNo::after_reboot(pre.epoch + 1);
+        assert!(post > pre, "fresh clock stamp beats any old counter");
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let s = SeqNo { epoch: 0xDEAD_BEEF, counter: 0x1234_5678 };
+        assert_eq!(SeqNo::from_u64(s.to_u64()), s);
+        // Wire ordering matches semantic ordering.
+        let t = SeqNo { epoch: 0xDEAD_BEF0, counter: 0 };
+        assert!(t.to_u64() > s.to_u64());
+    }
+
+    #[test]
+    fn newer_handles_unknowns() {
+        let s = Some(SeqNo::initial());
+        assert!(newer(s, None));
+        assert!(!newer(None, s));
+        assert!(!newer(None, None));
+        assert!(!newer(s, s));
+        let mut t = SeqNo::initial();
+        t.increment();
+        assert!(newer(Some(t), s));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(format!("{}", SeqNo { epoch: 2, counter: 7 }), "2.7");
+    }
+}

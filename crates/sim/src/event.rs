@@ -1,0 +1,212 @@
+//! The future event list (FEL) of the discrete-event kernel.
+
+use crate::packet::NodeId;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled occurrence in the simulator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Re-evaluate a node's MAC state machine (backoff expiry, queue
+    /// service, medium re-check).
+    MacKick(NodeId),
+    /// A node's transmission finishes.
+    TxEnd {
+        /// Transmitting node.
+        node: NodeId,
+        /// Transmission id.
+        tx_id: u64,
+    },
+    /// A frame finishes arriving at a receiver.
+    RxEnd {
+        /// Receiving node.
+        node: NodeId,
+        /// Transmission id.
+        tx_id: u64,
+    },
+    /// A unicast sender's ACK wait expires.
+    AckTimeout {
+        /// Waiting sender.
+        node: NodeId,
+        /// Transmission id awaited.
+        tx_id: u64,
+    },
+    /// A routing-protocol timer fires.
+    ProtocolTimer {
+        /// Owning node.
+        node: NodeId,
+        /// Protocol-chosen token.
+        token: u64,
+    },
+    /// A CBR flow emits its next packet.
+    FlowPacket {
+        /// Flow slot index.
+        flow: u32,
+    },
+    /// A CBR flow ends and is replaced.
+    FlowEnd {
+        /// Flow slot index.
+        flow: u32,
+    },
+    /// A manually scheduled application packet (tests/examples).
+    AppSend {
+        /// Index into the manual packet list.
+        idx: u32,
+    },
+    /// A node crashes and restarts, losing volatile protocol state.
+    Reboot {
+        /// The rebooting node.
+        node: NodeId,
+    },
+    /// Periodic audit hook (loop checking, sampling).
+    Audit,
+}
+
+/// FEL entry: ordered by time, then by insertion sequence (FIFO among
+/// simultaneous events, which keeps runs deterministic).
+#[derive(Clone, Debug)]
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered queue of future events.
+///
+/// ```
+/// use manet_sim::event::{Event, EventQueue};
+/// use manet_sim::packet::NodeId;
+/// use manet_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), Event::Audit);
+/// q.schedule(SimTime::from_secs(1), Event::MacKick(NodeId(0)));
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!(t, SimTime::from_secs(1));
+/// assert_eq!(e, Event::MacKick(NodeId(0)));
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `event` to occur at absolute time `at`.
+    pub fn schedule(&mut self, at: SimTime, event: Event) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any. Events scheduled
+    /// for the same instant come out in insertion order.
+    pub fn pop(&mut self) -> Option<(SimTime, Event)> {
+        self.heap.pop().map(|s| (s.at, s.event))
+    }
+
+    /// The time of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), Event::Audit);
+        q.schedule(SimTime::from_secs(1), Event::FlowPacket { flow: 1 });
+        q.schedule(SimTime::from_secs(2), Event::FlowEnd { flow: 1 });
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t.as_nanos()).collect();
+        assert_eq!(times, vec![1_000_000_000, 2_000_000_000, 3_000_000_000]);
+    }
+
+    #[test]
+    fn fifo_among_simultaneous_events() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_millis(5);
+        for flow in 0..100 {
+            q.schedule(t, Event::FlowPacket { flow });
+        }
+        for expect in 0..100 {
+            match q.pop().unwrap().1 {
+                Event::FlowPacket { flow } => assert_eq!(flow, expect),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_secs(9), Event::Audit);
+        q.schedule(SimTime::from_secs(4), Event::Audit);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_stays_ordered() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), Event::Audit);
+        q.schedule(SimTime::from_secs(5), Event::Audit);
+        let (t1, _) = q.pop().unwrap();
+        assert_eq!(t1, SimTime::from_secs(5));
+        q.schedule(SimTime::from_secs(7), Event::Audit);
+        q.schedule(SimTime::from_secs(6), Event::Audit);
+        let (t2, _) = q.pop().unwrap();
+        assert_eq!(t2, SimTime::from_secs(6));
+        let (t3, _) = q.pop().unwrap();
+        assert_eq!(t3, SimTime::from_secs(7));
+        let (t4, _) = q.pop().unwrap();
+        assert_eq!(t4, SimTime::from_secs(10));
+    }
+}

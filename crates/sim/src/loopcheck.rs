@@ -1,0 +1,184 @@
+//! Online routing-loop auditor.
+//!
+//! LDR's central claim (Theorem 4) is instantaneous loop-freedom: at no
+//! instant may the per-destination successor graph implied by the
+//! routing tables contain a cycle. The auditor snapshots every node's
+//! `(destination, next hop)` pairs and follows successor chains; a
+//! revisited node is a violation. The simulator can run it periodically
+//! or after every protocol event.
+
+use crate::packet::NodeId;
+use std::collections::HashMap;
+
+/// A routing loop found by the auditor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoopViolation {
+    /// Destination whose successor graph is cyclic.
+    pub destination: NodeId,
+    /// The cycle, as the sequence of nodes revisiting the first entry.
+    pub cycle: Vec<NodeId>,
+}
+
+impl std::fmt::Display for LoopViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "loop towards {}: ", self.destination)?;
+        for (i, n) in self.cycle.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Checks the per-destination successor graphs for cycles.
+///
+/// `tables[i]` is node `i`'s list of `(destination, next_hop)` pairs for
+/// its currently usable routes. Returns every distinct cycle found
+/// (one per destination at most, reported from the smallest entry node).
+pub fn find_loops(tables: &[Vec<(NodeId, NodeId)>]) -> Vec<LoopViolation> {
+    // successor[dest] : node -> next hop
+    let mut successor: HashMap<NodeId, HashMap<NodeId, NodeId>> = HashMap::new();
+    for (i, entries) in tables.iter().enumerate() {
+        let me = NodeId(i as u16);
+        for &(dest, next) in entries {
+            successor.entry(dest).or_default().insert(me, next);
+        }
+    }
+    let mut violations = Vec::new();
+    let mut dests: Vec<NodeId> = successor.keys().copied().collect();
+    dests.sort_unstable();
+    for dest in dests {
+        let succ = &successor[&dest];
+        // Colour nodes: 0 unvisited, 1 on current path, 2 done.
+        let mut colour: HashMap<NodeId, u8> = HashMap::new();
+        let mut starts: Vec<NodeId> = succ.keys().copied().collect();
+        starts.sort_unstable();
+        'outer: for &start in &starts {
+            if colour.get(&start).copied().unwrap_or(0) != 0 {
+                continue;
+            }
+            let mut path = Vec::new();
+            let mut cur = start;
+            loop {
+                match colour.get(&cur).copied().unwrap_or(0) {
+                    1 => {
+                        // Found a cycle: trim the path to its start.
+                        let pos = path.iter().position(|&n| n == cur).expect("on path");
+                        let mut cycle: Vec<NodeId> = path[pos..].to_vec();
+                        cycle.push(cur);
+                        violations.push(LoopViolation { destination: dest, cycle });
+                        for &n in &path {
+                            colour.insert(n, 2);
+                        }
+                        continue 'outer;
+                    }
+                    2 => break,
+                    _ => {}
+                }
+                colour.insert(cur, 1);
+                path.push(cur);
+                if cur == dest {
+                    break;
+                }
+                match succ.get(&cur) {
+                    Some(&next) => cur = next,
+                    None => break,
+                }
+            }
+            for &n in &path {
+                colour.insert(n, 2);
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u16) -> NodeId {
+        NodeId(i)
+    }
+
+    #[test]
+    fn empty_tables_have_no_loops() {
+        assert!(find_loops(&[vec![], vec![], vec![]]).is_empty());
+    }
+
+    #[test]
+    fn straight_chain_is_loop_free() {
+        // 0 -> 1 -> 2 -> 3 (dest 3)
+        let tables = vec![
+            vec![(n(3), n(1))],
+            vec![(n(3), n(2))],
+            vec![(n(3), n(3))],
+            vec![],
+        ];
+        assert!(find_loops(&tables).is_empty());
+    }
+
+    #[test]
+    fn two_cycle_detected() {
+        // 0 -> 1 -> 0 for dest 2.
+        let tables = vec![vec![(n(2), n(1))], vec![(n(2), n(0))], vec![]];
+        let v = find_loops(&tables);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].destination, n(2));
+        assert_eq!(v[0].cycle.first(), v[0].cycle.last());
+        assert!(v[0].cycle.len() == 3); // a, b, a
+    }
+
+    #[test]
+    fn three_cycle_detected_with_tail() {
+        // 3 -> 0 -> 1 -> 2 -> 0 for dest 9.
+        let tables = vec![
+            vec![(n(9), n(1))],
+            vec![(n(9), n(2))],
+            vec![(n(9), n(0))],
+            vec![(n(9), n(0))],
+        ];
+        let v = find_loops(&tables);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].cycle.len(), 4);
+    }
+
+    #[test]
+    fn loops_for_different_destinations_both_reported() {
+        let tables = vec![
+            vec![(n(5), n(1)), (n(6), n(1))],
+            vec![(n(5), n(0)), (n(6), n(0))],
+        ];
+        let v = find_loops(&tables);
+        assert_eq!(v.len(), 2);
+        let dests: Vec<NodeId> = v.iter().map(|x| x.destination).collect();
+        assert_eq!(dests, vec![n(5), n(6)]);
+    }
+
+    #[test]
+    fn self_successor_to_destination_is_fine() {
+        // Node 0's next hop *is* the destination: no loop.
+        let tables = vec![vec![(n(1), n(1))], vec![]];
+        assert!(find_loops(&tables).is_empty());
+    }
+
+    #[test]
+    fn diamond_converging_paths_are_loop_free() {
+        // 0 -> {1}, 1 -> 3, 2 -> 1, all towards 3.
+        let tables = vec![
+            vec![(n(3), n(1))],
+            vec![(n(3), n(3))],
+            vec![(n(3), n(1))],
+            vec![],
+        ];
+        assert!(find_loops(&tables).is_empty());
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let v = LoopViolation { destination: n(7), cycle: vec![n(1), n(2), n(1)] };
+        assert_eq!(format!("{v}"), "loop towards n7: n1 -> n2 -> n1");
+    }
+}

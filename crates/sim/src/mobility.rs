@@ -1,0 +1,327 @@
+//! Node mobility models.
+//!
+//! The evaluation uses the random waypoint model (speeds uniform in
+//! [1, 20] m/s, configurable pause time). Static and scripted models are
+//! provided for unit tests and worked examples.
+
+use crate::geometry::{Position, Terrain};
+use crate::packet::NodeId;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+
+/// A mobility model answers "where is node `i` at time `t`".
+///
+/// Queries take `&mut self` so models may advance internal state lazily;
+/// the simulator only ever queries with non-decreasing times per run
+/// (arbitrary re-queries at earlier times are not required to be exact
+/// for lazy models, and the built-in models never receive them).
+pub trait MobilityModel: Send {
+    /// Position of `node` at time `t`.
+    fn position(&mut self, node: NodeId, t: SimTime) -> Position;
+    /// Number of nodes this model covers.
+    fn len(&self) -> usize;
+    /// Whether the model covers zero nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Nodes that never move.
+#[derive(Clone, Debug)]
+pub struct StaticMobility {
+    positions: Vec<Position>,
+}
+
+impl StaticMobility {
+    /// Fixed positions, one per node.
+    pub fn new(positions: Vec<Position>) -> Self {
+        StaticMobility { positions }
+    }
+
+    /// `n` nodes in a straight horizontal line with the given spacing —
+    /// the classic "chain" topology for protocol tests.
+    pub fn line(n: usize, spacing: f64) -> Self {
+        StaticMobility {
+            positions: (0..n).map(|i| Position::new(i as f64 * spacing, 0.0)).collect(),
+        }
+    }
+
+    /// `n` nodes placed uniformly at random in `terrain`.
+    pub fn random(n: usize, terrain: Terrain, rng: &mut SimRng) -> Self {
+        StaticMobility {
+            positions: (0..n).map(|_| terrain.random_position(rng)).collect(),
+        }
+    }
+
+    /// `n` nodes on a near-square grid filling `terrain`.
+    pub fn grid(n: usize, terrain: Terrain) -> Self {
+        let cols = (n as f64).sqrt().ceil().max(1.0) as usize;
+        let rows = n.div_ceil(cols);
+        let positions = (0..n)
+            .map(|i| {
+                let c = i % cols;
+                let r = i / cols;
+                Position::new(
+                    (c as f64 + 0.5) * terrain.width / cols as f64,
+                    (r as f64 + 0.5) * terrain.height / rows.max(1) as f64,
+                )
+            })
+            .collect();
+        StaticMobility { positions }
+    }
+}
+
+impl MobilityModel for StaticMobility {
+    fn position(&mut self, node: NodeId, _t: SimTime) -> Position {
+        self.positions[node.index()]
+    }
+    fn len(&self) -> usize {
+        self.positions.len()
+    }
+}
+
+/// Piecewise-linear scripted motion: each node follows (time, position)
+/// keyframes with linear interpolation, holding the last position
+/// afterwards. Used to stage link breaks at exact instants in tests.
+#[derive(Clone, Debug)]
+pub struct ScriptedMobility {
+    /// Per node: keyframes sorted by time; must be non-empty.
+    tracks: Vec<Vec<(SimTime, Position)>>,
+}
+
+impl ScriptedMobility {
+    /// Builds a scripted model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any track is empty or has out-of-order keyframes.
+    pub fn new(tracks: Vec<Vec<(SimTime, Position)>>) -> Self {
+        for (i, tr) in tracks.iter().enumerate() {
+            assert!(!tr.is_empty(), "node {i} has an empty track");
+            assert!(
+                tr.windows(2).all(|w| w[0].0 <= w[1].0),
+                "node {i} keyframes out of order"
+            );
+        }
+        ScriptedMobility { tracks }
+    }
+}
+
+impl MobilityModel for ScriptedMobility {
+    fn position(&mut self, node: NodeId, t: SimTime) -> Position {
+        let tr = &self.tracks[node.index()];
+        if t <= tr[0].0 {
+            return tr[0].1;
+        }
+        for w in tr.windows(2) {
+            let (t0, p0) = w[0];
+            let (t1, p1) = w[1];
+            if t <= t1 {
+                let span = (t1 - t0).as_nanos();
+                if span == 0 {
+                    return p1;
+                }
+                let f = (t - t0).as_nanos() as f64 / span as f64;
+                return p0.lerp(p1, f);
+            }
+        }
+        tr.last().expect("non-empty track").1
+    }
+    fn len(&self) -> usize {
+        self.tracks.len()
+    }
+}
+
+/// One node's random-waypoint state: pause at `from` until `move_start`,
+/// travel to `to` arriving at `move_end`, then pause again, repeat.
+#[derive(Clone, Debug)]
+struct Leg {
+    from: Position,
+    to: Position,
+    move_start: SimTime,
+    move_end: SimTime,
+}
+
+/// The random waypoint model of the evaluation (§4): each node pauses
+/// for `pause`, picks a uniform destination in the terrain and a uniform
+/// speed in `[min_speed, max_speed]`, travels there, and repeats.
+#[derive(Clone, Debug)]
+pub struct RandomWaypoint {
+    terrain: Terrain,
+    pause: SimDuration,
+    min_speed: f64,
+    max_speed: f64,
+    rng: SimRng,
+    legs: Vec<Leg>,
+}
+
+impl RandomWaypoint {
+    /// Creates the model with `n` nodes at uniform random initial
+    /// positions, initially pausing.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < min_speed <= max_speed`.
+    pub fn new(
+        n: usize,
+        terrain: Terrain,
+        pause: SimDuration,
+        min_speed: f64,
+        max_speed: f64,
+        mut rng: SimRng,
+    ) -> Self {
+        assert!(
+            min_speed > 0.0 && min_speed <= max_speed,
+            "speeds must satisfy 0 < min <= max (got {min_speed}..{max_speed})"
+        );
+        let legs = (0..n)
+            .map(|_| {
+                let p = terrain.random_position(&mut rng);
+                Leg { from: p, to: p, move_start: SimTime::ZERO, move_end: SimTime::ZERO }
+            })
+            .collect();
+        let mut rwp = RandomWaypoint { terrain, pause, min_speed, max_speed, rng, legs };
+        // Turn each placeholder into a real first leg (pause, then move).
+        for i in 0..n {
+            let leg = rwp.next_leg(rwp.legs[i].to, SimTime::ZERO);
+            rwp.legs[i] = leg;
+        }
+        rwp
+    }
+
+    fn next_leg(&mut self, from: Position, pause_from: SimTime) -> Leg {
+        let to = self.terrain.random_position(&mut self.rng);
+        let speed = self.rng.range_f64(self.min_speed, self.max_speed);
+        let dist = from.distance(to);
+        let move_start = pause_from + self.pause;
+        let travel = SimDuration::from_secs_f64(dist / speed);
+        Leg { from, to, move_start, move_end: move_start + travel }
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    fn position(&mut self, node: NodeId, t: SimTime) -> Position {
+        let i = node.index();
+        // Advance past any completed legs (lazily).
+        while t > self.legs[i].move_end + self.pause {
+            let arrived_at = self.legs[i].move_end;
+            let from = self.legs[i].to;
+            self.legs[i] = self.next_leg(from, arrived_at);
+        }
+        let leg = &self.legs[i];
+        if t <= leg.move_start {
+            leg.from
+        } else if t >= leg.move_end {
+            leg.to
+        } else {
+            let span = (leg.move_end - leg.move_start).as_nanos();
+            let f = (t - leg.move_start).as_nanos() as f64 / span as f64;
+            leg.from.lerp(leg.to, f)
+        }
+    }
+    fn len(&self) -> usize {
+        self.legs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_line_spacing() {
+        let mut m = StaticMobility::line(4, 200.0);
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.position(NodeId(3), SimTime::from_secs(5)).x, 600.0);
+        assert_eq!(m.position(NodeId(0), SimTime::ZERO).y, 0.0);
+    }
+
+    #[test]
+    fn static_grid_in_terrain() {
+        let terrain = Terrain::new(1000.0, 500.0);
+        let mut m = StaticMobility::grid(10, terrain);
+        for i in 0..10 {
+            assert!(terrain.contains(m.position(NodeId(i), SimTime::ZERO)));
+        }
+    }
+
+    #[test]
+    fn scripted_interpolates() {
+        let mut m = ScriptedMobility::new(vec![vec![
+            (SimTime::ZERO, Position::new(0.0, 0.0)),
+            (SimTime::from_secs(10), Position::new(100.0, 0.0)),
+        ]]);
+        assert_eq!(m.position(NodeId(0), SimTime::from_secs(5)).x, 50.0);
+        assert_eq!(m.position(NodeId(0), SimTime::from_secs(20)).x, 100.0);
+        assert_eq!(m.position(NodeId(0), SimTime::ZERO).x, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn scripted_rejects_empty_track() {
+        ScriptedMobility::new(vec![vec![]]);
+    }
+
+    #[test]
+    fn rwp_stays_in_terrain_with_monotone_queries() {
+        let terrain = Terrain::new(1500.0, 300.0);
+        let rng = SimRng::stream(1, "mobility");
+        let mut m = RandomWaypoint::new(10, terrain, SimDuration::from_secs(30), 1.0, 20.0, rng);
+        for step in 0..900 {
+            let t = SimTime::from_secs(step);
+            for n in 0..10 {
+                let p = m.position(NodeId(n), t);
+                assert!(terrain.contains(p), "node {n} escaped at {t:?}: {p:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn rwp_nodes_actually_move() {
+        let terrain = Terrain::new(1500.0, 300.0);
+        let rng = SimRng::stream(2, "mobility");
+        let mut m = RandomWaypoint::new(5, terrain, SimDuration::ZERO, 5.0, 5.0, rng);
+        let before = m.position(NodeId(0), SimTime::ZERO);
+        let after = m.position(NodeId(0), SimTime::from_secs(60));
+        assert!(before.distance(after) > 1.0, "node never moved");
+    }
+
+    #[test]
+    fn rwp_respects_pause() {
+        let terrain = Terrain::new(1000.0, 1000.0);
+        let rng = SimRng::stream(3, "mobility");
+        let mut m =
+            RandomWaypoint::new(3, terrain, SimDuration::from_secs(100), 1.0, 2.0, rng);
+        // During the initial pause nodes must hold still.
+        let p0 = m.position(NodeId(1), SimTime::ZERO);
+        let p1 = m.position(NodeId(1), SimTime::from_secs(50));
+        let p2 = m.position(NodeId(1), SimTime::from_secs(99));
+        assert_eq!(p0, p1);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn rwp_speed_bound_respected() {
+        let terrain = Terrain::new(2200.0, 600.0);
+        let rng = SimRng::stream(4, "mobility");
+        let mut m = RandomWaypoint::new(8, terrain, SimDuration::ZERO, 1.0, 20.0, rng);
+        let mut prev: Vec<Position> =
+            (0..8).map(|n| m.position(NodeId(n), SimTime::ZERO)).collect();
+        for step in 1..=300 {
+            let t = SimTime::from_secs(step);
+            for n in 0..8u16 {
+                let p = m.position(NodeId(n), t);
+                let moved = prev[n as usize].distance(p);
+                assert!(moved <= 20.0 + 1e-6, "node {n} moved {moved} m in 1 s");
+                prev[n as usize] = p;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rwp_rejects_zero_speed() {
+        let terrain = Terrain::new(100.0, 100.0);
+        RandomWaypoint::new(1, terrain, SimDuration::ZERO, 0.0, 1.0, SimRng::from_seed(0));
+    }
+}

@@ -1,0 +1,225 @@
+//! Packets exchanged between nodes.
+//!
+//! The simulator is protocol-agnostic: routing-protocol control messages
+//! travel as opaque byte strings ([`ControlPacket::bytes`]) tagged with a
+//! [`ControlKind`] so the metrics layer can attribute overhead without
+//! parsing protocol internals. Data packets carry the fields every
+//! studied protocol needs (addressing, TTL, origination time) plus an
+//! opaque extension area used by source-routing protocols.
+
+use crate::time::SimTime;
+use std::fmt;
+
+/// Identifier of a node (dense indices `0..n`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u16);
+
+impl NodeId {
+    /// The index as a `usize`, for table lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u16> for NodeId {
+    fn from(v: u16) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Default time-to-live for data packets (hops).
+pub const DEFAULT_DATA_TTL: u8 = 64;
+
+/// Bytes of network-layer header added to every packet (an IPv4 header).
+pub const IP_HEADER_BYTES: usize = 20;
+
+/// Category of a routing-protocol control message, used for overhead
+/// accounting (the paper's "network load" counts RREQ, RREP, RERR,
+/// Hello, TC, etc. transmissions).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ControlKind {
+    /// Route request (AODV, LDR, DSR).
+    Rreq,
+    /// Route reply (AODV, LDR, DSR).
+    Rrep,
+    /// Route error (AODV, LDR, DSR).
+    Rerr,
+    /// Neighbour-sensing hello (OLSR).
+    Hello,
+    /// Topology-control broadcast (OLSR).
+    Tc,
+    /// Anything else.
+    Other,
+}
+
+impl ControlKind {
+    /// All kinds, in display order.
+    pub const ALL: [ControlKind; 6] = [
+        ControlKind::Rreq,
+        ControlKind::Rrep,
+        ControlKind::Rerr,
+        ControlKind::Hello,
+        ControlKind::Tc,
+        ControlKind::Other,
+    ];
+}
+
+/// An application data packet (the CBR payload of the evaluation).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DataPacket {
+    /// Originating node.
+    pub src: NodeId,
+    /// Final destination.
+    pub dst: NodeId,
+    /// Flow this packet belongs to (for metrics).
+    pub flow: u32,
+    /// Sequence number within the flow.
+    pub seq: u32,
+    /// Time the application originated the packet.
+    pub created: SimTime,
+    /// Application payload length in bytes (512 in the paper).
+    pub payload_len: u16,
+    /// Remaining hop budget; forwarders decrement and drop at zero.
+    pub ttl: u8,
+    /// Protocol extension header (e.g. a DSR source route), opaque to
+    /// the simulator but counted in the transmitted size.
+    pub ext: Vec<u8>,
+}
+
+impl DataPacket {
+    /// Total on-air network-layer size in bytes.
+    pub fn wire_size(&self) -> usize {
+        IP_HEADER_BYTES + self.payload_len as usize + self.ext.len()
+    }
+}
+
+/// A routing-protocol control message.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ControlPacket {
+    /// Message category for overhead accounting.
+    pub kind: ControlKind,
+    /// Encoded message body (protocol-defined wire format).
+    pub bytes: Vec<u8>,
+}
+
+impl ControlPacket {
+    /// Total on-air network-layer size in bytes.
+    pub fn wire_size(&self) -> usize {
+        IP_HEADER_BYTES + self.bytes.len()
+    }
+}
+
+/// Network-layer packet body.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PacketBody {
+    /// Application data.
+    Data(DataPacket),
+    /// Routing-protocol control.
+    Control(ControlPacket),
+}
+
+/// A network-layer packet in flight.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Packet {
+    /// Globally unique packet id (assigned by the simulator at send time).
+    pub uid: u64,
+    /// The node that created this packet (not the current transmitter);
+    /// used to distinguish "initiated" from hop-wise "transmitted" counts.
+    pub origin: NodeId,
+    /// Payload.
+    pub body: PacketBody,
+}
+
+impl Packet {
+    /// Total on-air network-layer size in bytes.
+    pub fn wire_size(&self) -> usize {
+        match &self.body {
+            PacketBody::Data(d) => d.wire_size(),
+            PacketBody::Control(c) => c.wire_size(),
+        }
+    }
+
+    /// The control kind, if this is a control packet.
+    pub fn control_kind(&self) -> Option<ControlKind> {
+        match &self.body {
+            PacketBody::Control(c) => Some(c.kind),
+            PacketBody::Data(_) => None,
+        }
+    }
+
+    /// Borrow the data payload, if this is a data packet.
+    pub fn as_data(&self) -> Option<&DataPacket> {
+        match &self.body {
+            PacketBody::Data(d) => Some(d),
+            PacketBody::Control(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> DataPacket {
+        DataPacket {
+            src: NodeId(1),
+            dst: NodeId(2),
+            flow: 0,
+            seq: 9,
+            created: SimTime::ZERO,
+            payload_len: 512,
+            ttl: DEFAULT_DATA_TTL,
+            ext: vec![],
+        }
+    }
+
+    #[test]
+    fn data_wire_size_includes_ip_header_and_ext() {
+        let mut d = data();
+        assert_eq!(d.wire_size(), 532);
+        d.ext = vec![0u8; 12];
+        assert_eq!(d.wire_size(), 544);
+    }
+
+    #[test]
+    fn control_wire_size() {
+        let c = ControlPacket { kind: ControlKind::Rreq, bytes: vec![0u8; 24] };
+        assert_eq!(c.wire_size(), 44);
+    }
+
+    #[test]
+    fn packet_accessors() {
+        let p = Packet { uid: 1, origin: NodeId(1), body: PacketBody::Data(data()) };
+        assert!(p.as_data().is_some());
+        assert_eq!(p.control_kind(), None);
+        assert_eq!(p.wire_size(), 532);
+
+        let q = Packet {
+            uid: 2,
+            origin: NodeId(3),
+            body: PacketBody::Control(ControlPacket { kind: ControlKind::Tc, bytes: vec![1, 2] }),
+        };
+        assert_eq!(q.control_kind(), Some(ControlKind::Tc));
+        assert!(q.as_data().is_none());
+        assert_eq!(q.wire_size(), 22);
+    }
+
+    #[test]
+    fn node_id_display_and_index() {
+        assert_eq!(format!("{}", NodeId(7)), "n7");
+        assert_eq!(NodeId(7).index(), 7);
+        assert_eq!(NodeId::from(3u16), NodeId(3));
+    }
+}

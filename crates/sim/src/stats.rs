@@ -1,0 +1,147 @@
+//! Summary statistics: online mean/variance and Student-t 95%
+//! confidence intervals, matching the paper's error bars ("the vertical
+//! error bars represent the 95% confidence interval").
+
+/// Online (Welford) accumulator for mean and variance.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Accumulator {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Accumulator {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Half-width of the 95% confidence interval of the mean
+    /// (Student-t). Zero with fewer than two observations.
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let t = t_quantile_975(self.n - 1);
+        t * self.std_dev() / (self.n as f64).sqrt()
+    }
+
+    /// Formats "mean ± ci" with the given precision.
+    pub fn display(&self, precision: usize) -> String {
+        format!("{:.p$} ± {:.p$}", self.mean(), self.ci95_half_width(), p = precision)
+    }
+}
+
+impl FromIterator<f64> for Accumulator {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut acc = Accumulator::new();
+        for x in iter {
+            acc.push(x);
+        }
+        acc
+    }
+}
+
+/// Two-sided 97.5% quantile of Student's t distribution for `df`
+/// degrees of freedom (table through 30, then the normal limit).
+pub fn t_quantile_975(df: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[(df - 1) as usize],
+        31..=60 => 2.00,
+        _ => 1.96,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_known_values() {
+        let acc: Accumulator = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(acc.count(), 8);
+        assert!((acc.mean() - 5.0).abs() < 1e-12);
+        // Sample variance of this classic dataset is 32/7.
+        assert!((acc.variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_single_observation() {
+        let mut acc = Accumulator::new();
+        assert_eq!(acc.mean(), 0.0);
+        assert_eq!(acc.ci95_half_width(), 0.0);
+        acc.push(3.5);
+        assert_eq!(acc.mean(), 3.5);
+        assert_eq!(acc.variance(), 0.0);
+        assert_eq!(acc.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn ci_formula_for_ten_trials() {
+        // Ten identical-ish trials, known closed form: t(9) = 2.262.
+        let acc: Accumulator = (0..10).map(|i| i as f64).collect();
+        let expected = 2.262 * acc.std_dev() / 10f64.sqrt();
+        assert!((acc.ci95_half_width() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ci_shrinks_with_more_data() {
+        let small: Accumulator = (0..5).map(|i| (i % 2) as f64).collect();
+        let large: Accumulator = (0..500).map(|i| (i % 2) as f64).collect();
+        assert!(large.ci95_half_width() < small.ci95_half_width());
+    }
+
+    #[test]
+    fn t_table_monotone_towards_normal() {
+        assert!(t_quantile_975(1) > t_quantile_975(5));
+        assert!(t_quantile_975(5) > t_quantile_975(30));
+        assert!(t_quantile_975(30) > t_quantile_975(1000));
+        assert_eq!(t_quantile_975(1000), 1.96);
+        assert!(t_quantile_975(0).is_infinite());
+    }
+
+    #[test]
+    fn display_formats() {
+        let acc: Accumulator = [1.0, 2.0, 3.0].into_iter().collect();
+        let s = acc.display(2);
+        assert!(s.starts_with("2.00 ± "), "{s}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Packet-lifecycle tracing.
+//!
+//! An optional [`TraceSink`] attached to a [`crate::world::World`]
+//! receives one event per interesting link-layer/routing occurrence:
+//! transmissions, clean receptions, collision losses, MAC give-ups and
+//! application deliveries. [`MemoryTrace`] collects them for assertions
+//! and debugging; shared handles (`Arc<Mutex<MemoryTrace>>`) implement
+//! the trait too, so callers can keep access while the world owns the
+//! sink.
+
+use crate::packet::NodeId;
+use crate::time::SimTime;
+use std::sync::{Arc, Mutex};
+
+/// One traced occurrence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A node put a frame on the air (first attempt or retry).
+    TxStart {
+        /// Transmitter.
+        node: NodeId,
+        /// Packet uid (`None` for link-layer ACKs).
+        uid: Option<u64>,
+        /// Link destination; `None` is a broadcast.
+        dst: Option<NodeId>,
+    },
+    /// A frame was received intact.
+    RxOk {
+        /// Receiver.
+        node: NodeId,
+        /// Packet uid (`None` for link-layer ACKs).
+        uid: Option<u64>,
+    },
+    /// A reception was corrupted by a collision.
+    RxCollision {
+        /// Receiver.
+        node: NodeId,
+    },
+    /// The MAC exhausted its retries for a unicast frame.
+    MacGiveUp {
+        /// Transmitter.
+        node: NodeId,
+        /// The unreachable next hop.
+        dst: NodeId,
+        /// Packet uid.
+        uid: u64,
+    },
+    /// A data packet reached its destination application.
+    Delivered {
+        /// Destination node.
+        node: NodeId,
+        /// Flow id.
+        flow: u32,
+        /// Sequence within the flow.
+        seq: u32,
+    },
+}
+
+/// Receives trace events from the simulator.
+pub trait TraceSink: Send {
+    /// Records one event at simulated time `t`.
+    fn record(&mut self, t: SimTime, event: TraceEvent);
+}
+
+/// An in-memory event log.
+#[derive(Debug, Default)]
+pub struct MemoryTrace {
+    events: Vec<(SimTime, TraceEvent)>,
+}
+
+impl MemoryTrace {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A shareable handle usable both as the world's sink and for
+    /// later inspection.
+    pub fn shared() -> Arc<Mutex<MemoryTrace>> {
+        Arc::new(Mutex::new(MemoryTrace::new()))
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[(SimTime, TraceEvent)] {
+        &self.events
+    }
+
+    /// Number of events matching a predicate.
+    pub fn count<F: Fn(&TraceEvent) -> bool>(&self, f: F) -> usize {
+        self.events.iter().filter(|(_, e)| f(e)).count()
+    }
+}
+
+impl TraceSink for MemoryTrace {
+    fn record(&mut self, t: SimTime, event: TraceEvent) {
+        self.events.push((t, event));
+    }
+}
+
+impl TraceSink for Arc<Mutex<MemoryTrace>> {
+    fn record(&mut self, t: SimTime, event: TraceEvent) {
+        self.lock().expect("trace poisoned").record(t, event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_trace_records_in_order() {
+        let mut tr = MemoryTrace::new();
+        tr.record(SimTime::from_secs(1), TraceEvent::RxCollision { node: NodeId(1) });
+        tr.record(
+            SimTime::from_secs(2),
+            TraceEvent::Delivered { node: NodeId(2), flow: 1, seq: 0 },
+        );
+        assert_eq!(tr.events().len(), 2);
+        assert!(tr.events()[0].0 < tr.events()[1].0);
+        assert_eq!(tr.count(|e| matches!(e, TraceEvent::Delivered { .. })), 1);
+    }
+
+    #[test]
+    fn shared_handle_feeds_the_same_log() {
+        let shared = MemoryTrace::shared();
+        let mut sink: Box<dyn TraceSink> = Box::new(shared.clone());
+        sink.record(SimTime::ZERO, TraceEvent::RxOk { node: NodeId(0), uid: Some(7) });
+        assert_eq!(shared.lock().unwrap().events().len(), 1);
+    }
+}

@@ -1,0 +1,89 @@
+//! Constant-bit-rate traffic generation.
+//!
+//! The evaluation drives the network with a fixed number of concurrent
+//! CBR flows (10 or 30), each sending 512-byte packets at 4 packets/s
+//! between random distinct endpoints, with flow lifetimes drawn from an
+//! exponential distribution with mean 100 s; when a flow ends a new one
+//! replaces it, so the offered load is constant.
+
+use crate::time::SimDuration;
+
+/// CBR workload parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrafficConfig {
+    /// Number of concurrent flows.
+    pub n_flows: usize,
+    /// Packets per second per flow.
+    pub pkts_per_sec: f64,
+    /// Application payload bytes per packet.
+    pub payload_len: u16,
+    /// Mean flow lifetime in seconds (exponential).
+    pub mean_flow_secs: f64,
+    /// Flow starts are staggered uniformly over this window.
+    pub start_window: SimDuration,
+}
+
+impl TrafficConfig {
+    /// The paper's workload: `n_flows` CBR flows of 512-byte packets at
+    /// 4 packets per second, mean flow length 100 s.
+    pub fn paper(n_flows: usize) -> Self {
+        TrafficConfig {
+            n_flows,
+            pkts_per_sec: 4.0,
+            payload_len: 512,
+            mean_flow_secs: 100.0,
+            start_window: SimDuration::from_secs(20),
+        }
+    }
+
+    /// Interval between packets of one flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pkts_per_sec` is not positive.
+    pub fn packet_interval(&self) -> SimDuration {
+        assert!(self.pkts_per_sec > 0.0, "packet rate must be positive");
+        SimDuration::from_secs_f64(1.0 / self.pkts_per_sec)
+    }
+}
+
+/// Internal state of one flow slot (the current flow occupying it).
+#[derive(Clone, Debug)]
+pub(crate) struct FlowState {
+    /// Metrics identity of the current flow instance.
+    pub flow_id: u32,
+    /// Source node index.
+    pub src: u16,
+    /// Destination node index.
+    pub dst: u16,
+    /// Next packet sequence number.
+    pub next_seq: u32,
+    /// When the current flow instance ends.
+    pub ends_at: crate::time::SimTime,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let t = TrafficConfig::paper(10);
+        assert_eq!(t.n_flows, 10);
+        assert_eq!(t.payload_len, 512);
+        assert_eq!(t.packet_interval(), SimDuration::from_millis(250));
+    }
+
+    #[test]
+    fn packet_interval_from_rate() {
+        let t = TrafficConfig { pkts_per_sec: 8.0, ..TrafficConfig::paper(1) };
+        assert_eq!(t.packet_interval(), SimDuration::from_millis(125));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rate_rejected() {
+        let t = TrafficConfig { pkts_per_sec: 0.0, ..TrafficConfig::paper(1) };
+        let _ = t.packet_interval();
+    }
+}

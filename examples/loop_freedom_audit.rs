@@ -1,0 +1,80 @@
+//! The loop-freedom claim, observed live (Theorem 4).
+//!
+//! Runs LDR and AODV through an aggressive churn scenario (50 fast
+//! nodes, zero pause time, 20 flows) with the routing-loop auditor
+//! snapshotting every node's successor graph once per simulated second.
+//! LDR must show zero loops at every instant; AODV — whose loop
+//! avoidance rests solely on sequence numbers — is allowed transient
+//! inconsistencies, and usually shows a few.
+//!
+//! Run with `cargo run --release --example loop_freedom_audit -- [seeds]`.
+
+use ldr::{Ldr, LdrConfig};
+use manet_baselines::{Aodv, AodvConfig};
+use manet_sim::config::SimConfig;
+use manet_sim::geometry::Terrain;
+use manet_sim::mobility::RandomWaypoint;
+use manet_sim::packet::NodeId;
+use manet_sim::protocol::RoutingProtocol;
+use manet_sim::rng::SimRng;
+use manet_sim::time::SimDuration;
+use manet_sim::traffic::TrafficConfig;
+use manet_sim::world::World;
+
+fn churn_run(
+    mut factory: Box<dyn FnMut(NodeId, usize) -> Box<dyn RoutingProtocol>>,
+    seed: u64,
+) -> (u64, Option<String>) {
+    let cfg = SimConfig {
+        duration: SimDuration::from_secs(120),
+        seed,
+        audit_interval: Some(SimDuration::from_secs(1)),
+        ..SimConfig::default()
+    };
+    let mobility = RandomWaypoint::new(
+        50,
+        Terrain::new(1500.0, 300.0),
+        SimDuration::ZERO, // never pause: maximum churn
+        1.0,
+        20.0,
+        SimRng::stream(seed, "mobility"),
+    );
+    let mut world = World::new(cfg, Box::new(mobility), |id, n| factory(id, n));
+    world.with_cbr(TrafficConfig::paper(20));
+    world.run_until(manet_sim::time::SimTime::from_secs(120));
+    world.finalize();
+    let loops = world.metrics().loop_violations;
+    let example = world.first_loop.as_ref().map(|v| v.to_string());
+    (loops, example)
+}
+
+fn main() {
+    let seeds: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+
+    println!("Auditing successor graphs once per simulated second under maximum churn");
+    println!("(50 nodes, pause 0, 20 flows, 120 s per seed, {seeds} seeds)\n");
+
+    let mut ldr_total = 0;
+    let mut aodv_total = 0;
+    for seed in 1..=seeds {
+        let (ldr_loops, _) = churn_run(Box::new(Ldr::factory(LdrConfig::default())), seed);
+        let (aodv_loops, aodv_example) =
+            churn_run(Box::new(Aodv::factory(AodvConfig::default())), seed);
+        println!("seed {seed}: LDR {ldr_loops} loops, AODV {aodv_loops} loops");
+        if let Some(example) = aodv_example {
+            println!("         first AODV cycle: {example}");
+        }
+        ldr_total += ldr_loops;
+        aodv_total += aodv_loops;
+        assert_eq!(ldr_loops, 0, "LDR must be loop-free at every instant (Theorem 4)");
+    }
+
+    println!("\ntotals: LDR {ldr_total}, AODV {aodv_total}");
+    println!(
+        "LDR's feasible-distance invariant (NDC) plus destination-controlled \
+         resets kept every audited successor graph acyclic."
+    );
+}

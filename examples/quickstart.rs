@@ -1,0 +1,109 @@
+//! Quickstart: a staged walk-through in the spirit of the paper's
+//! Fig. 1 example (§2.3).
+//!
+//! A five-node chain `E – B – C – D – T` discovers a route on demand,
+//! then the `D – T` leg breaks and LDR re-discovers while the loop
+//! auditor confirms that the tables are loop-free at every step. The
+//! printed routing tables show the two invariants that make LDR work:
+//! the measured distance and the feasible distance (`fd`).
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use ldr::{Ldr, LdrConfig};
+use manet_sim::config::SimConfig;
+use manet_sim::geometry::Position;
+use manet_sim::mobility::ScriptedMobility;
+use manet_sim::packet::NodeId;
+use manet_sim::time::{SimDuration, SimTime};
+use manet_sim::world::World;
+
+const NAMES: [&str; 5] = ["E", "B", "C", "D", "T"];
+
+fn print_tables(world: &World, when: &str) {
+    println!("\n--- routing tables {when} ---");
+    for i in 0..5u16 {
+        let dump = world.protocol(NodeId(i)).route_table_dump();
+        if dump.is_empty() {
+            println!("  {}: (empty)", NAMES[i as usize]);
+            continue;
+        }
+        let rows: Vec<String> = dump
+            .iter()
+            .map(|r| {
+                format!(
+                    "{}: via {} d={} fd={} {}",
+                    NAMES[r.dest.index()],
+                    NAMES[r.next.index()],
+                    r.dist,
+                    r.feasible_dist.map_or("-".into(), |f| f.to_string()),
+                    if r.valid { "ok" } else { "stale" }
+                )
+            })
+            .collect();
+        println!("  {}: {}", NAMES[i as usize], rows.join(" | "));
+    }
+}
+
+fn main() {
+    // E(0) B(1) C(2) D(3) T(4) in a 200 m-spaced chain; at t = 10 s,
+    // T walks out of D's radio range (275 m), breaking the last leg,
+    // and comes back into range of C at 600 m (so the network heals
+    // through a shorter path).
+    let keyframe = |x: f64| Position::new(x, 0.0);
+    let tracks = vec![
+        vec![(SimTime::ZERO, keyframe(0.0))],
+        vec![(SimTime::ZERO, keyframe(200.0))],
+        vec![(SimTime::ZERO, keyframe(400.0))],
+        vec![(SimTime::ZERO, keyframe(600.0))],
+        vec![
+            (SimTime::ZERO, keyframe(800.0)),
+            (SimTime::from_secs(10), keyframe(800.0)),
+            (SimTime::from_secs(12), keyframe(880.0)), // leaves D's range
+            (SimTime::from_secs(20), keyframe(650.0)), // returns near D/C
+        ],
+    ];
+    let mobility = ScriptedMobility::new(tracks);
+    let cfg = SimConfig {
+        duration: SimDuration::from_secs(30),
+        seed: 42,
+        audit_interval: Some(SimDuration::from_millis(500)),
+        ..SimConfig::default()
+    };
+    let mut world = World::new(cfg, Box::new(mobility), Ldr::factory(LdrConfig::default()));
+
+    println!("LDR quickstart: E discovers T across a 4-hop chain, survives a break");
+
+    // Phase 1: E sends CBR-ish packets to T starting at t = 1 s.
+    for k in 0..100u64 {
+        world.schedule_app_packet(
+            SimTime::from_millis(1000 + 250 * k),
+            NodeId(0),
+            NodeId(4),
+            512,
+        );
+    }
+
+    world.run_until(SimTime::from_secs(5));
+    print_tables(&world, "after the first discovery (t = 5 s)");
+    println!(
+        "  E's own seqno: {}   T's own seqno: {}",
+        world.protocol(NodeId(0)).own_seqno_value().unwrap_or(0.0),
+        world.protocol(NodeId(4)).own_seqno_value().unwrap_or(0.0),
+    );
+
+    world.run_until(SimTime::from_secs(15));
+    print_tables(&world, "just after the D–T break (t = 15 s)");
+
+    world.run_until(SimTime::from_secs(30));
+    print_tables(&world, "after healing (t = 30 s)");
+
+    world.finalize();
+    let m = world.metrics();
+    println!("\n--- outcome ---");
+    println!("  originated {}   delivered {} ({:.1}%)", m.data_originated, m.data_delivered, 100.0 * m.delivery_ratio());
+    println!("  mean latency {:.2} ms", 1000.0 * m.mean_latency_s());
+    println!("  RREQ tx {}   RREP tx {:?}", m.rreq_tx(), m.control_tx.get(&manet_sim::packet::ControlKind::Rrep));
+    println!("  destination seqno resets (T-bit path resets): {}", world.protocol(NodeId(4)).own_seqno_value().unwrap_or(0.0));
+    println!("  loop-audit violations: {} (LDR is loop-free at every instant)", m.loop_violations);
+    assert_eq!(m.loop_violations, 0);
+}

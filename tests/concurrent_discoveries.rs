@@ -1,0 +1,118 @@
+//! Lemmas 3–5 of the paper, empirically: simultaneous route
+//! calculations — by nodes on and off each other's solicitation paths,
+//! for the same and different destinations — all terminate with
+//! feasible advertisements and never interfere with each other's
+//! engagement state.
+
+use ldr::{Ldr, LdrConfig};
+use manet_sim::config::SimConfig;
+use manet_sim::mobility::StaticMobility;
+use manet_sim::packet::NodeId;
+use manet_sim::time::{SimDuration, SimTime};
+use manet_sim::world::World;
+
+/// A 9-node grid-ish mesh (3 × 3, 200 m spacing) where several sources
+/// discover the same destination at the same instant.
+fn mesh_world(seed: u64) -> World {
+    let mut positions = Vec::new();
+    for r in 0..3 {
+        for c in 0..3 {
+            positions.push(manet_sim::geometry::Position::new(
+                c as f64 * 200.0,
+                r as f64 * 200.0,
+            ));
+        }
+    }
+    let cfg = SimConfig {
+        duration: SimDuration::from_secs(30),
+        seed,
+        audit_interval: Some(SimDuration::from_millis(250)),
+        ..SimConfig::default()
+    };
+    World::new(
+        cfg,
+        Box::new(StaticMobility::new(positions)),
+        Ldr::factory(LdrConfig::default()),
+    )
+}
+
+#[test]
+fn simultaneous_discoveries_for_the_same_destination_all_succeed() {
+    let mut world = mesh_world(41);
+    // Nodes 0, 2 and 6 (three corners) all want node 8 (the far
+    // corner) at exactly t = 1 s — three concurrent computations for
+    // one destination (Lemma 4's setting).
+    for src in [0u16, 2, 6] {
+        for k in 0..40u64 {
+            world.schedule_app_packet(
+                SimTime::from_millis(1000 + 250 * k),
+                NodeId(src),
+                NodeId(8),
+                512,
+            );
+        }
+    }
+    let m = world.run();
+    assert_eq!(m.data_originated, 120);
+    assert!(
+        m.delivery_ratio() > 0.95,
+        "all three computations must converge: {:.2}",
+        m.delivery_ratio()
+    );
+    assert_eq!(m.loop_violations, 0);
+    assert_eq!(
+        m.proto.get(&manet_sim::protocol::ProtoCounter::DiscoveryFailed).copied().unwrap_or(0),
+        0,
+        "no computation may starve"
+    );
+}
+
+#[test]
+fn crossing_discoveries_for_different_destinations_do_not_interfere() {
+    let mut world = mesh_world(43);
+    // Two flows crossing through the centre in opposite directions,
+    // started at the same instant: 0 -> 8 and 8 -> 0, plus 2 -> 6.
+    let pairs = [(0u16, 8u16), (8, 0), (2, 6)];
+    for (src, dst) in pairs {
+        for k in 0..40u64 {
+            world.schedule_app_packet(
+                SimTime::from_millis(1000 + 250 * k),
+                NodeId(src),
+                NodeId(dst),
+                512,
+            );
+        }
+    }
+    let m = world.run();
+    assert!(
+        m.delivery_ratio() > 0.95,
+        "crossing computations must not break each other: {:.2}",
+        m.delivery_ratio()
+    );
+    assert_eq!(m.loop_violations, 0);
+}
+
+#[test]
+fn relay_can_go_active_for_a_destination_while_engaged_for_it() {
+    // Lemma 5's setting: node 4 (the centre) relays 0's computation for
+    // 8, and moments later originates its own traffic to 8 — becoming
+    // active for a destination it is engaged for.
+    let mut world = mesh_world(47);
+    for k in 0..40u64 {
+        world.schedule_app_packet(
+            SimTime::from_millis(1000 + 250 * k),
+            NodeId(0),
+            NodeId(8),
+            512,
+        );
+        world.schedule_app_packet(
+            SimTime::from_millis(1005 + 250 * k),
+            NodeId(4),
+            NodeId(8),
+            512,
+        );
+    }
+    let m = world.run();
+    assert!(m.delivery_ratio() > 0.95, "{:.2}", m.delivery_ratio());
+    assert_eq!(m.loop_violations, 0);
+}
