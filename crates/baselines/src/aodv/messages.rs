@@ -195,7 +195,8 @@ mod tests {
 
     #[test]
     fn rrep_round_trip() {
-        let m = Rrep { dst: NodeId(7), dst_seq: 20, orig: NodeId(1), hop_count: 2, lifetime_ms: 3000 };
+        let m =
+            Rrep { dst: NodeId(7), dst_seq: 20, orig: NodeId(1), hop_count: 2, lifetime_ms: 3000 };
         assert_eq!(Rrep::decode(&m.encode()), Some(m));
     }
 

@@ -14,7 +14,7 @@ pub mod messages;
 use manet_sim::packet::{ControlKind, ControlPacket, DataPacket, NodeId, Packet, PacketBody};
 use manet_sim::protocol::{Ctx, DropReason, ProtoCounter, RouteDump, RoutingProtocol};
 use manet_sim::time::{SimDuration, SimTime};
-use messages::{Rerr, RerrEntry, Rreq, Rrep};
+use messages::{Rerr, RerrEntry, Rrep, Rreq};
 use std::collections::{HashMap, VecDeque};
 
 /// Timer token for the periodic state sweep.
@@ -208,9 +208,7 @@ impl Aodv {
             }
             Some(r) => {
                 let accept = match (seq, r.seq) {
-                    (Some(n), Some(o)) => {
-                        n > o || (n == o && (hops < r.hops || !r.is_active(now)))
-                    }
+                    (Some(n), Some(o)) => n > o || (n == o && (hops < r.hops || !r.is_active(now))),
                     (Some(_), None) => true,
                     (None, _) => !r.is_active(now),
                 };
@@ -413,14 +411,8 @@ impl Aodv {
         }
         let hops = u32::from(rrep.hop_count) + 1;
         let lifetime = SimDuration::from_millis(u64::from(rrep.lifetime_ms));
-        let installed = self.update_route(
-            rrep.dst,
-            Some(rrep.dst_seq),
-            hops,
-            prev,
-            now,
-            now + lifetime,
-        );
+        let installed =
+            self.update_route(rrep.dst, Some(rrep.dst_seq), hops, prev, now, now + lifetime);
         if installed {
             ctx.count(ProtoCounter::RrepUsableRecv);
         }
@@ -614,8 +606,7 @@ impl RoutingProtocol for Aodv {
             }
             // Emit a hello if this node is part of any active route.
             if self.routes.values().any(|r| r.is_active(now)) {
-                let life = interval
-                    .saturating_mul(u64::from(self.cfg.allowed_hello_loss) + 1);
+                let life = interval.saturating_mul(u64::from(self.cfg.allowed_hello_loss) + 1);
                 let hello = Rrep {
                     dst: self.id,
                     dst_seq: self.own_seq,

@@ -234,8 +234,7 @@ fn link_break_increments_stored_seq_and_sends_rerr() {
     assert!(n.aodv.active(NodeId(7), n.now).is_none());
     let rerrs = sent_rerrs(&acts);
     assert_eq!(rerrs.len(), 1);
-    let mut seqs: Vec<(u16, u32)> =
-        rerrs[0].entries.iter().map(|e| (e.dst.0, e.dst_seq)).collect();
+    let mut seqs: Vec<(u16, u32)> = rerrs[0].entries.iter().map(|e| (e.dst.0, e.dst_seq)).collect();
     seqs.sort_unstable();
     assert_eq!(seqs, vec![(7, 10), (8, 4)], "numbers inflate on breaks");
     assert_eq!(n.aodv.route(NodeId(7)).unwrap().seq, Some(10));
@@ -307,9 +306,7 @@ fn data_without_route_at_relay_errs_upstream() {
     let mut n = Node::new(5);
     let acts = n.call(|a, ctx| a.handle_data_packet(ctx, NodeId(2), data(0, 7)));
     assert_eq!(sent_rerrs(&acts).len(), 1);
-    assert!(acts
-        .iter()
-        .any(|a| matches!(a, Action::DropData { reason: DropReason::NoRoute, .. })));
+    assert!(acts.iter().any(|a| matches!(a, Action::DropData { reason: DropReason::NoRoute, .. })));
 }
 
 #[test]
@@ -344,10 +341,8 @@ fn own_seqno_value_reflects_growth() {
 // ----- hello-based link sensing (RFC 3561 §6.9, optional) -------------------
 
 fn hello_node(id: u16) -> Node {
-    let cfg = AodvConfig {
-        hello_interval: Some(SimDuration::from_secs(1)),
-        ..AodvConfig::default()
-    };
+    let cfg =
+        AodvConfig { hello_interval: Some(SimDuration::from_secs(1)), ..AodvConfig::default() };
     Node {
         aodv: Aodv::new(NodeId(id), cfg),
         rng: SimRng::from_seed(u64::from(id)),
@@ -363,7 +358,9 @@ fn hellos_emitted_only_with_active_routes() {
     assert!(!acts
         .iter()
         .any(|a| matches!(a, Action::Broadcast { ctrl, .. } if ctrl.kind == ControlKind::Hello)));
-    assert!(acts.iter().any(|a| matches!(a, Action::SetTimer { token, .. } if *token == HELLO_TOKEN)));
+    assert!(acts
+        .iter()
+        .any(|a| matches!(a, Action::SetTimer { token, .. } if *token == HELLO_TOKEN)));
     // With a route: a hello goes out, carrying our own number.
     n.install(7, 9, 1, 6);
     let acts = n.timer(HELLO_TOKEN);
@@ -384,15 +381,13 @@ fn hellos_emitted_only_with_active_routes() {
 #[test]
 fn received_hello_installs_neighbor_route_without_forwarding() {
     let mut n = hello_node(5);
-    let hello = Rrep { dst: NodeId(2), dst_seq: 7, orig: NodeId(2), hop_count: 0, lifetime_ms: 3000 };
+    let hello =
+        Rrep { dst: NodeId(2), dst_seq: 7, orig: NodeId(2), hop_count: 0, lifetime_ms: 3000 };
     let acts = n.call(|a, ctx| {
         a.handle_control(
             ctx,
             NodeId(2),
-            manet_sim::packet::ControlPacket {
-                kind: ControlKind::Hello,
-                bytes: hello.encode(),
-            },
+            manet_sim::packet::ControlPacket { kind: ControlKind::Hello, bytes: hello.encode() },
             true,
         )
     });
@@ -405,7 +400,8 @@ fn received_hello_installs_neighbor_route_without_forwarding() {
 fn silent_neighbor_triggers_rerr_on_hello_sweep() {
     let mut n = hello_node(5);
     // Neighbour 6 said hello at t=1 with 3 s of life...
-    let hello = Rrep { dst: NodeId(6), dst_seq: 1, orig: NodeId(6), hop_count: 0, lifetime_ms: 3000 };
+    let hello =
+        Rrep { dst: NodeId(6), dst_seq: 1, orig: NodeId(6), hop_count: 0, lifetime_ms: 3000 };
     n.call(|a, ctx| {
         a.handle_control(
             ctx,

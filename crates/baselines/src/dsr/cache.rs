@@ -58,12 +58,7 @@ impl RouteCache {
         }
         if self.paths.len() >= self.cap {
             // Evict the oldest.
-            if let Some((i, _)) = self
-                .paths
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, p)| p.added)
-            {
+            if let Some((i, _)) = self.paths.iter().enumerate().min_by_key(|(_, p)| p.added) {
                 self.paths.remove(i);
             }
         }

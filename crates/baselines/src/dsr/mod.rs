@@ -23,7 +23,7 @@ use cache::RouteCache;
 use manet_sim::packet::{ControlKind, ControlPacket, DataPacket, NodeId, Packet, PacketBody};
 use manet_sim::protocol::{Ctx, DropReason, ProtoCounter, RouteDump, RoutingProtocol};
 use manet_sim::time::{SimDuration, SimTime};
-use messages::{Rerr, Rreq, Rrep, SourceRoute};
+use messages::{Rerr, Rrep, Rreq, SourceRoute};
 use std::collections::{HashMap, VecDeque};
 
 const CLEANUP_TOKEN: u64 = u64::MAX;
@@ -173,11 +173,8 @@ impl Dsr {
     }
 
     fn send_rreq(&mut self, ctx: &mut Ctx, dest: NodeId, attempt: u32, generation: u64) {
-        let ttl = if attempt == 1 && self.cfg.non_propagating_first {
-            1
-        } else {
-            self.cfg.flood_ttl
-        };
+        let ttl =
+            if attempt == 1 && self.cfg.non_propagating_first { 1 } else { self.cfg.flood_ttl };
         let id = self.next_id;
         self.next_id += 1;
         let rreq = Rreq { src: self.id, dst: dest, id, ttl, route: vec![] };

@@ -40,11 +40,7 @@ fn read_ids(b: &[u8], at: usize, n: usize) -> Option<Vec<NodeId>> {
     if b.len() < end {
         return None;
     }
-    Some(
-        (0..n)
-            .map(|i| NodeId(u16::from_be_bytes([b[at + 2 * i], b[at + 2 * i + 1]])))
-            .collect(),
-    )
+    Some((0..n).map(|i| NodeId(u16::from_be_bytes([b[at + 2 * i], b[at + 2 * i + 1]]))).collect())
 }
 
 impl Hello {

@@ -138,23 +138,15 @@ impl Olsr {
     }
 
     fn sym_neighbors(&self, now: SimTime) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self
-            .links
-            .iter()
-            .filter(|(_, l)| l.sym && l.expires > now)
-            .map(|(&n, _)| n)
-            .collect();
+        let mut v: Vec<NodeId> =
+            self.links.iter().filter(|(_, l)| l.sym && l.expires > now).map(|(&n, _)| n).collect();
         v.sort_unstable_by_key(|n| n.0);
         v
     }
 
     fn heard_neighbors(&self, now: SimTime) -> Vec<NodeId> {
-        let mut v: Vec<NodeId> = self
-            .links
-            .iter()
-            .filter(|(_, l)| !l.sym && l.expires > now)
-            .map(|(&n, _)| n)
-            .collect();
+        let mut v: Vec<NodeId> =
+            self.links.iter().filter(|(_, l)| !l.sym && l.expires > now).map(|(&n, _)| n).collect();
         v.sort_unstable_by_key(|n| n.0);
         v
     }
@@ -193,10 +185,7 @@ impl Olsr {
                 if mprs.contains(&n) {
                     continue;
                 }
-                let covers = uncovered
-                    .iter()
-                    .filter(|t| coverage[t].contains(&n))
-                    .count();
+                let covers = uncovered.iter().filter(|t| coverage[t].contains(&n)).count();
                 if covers > 0 {
                     let cand = (covers, n);
                     best = Some(match best {
@@ -273,7 +262,13 @@ impl Olsr {
         self.table = table;
     }
 
-    fn enqueue_control(&mut self, ctx: &mut Ctx, kind: ControlKind, bytes: Vec<u8>, initiated: bool) {
+    fn enqueue_control(
+        &mut self,
+        ctx: &mut Ctx,
+        kind: ControlKind,
+        bytes: Vec<u8>,
+        initiated: bool,
+    ) {
         match self.cfg.jitter_max {
             None => ctx.broadcast(kind, bytes, initiated),
             Some(maxj) => {
@@ -305,11 +300,7 @@ impl Olsr {
         self.recompute_mprs(now);
         let mut mpr: Vec<NodeId> = self.mpr_set.iter().copied().collect();
         mpr.sort_unstable_by_key(|n| n.0);
-        let hello = Hello {
-            sym: self.sym_neighbors(now),
-            heard: self.heard_neighbors(now),
-            mpr,
-        };
+        let hello = Hello { sym: self.sym_neighbors(now), heard: self.heard_neighbors(now), mpr };
         self.enqueue_control(ctx, ControlKind::Hello, hello.encode(), true);
     }
 
@@ -514,8 +505,7 @@ impl RoutingProtocol for Olsr {
     }
 
     fn route_successors(&self) -> Vec<(NodeId, NodeId)> {
-        let mut v: Vec<(NodeId, NodeId)> =
-            self.table.iter().map(|(&d, &(n, _))| (d, n)).collect();
+        let mut v: Vec<(NodeId, NodeId)> = self.table.iter().map(|(&d, &(n, _))| (d, n)).collect();
         v.sort_unstable_by_key(|(d, _)| d.0);
         v
     }

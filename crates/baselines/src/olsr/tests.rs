@@ -190,9 +190,7 @@ fn data_forwarded_by_table_or_dropped() {
     let acts = n.call(|o, ctx| o.handle_data_origination(ctx, data(0, 9)));
     assert!(acts.iter().any(|a| matches!(a, Action::SendData { next, .. } if *next == NodeId(1))));
     let acts = n.call(|o, ctx| o.handle_data_origination(ctx, data(0, 33)));
-    assert!(acts
-        .iter()
-        .any(|a| matches!(a, Action::DropData { reason: DropReason::NoRoute, .. })));
+    assert!(acts.iter().any(|a| matches!(a, Action::DropData { reason: DropReason::NoRoute, .. })));
 }
 
 #[test]
@@ -235,8 +233,7 @@ fn link_layer_feedback_reroutes_or_drops() {
     let p = Packet { uid: 1, origin: NodeId(0), body: PacketBody::Data(data(0, 9)) };
     let acts = n.call(|o, ctx| o.handle_unicast_failure(ctx, next, p));
     assert!(
-        acts.iter()
-            .any(|a| matches!(a, Action::SendData { next: nn, .. } if *nn == other)),
+        acts.iter().any(|a| matches!(a, Action::SendData { next: nn, .. } if *nn == other)),
         "rerouted around the dead link"
     );
 }

@@ -27,10 +27,7 @@ fn bench_seqno_growth(c: &mut Criterion) {
     // sequence-number behaviour fails the bench run loudly.
     let ldr = ldr_bench::run_once(Protocol::Ldr, &scenario(3), 3).mean_own_seqno;
     let aodv = ldr_bench::run_once(Protocol::Aodv, &scenario(3), 3).mean_own_seqno;
-    assert!(
-        aodv > ldr,
-        "AODV sequence numbers ({aodv:.1}) must outgrow LDR's ({ldr:.1})"
-    );
+    assert!(aodv > ldr, "AODV sequence numbers ({aodv:.1}) must outgrow LDR's ({ldr:.1})");
 
     let mut g = c.benchmark_group("fig7_seqno_scaled");
     g.sample_size(10).measurement_time(Duration::from_secs(8));

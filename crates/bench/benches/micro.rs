@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ldr::invariants::{fdc_violated, ndc_accepts, sdc_allows, strengthen, Invariants, Solicited};
-use ldr::messages::{Rreq, Rrep};
+use ldr::messages::{Rrep, Rreq};
 use ldr::route_table::RouteTable;
 use ldr::seqno::SeqNo;
 use manet_sim::event::{Event, EventQueue};
@@ -27,9 +27,7 @@ fn bench_invariants(c: &mut Criterion) {
     c.bench_function("invariants/fdc", |b| {
         b.iter(|| fdc_violated(black_box(mine), black_box(sol)))
     });
-    c.bench_function("invariants/sdc", |b| {
-        b.iter(|| sdc_allows(black_box(mine), black_box(sol)))
-    });
+    c.bench_function("invariants/sdc", |b| b.iter(|| sdc_allows(black_box(mine), black_box(sol))));
     c.bench_function("invariants/strengthen", |b| {
         b.iter(|| strengthen(black_box(mine), black_box(sol)))
     });
@@ -125,12 +123,51 @@ fn bench_rng(c: &mut Criterion) {
     c.bench_function("rng/exponential", |b| b.iter(|| black_box(rng.exponential(100.0))));
 }
 
+/// End-to-end LDR runs with the trace layer off versus on. With no
+/// sink attached the `Ctx::trace` closures are never evaluated, so the
+/// disabled run bounds the layer's cost at zero-sink configurations.
+fn bench_trace_overhead(c: &mut Criterion) {
+    use ldr::{Ldr, LdrConfig};
+    use manet_sim::config::SimConfig;
+    use manet_sim::mobility::StaticMobility;
+    use manet_sim::time::SimDuration;
+    use manet_sim::trace::MemoryTrace;
+    use manet_sim::world::World;
+
+    fn build() -> World {
+        let cfg =
+            SimConfig { duration: SimDuration::from_secs(10), seed: 21, ..SimConfig::default() };
+        let mut factory = Ldr::factory(LdrConfig::default());
+        let mut w =
+            World::new(cfg, Box::new(StaticMobility::line(6, 200.0)), |id, n| factory(id, n));
+        for i in 0..20u64 {
+            w.schedule_app_packet(SimTime::from_millis(500 + i * 200), NodeId(0), NodeId(5), 512);
+        }
+        w
+    }
+
+    c.bench_function("trace/run_disabled", |b| {
+        b.iter(|| {
+            let w = build();
+            black_box(w.run().data_delivered)
+        })
+    });
+    c.bench_function("trace/run_memory_sink", |b| {
+        b.iter(|| {
+            let mut w = build();
+            w.set_trace(Box::new(MemoryTrace::new()));
+            black_box(w.run().data_delivered)
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_invariants,
     bench_route_table,
     bench_messages,
     bench_event_queue,
-    bench_rng
+    bench_rng,
+    bench_trace_overhead
 );
 criterion_main!(benches);

@@ -19,7 +19,8 @@ fn main() {
     let pause: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(600);
     let duration: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(200);
     let nodes: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(50);
-    let mut sc = if nodes > 50 { Scenario::n100(flows, pause) } else { Scenario::n50(flows, pause) };
+    let mut sc =
+        if nodes > 50 { Scenario::n100(flows, pause) } else { Scenario::n50(flows, pause) };
     sc.duration_secs = duration;
     sc.audit = true;
     let m = ldr_bench::run_once(proto, &sc, 11);

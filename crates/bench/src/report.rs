@@ -27,6 +27,14 @@ pub struct Summary {
     pub rreq_tx: Accumulator,
     /// Total routing-loop audit violations across trials.
     pub loop_violations: u64,
+    /// Total routing-decision trace events emitted across trials
+    /// (0 unless a sink or the invariant auditor was attached).
+    pub trace_events: u64,
+    /// Total every-mutation invariant checks performed across trials.
+    pub invariant_checks: u64,
+    /// Total invariant breaches (fd regressions + loops) found across
+    /// trials.
+    pub invariant_breaches: u64,
 }
 
 impl Summary {
@@ -43,6 +51,9 @@ impl Summary {
             mean_seqno: Accumulator::new(),
             rreq_tx: Accumulator::new(),
             loop_violations: 0,
+            trace_events: 0,
+            invariant_checks: 0,
+            invariant_breaches: 0,
         }
     }
 
@@ -57,6 +68,9 @@ impl Summary {
         self.mean_seqno.push(m.mean_own_seqno);
         self.rreq_tx.push(m.rreq_tx() as f64);
         self.loop_violations += m.loop_violations;
+        self.trace_events += m.trace_events;
+        self.invariant_checks += m.invariant_checks;
+        self.invariant_breaches += m.invariant_breaches;
     }
 
     /// Merges another summary of the same protocol (e.g. across pause
@@ -79,6 +93,9 @@ impl Summary {
         fold(&mut self.mean_seqno, &other.mean_seqno);
         fold(&mut self.rreq_tx, &other.rreq_tx);
         self.loop_violations += other.loop_violations;
+        self.trace_events += other.trace_events;
+        self.invariant_checks += other.invariant_checks;
+        self.invariant_breaches += other.invariant_breaches;
     }
 
     /// Number of trials folded in.
@@ -172,6 +189,26 @@ mod tests {
         assert_eq!(a.trials(), 3);
         // (1.0 + 0.5 + 0.5) / 3
         assert!((a.delivery.mean() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn audit_counters_accumulate_and_merge() {
+        let mut m = metrics(10, 10);
+        m.trace_events = 7;
+        m.invariant_checks = 5;
+        m.invariant_breaches = 1;
+        let mut a = Summary::new("X");
+        a.add(&m);
+        a.add(&m);
+        assert_eq!(a.trace_events, 14);
+        assert_eq!(a.invariant_checks, 10);
+        assert_eq!(a.invariant_breaches, 2);
+        let mut b = Summary::new("X");
+        b.add(&m);
+        a.merge(&b);
+        assert_eq!(a.trace_events, 21);
+        assert_eq!(a.invariant_checks, 15);
+        assert_eq!(a.invariant_breaches, 3);
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub fn run_once(protocol: Protocol, scenario: &Scenario, seed: u64) -> Metrics {
         seed,
         audit_interval: scenario.audit.then(|| SimDuration::from_secs(1)),
         audit_every_event: false,
+        invariant_audit: false,
     };
     let mobility = RandomWaypoint::new(
         scenario.n_nodes,
@@ -97,11 +98,7 @@ mod tests {
 
     #[test]
     fn runs_are_deterministic() {
-        let scenario = Scenario {
-            duration_secs: 30,
-            trials: 1,
-            ..Scenario::n50(4, 0)
-        };
+        let scenario = Scenario { duration_secs: 30, trials: 1, ..Scenario::n50(4, 0) };
         let a = run_once(Protocol::Ldr, &scenario, 3);
         let b = run_once(Protocol::Ldr, &scenario, 3);
         assert_eq!(a.data_delivered, b.data_delivered);
@@ -125,5 +122,33 @@ mod tests {
         let s = run_trials(Protocol::Aodv, &scenario);
         assert_eq!(s.trials(), 3);
         assert!(s.delivery.mean() > 0.0);
+    }
+
+    #[test]
+    fn threaded_trials_equal_sequential_aggregation() {
+        let scenario = Scenario {
+            n_nodes: 15,
+            terrain: (700.0, 300.0),
+            n_flows: 3,
+            pause_secs: 0,
+            duration_secs: 40,
+            trials: 3,
+            seed_base: 100,
+            flavor: crate::scenario::SimFlavor::Default,
+            audit: true,
+        };
+        let threaded = run_trials(Protocol::Ldr, &scenario);
+        let mut sequential = Summary::new(Protocol::Ldr.name());
+        for k in 0..scenario.trials {
+            let m = run_once(Protocol::Ldr, &scenario, scenario.seed_base + u64::from(k));
+            sequential.add(&m);
+        }
+        assert_eq!(threaded.trials(), sequential.trials());
+        assert_eq!(threaded.delivery.mean(), sequential.delivery.mean());
+        assert_eq!(threaded.latency.mean(), sequential.latency.mean());
+        assert_eq!(threaded.net_load.mean(), sequential.net_load.mean());
+        assert_eq!(threaded.rreq_tx.mean(), sequential.rreq_tx.mean());
+        assert_eq!(threaded.loop_violations, sequential.loop_violations);
+        assert_eq!(threaded.trace_events, sequential.trace_events);
     }
 }

@@ -113,9 +113,7 @@ impl Protocol {
             Protocol::Dsr => Box::new(Dsr::factory(DsrConfig::draft3())),
             Protocol::Dsr7 => Box::new(Dsr::factory(DsrConfig::draft7())),
             Protocol::Olsr => Box::new(Olsr::factory(OlsrConfig::default())),
-            Protocol::OlsrNoJitter => {
-                Box::new(Olsr::factory(OlsrConfig::without_jitter_queue()))
-            }
+            Protocol::OlsrNoJitter => Box::new(Olsr::factory(OlsrConfig::without_jitter_queue())),
         }
     }
 }
@@ -161,11 +159,7 @@ impl Scenario {
 
     /// The paper's 100-node scenario: 2200 m × 600 m.
     pub fn n100(n_flows: usize, pause_secs: u64) -> Self {
-        Scenario {
-            n_nodes: 100,
-            terrain: (2200.0, 600.0),
-            ..Scenario::n50(n_flows, pause_secs)
-        }
+        Scenario { n_nodes: 100, terrain: (2200.0, 600.0), ..Scenario::n50(n_flows, pause_secs) }
     }
 
     /// Scales the scenario down for quick/CI runs: shorter runs, fewer

@@ -145,9 +145,7 @@ impl LdrConfig {
         let base = match (self.opt_optimal_ttl, prior) {
             (true, Some((dist, fd_req))) if dist != u32::MAX => {
                 let extra = dist.saturating_sub(fd_req) as u8;
-                extra
-                    .saturating_add(self.local_add_ttl)
-                    .clamp(self.ttl_start, self.net_diameter)
+                extra.saturating_add(self.local_add_ttl).clamp(self.ttl_start, self.net_diameter)
             }
             _ => self.ttl_start,
         };

@@ -96,9 +96,7 @@ pub fn ndc_accepts(mine: Invariants, adv_sn: SeqNo, adv_d: Distance) -> bool {
 /// ordering either.
 pub fn fdc_violated(mine: Invariants, sol: Solicited) -> bool {
     match (mine.sn, sol.sn) {
-        (Some(sn_i), Some(sn_sol)) => {
-            sn_i == sn_sol && mine.fd >= sol.fd && mine.fd != INFINITY
-        }
+        (Some(sn_i), Some(sn_sol)) => sn_i == sn_sol && mine.fd >= sol.fd && mine.fd != INFINITY,
         (Some(_), None) => false, // solicitor knows nothing: any reply works
         (None, _) => false,
     }
@@ -156,7 +154,8 @@ pub fn strengthen(mine: Invariants, sol: Solicited) -> Solicited {
 /// 3. `sn_I = sn# ∧ d_I < fd# ∧ ¬rr#`, or
 /// 4. `sn_I > sn#`.
 pub fn sdc_allows(mine: Invariants, sol: Solicited) -> bool {
-    sdc_allows_ignoring_t(mine, sol) && !(matches!((mine.sn, sol.sn), (Some(a), Some(b)) if a == b) && sol.rr)
+    sdc_allows_ignoring_t(mine, sol)
+        && !(matches!((mine.sn, sol.sn), (Some(a), Some(b)) if a == b) && sol.rr)
 }
 
 /// SDC "without consideration to the T bit" — used to pick the node
@@ -164,9 +163,7 @@ pub fn sdc_allows(mine: Invariants, sol: Solicited) -> bool {
 /// reset (§2.2).
 pub fn sdc_allows_ignoring_t(mine: Invariants, sol: Solicited) -> bool {
     match (mine.sn, sol.sn) {
-        (Some(sn_i), Some(sn_sol)) => {
-            sn_i > sn_sol || (sn_i == sn_sol && mine.d < sol.fd)
-        }
+        (Some(sn_i), Some(sn_sol)) => sn_i > sn_sol || (sn_i == sn_sol && mine.d < sol.fd),
         (Some(_), None) => true, // any active route answers an uninformed request
         (None, _) => false,
     }
@@ -331,15 +328,13 @@ mod tests {
         }
 
         fn arb_sol() -> impl Strategy<Value = Solicited> {
-            (0u32..4, 0u32..20, prop::bool::ANY, prop::bool::ANY).prop_map(
-                |(c, fd, rr, none)| {
-                    if none {
-                        Solicited { sn: None, fd: INFINITY, rr }
-                    } else {
-                        Solicited { sn: Some(sn(c)), fd, rr }
-                    }
-                },
-            )
+            (0u32..4, 0u32..20, prop::bool::ANY, prop::bool::ANY).prop_map(|(c, fd, rr, none)| {
+                if none {
+                    Solicited { sn: None, fd: INFINITY, rr }
+                } else {
+                    Solicited { sn: Some(sn(c)), fd, rr }
+                }
+            })
         }
 
         proptest! {

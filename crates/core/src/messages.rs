@@ -155,11 +155,8 @@ impl Rreq {
             return None;
         }
         let f = b[1];
-        let sn_dst = if f & flags::SN_UNKNOWN != 0 {
-            None
-        } else {
-            Some(SeqNo::from_u64(get_u64(b, 12)))
-        };
+        let sn_dst =
+            if f & flags::SN_UNKNOWN != 0 { None } else { Some(SeqNo::from_u64(get_u64(b, 12))) };
         Some(Rreq {
             dst: NodeId(get_u16(b, 4)),
             sn_dst,

@@ -22,14 +22,29 @@
 //! switchable through [`LdrConfig`].
 
 use crate::config::LdrConfig;
-use crate::invariants::{self, Solicited, INFINITY};
-use crate::messages::{Rerr, RerrEntry, Rreq, Rrep};
-use crate::route_table::RouteTable;
+use crate::invariants::{self, Distance, Solicited, INFINITY};
+use crate::messages::{Rerr, RerrEntry, Rrep, Rreq};
+use crate::route_table::{AdvertOutcome, RouteEntry, RouteTable};
 use crate::seqno::SeqNo;
 use manet_sim::packet::{ControlKind, ControlPacket, DataPacket, NodeId, Packet, PacketBody};
 use manet_sim::protocol::{Ctx, DropReason, ProtoCounter, RouteDump, RoutingProtocol};
 use manet_sim::time::{SimDuration, SimTime};
+use manet_sim::trace::{InvalidateCause, InvariantSnapshot, RouteVerdict, TraceEvent};
 use std::collections::{HashMap, VecDeque};
+
+/// The `(sn, d, fd)` triple of a table entry, scalarised for tracing.
+fn snap(e: Option<&RouteEntry>) -> Option<InvariantSnapshot> {
+    e.map(|e| InvariantSnapshot { sn: Some(e.seqno.to_u64()), d: e.dist, fd: e.fd })
+}
+
+fn verdict(out: AdvertOutcome) -> RouteVerdict {
+    match out {
+        AdvertOutcome::Installed => RouteVerdict::Installed,
+        AdvertOutcome::Refreshed => RouteVerdict::Refreshed,
+        AdvertOutcome::NotBetter => RouteVerdict::NotBetter,
+        AdvertOutcome::Infeasible => RouteVerdict::Infeasible,
+    }
+}
 
 /// Timer token for the periodic state sweep.
 const CLEANUP_TOKEN: u64 = u64::MAX;
@@ -122,9 +137,7 @@ impl Ldr {
     }
 
     /// A factory closure for [`manet_sim::world::World::new`].
-    pub fn factory(
-        cfg: LdrConfig,
-    ) -> impl FnMut(NodeId, usize) -> Box<dyn RoutingProtocol> {
+    pub fn factory(cfg: LdrConfig) -> impl FnMut(NodeId, usize) -> Box<dyn RoutingProtocol> {
         move |id, _| Box::new(Ldr::new(id, cfg.clone()))
     }
 
@@ -141,6 +154,49 @@ impl Ldr {
     /// Whether a discovery for `dest` is in progress.
     pub fn is_active_for(&self, dest: NodeId) -> bool {
         self.pending.contains_key(&dest)
+    }
+
+    // ----- traced table mutations ------------------------------------------
+
+    /// Procedure 3 with observability: judge one advertisement through
+    /// [`RouteTable::consider_advertisement`], emitting the NDC verdict
+    /// (with the `(sn, d, fd)` triple before and after) and, when the
+    /// table changed, the mutation itself.
+    #[allow(clippy::too_many_arguments)]
+    fn consider_traced(
+        &mut self,
+        ctx: &mut Ctx,
+        dest: NodeId,
+        adv_sn: SeqNo,
+        adv_d: Distance,
+        via: NodeId,
+        now: SimTime,
+        expires: SimTime,
+    ) -> AdvertOutcome {
+        let before = snap(self.routes.get(dest));
+        let out = self.routes.consider_advertisement(dest, adv_sn, adv_d, via, now, expires);
+        if ctx.trace_enabled() {
+            let id = self.id;
+            let after = snap(self.routes.get(dest));
+            ctx.trace(|| TraceEvent::AdvertConsidered {
+                node: id,
+                dest,
+                from: via,
+                adv_sn: adv_sn.to_u64(),
+                adv_d,
+                before,
+                after,
+                verdict: verdict(out),
+            });
+            if matches!(out, AdvertOutcome::Installed | AdvertOutcome::Refreshed) {
+                if let Some(e) = self.routes.get(dest) {
+                    let next = e.next_hop;
+                    let after = after.expect("entry exists after install");
+                    ctx.trace(|| TraceEvent::RouteInstall { node: id, dest, next, before, after });
+                }
+            }
+        }
+        out
     }
 
     // ----- discovery (Procedure 1) -----------------------------------------
@@ -188,6 +244,8 @@ impl Ldr {
             d_bit: false,
         };
         ctx.broadcast(ControlKind::Rreq, rreq.encode(), true);
+        let id = self.id;
+        ctx.trace(|| TraceEvent::RreqStart { node: id, dest, rreqid, ttl });
         ctx.set_timer(self.cfg.discovery_timeout(ttl), discovery_token(dest, generation));
     }
 
@@ -222,14 +280,8 @@ impl Ldr {
         let reverse_ok = if rreq.n_bit {
             self.routes.active(rreq.src, now).is_some()
         } else {
-            let out = self.routes.consider_advertisement(
-                rreq.src,
-                rreq.sn_src,
-                rreq.dist,
-                prev,
-                now,
-                now + art,
-            );
+            let out =
+                self.consider_traced(ctx, rreq.src, rreq.sn_src, rreq.dist, prev, now, now + art);
             out.usable() || self.routes.active(rreq.src, now).is_some()
         };
 
@@ -239,6 +291,15 @@ impl Ldr {
             if let Some(e) = self.routes.active(rreq.dst, now).copied() {
                 if e.next_hop == prev && rreq.fd > e.dist.saturating_sub(1) {
                     self.routes.invalidate(rreq.dst, now);
+                    let id = self.id;
+                    let dest = rreq.dst;
+                    let sn = e.seqno.to_u64();
+                    ctx.trace(|| TraceEvent::RouteInvalidate {
+                        node: id,
+                        dest,
+                        seqno: Some(sn),
+                        cause: InvalidateCause::RequestAsError,
+                    });
                 }
             }
         }
@@ -275,8 +336,7 @@ impl Ldr {
         let active = self.routes.active(rreq.dst, now).copied();
 
         if let Some(e) = active {
-            let lifetime_ok =
-                e.expires.saturating_since(now) >= self.cfg.min_reply_lifetime();
+            let lifetime_ok = e.expires.saturating_since(now) >= self.cfg.min_reply_lifetime();
             let mine = e.invariants();
             // SDC; on a D-bit (path-reset) solicitation only a strictly
             // newer sequence number may answer in the destination's
@@ -286,6 +346,13 @@ impl Ldr {
             } else {
                 invariants::sdc_allows(mine, sol)
             };
+            {
+                let id = self.id;
+                let dest = rreq.dst;
+                let t_bit = rreq.t_bit;
+                let ok = lifetime_ok && allowed;
+                ctx.trace(|| TraceEvent::SolicitVerdict { node: id, dest, t_bit, allowed: ok });
+            }
             if lifetime_ok && allowed {
                 self.send_rrep_from_route(ctx, prev, &rreq, reverse_ok, now);
                 return;
@@ -311,6 +378,9 @@ impl Ldr {
                     ..rreq
                 };
                 ctx.unicast_control(e.next_hop, ControlKind::Rreq, fwd.encode(), false, false);
+                let id = self.id;
+                let (dest, origin) = (rreq.dst, rreq.src);
+                ctx.trace(|| TraceEvent::RreqRelay { node: id, dest, origin });
                 return;
             }
         }
@@ -330,14 +400,23 @@ impl Ldr {
             ttl: rreq.ttl - 1,
             ..rreq
         };
-        if rreq.d_bit {
+        let relayed = if rreq.d_bit {
             if let Some(e) = active {
                 ctx.unicast_control(e.next_hop, ControlKind::Rreq, fwd.encode(), false, false);
+                true
+            } else {
+                // Without an active route the reset attempt dies here;
+                // the origin's timer will retry.
+                false
             }
-            // Without an active route the reset attempt dies here; the
-            // origin's timer will retry.
         } else {
             ctx.broadcast(ControlKind::Rreq, fwd.encode(), false);
+            true
+        };
+        if relayed {
+            let id = self.id;
+            let (dest, origin) = (rreq.dst, rreq.src);
+            ctx.trace(|| TraceEvent::RreqRelay { node: id, dest, origin });
         }
     }
 
@@ -359,8 +438,12 @@ impl Ldr {
             // the requested one, move past it.
             let exceeds = rreq.sn_dst.is_some_and(|snr| self.own_seqno > snr);
             if !exceeds {
+                let old = self.own_seqno.to_u64();
                 self.own_seqno.increment();
                 ctx.count(ProtoCounter::SeqnoIncrement);
+                let id = self.id;
+                let new = self.own_seqno.to_u64();
+                ctx.trace(|| TraceEvent::SeqnoReset { node: id, old, new });
             }
         }
         let reverse_ok = self.cache.get(&key).is_some_and(|c| c.reverse_ok);
@@ -374,6 +457,8 @@ impl Ldr {
             n_bit: rreq.n_bit || !reverse_ok,
         };
         ctx.unicast_control(prev, ControlKind::Rrep, rrep.encode(), true, true);
+        let id = self.id;
+        ctx.trace(|| TraceEvent::RrepSend { node: id, dest: id, to: prev, dist: 0 });
         if let Some(c) = self.cache.get_mut(&key) {
             c.replied = true;
             c.relayed = Some((self.own_seqno, 0));
@@ -390,8 +475,7 @@ impl Ldr {
         now: SimTime,
     ) {
         let Some(e) = self.routes.active(rreq.dst, now).copied() else { return };
-        let remaining =
-            e.expires.saturating_since(now).as_millis().min(u64::from(u32::MAX)) as u32;
+        let remaining = e.expires.saturating_since(now).as_millis().min(u64::from(u32::MAX)) as u32;
         let rrep = Rrep {
             dst: rreq.dst,
             sn_dst: e.seqno,
@@ -402,6 +486,9 @@ impl Ldr {
             n_bit: rreq.n_bit || !reverse_ok,
         };
         ctx.unicast_control(prev, ControlKind::Rrep, rrep.encode(), true, true);
+        let id = self.id;
+        let (dest, dist) = (rreq.dst, e.dist);
+        ctx.trace(|| TraceEvent::RrepSend { node: id, dest, to: prev, dist });
         if let Some(c) = self.cache.get_mut(&(rreq.src, rreq.rreqid)) {
             c.replied = true;
             c.relayed = Some((e.seqno, e.dist));
@@ -413,14 +500,8 @@ impl Ldr {
     fn handle_rrep(&mut self, ctx: &mut Ctx, prev: NodeId, rrep: Rrep) {
         let now = ctx.now();
         let lifetime = SimDuration::from_millis(u64::from(rrep.lifetime_ms));
-        let out = self.routes.consider_advertisement(
-            rrep.dst,
-            rrep.sn_dst,
-            rrep.dist,
-            prev,
-            now,
-            now + lifetime,
-        );
+        let out =
+            self.consider_traced(ctx, rrep.dst, rrep.sn_dst, rrep.dist, prev, now, now + lifetime);
         if out.usable() {
             ctx.count(ProtoCounter::RrepUsableRecv);
         }
@@ -463,8 +544,7 @@ impl Ldr {
         if let Some(c) = self.cache.get_mut(&key) {
             c.relayed = Some((e.seqno, e.dist));
         }
-        let remaining =
-            e.expires.saturating_since(now).as_millis().min(u64::from(u32::MAX)) as u32;
+        let remaining = e.expires.saturating_since(now).as_millis().min(u64::from(u32::MAX)) as u32;
         let fwd = Rrep {
             dst: rrep.dst,
             sn_dst: e.seqno,
@@ -475,6 +555,9 @@ impl Ldr {
             n_bit: rrep.n_bit || !reverse_ok,
         };
         ctx.unicast_control(last_hop, ControlKind::Rrep, fwd.encode(), false, true);
+        let id = self.id;
+        let (dest, dist) = (rrep.dst, e.dist);
+        ctx.trace(|| TraceEvent::RrepSend { node: id, dest, to: last_hop, dist });
     }
 
     /// After completing a discovery whose RREP carried the N bit (no
@@ -482,8 +565,12 @@ impl Ldr {
     /// number and unicast a D-bit probe RREQ along the forward path.
     fn send_reverse_probe(&mut self, ctx: &mut Ctx, dest: NodeId, now: SimTime) {
         let Some(e) = self.routes.active(dest, now).copied() else { return };
+        let old = self.own_seqno.to_u64();
         self.own_seqno.increment();
         ctx.count(ProtoCounter::SeqnoIncrement);
+        let id = self.id;
+        let new = self.own_seqno.to_u64();
+        ctx.trace(|| TraceEvent::SeqnoReset { node: id, old, new });
         let rreqid = self.next_rreqid;
         self.next_rreqid += 1;
         let inv = self.routes.invariants(dest);
@@ -500,7 +587,9 @@ impl Ldr {
             n_bit: false,
             d_bit: true,
         };
+        let ttl = rreq.ttl;
         ctx.unicast_control(e.next_hop, ControlKind::Rreq, rreq.encode(), true, false);
+        ctx.trace(|| TraceEvent::RreqStart { node: id, dest, rreqid, ttl });
     }
 
     // ----- errors -----------------------------------------------------------
@@ -508,19 +597,41 @@ impl Ldr {
     fn handle_rerr(&mut self, ctx: &mut Ctx, prev: NodeId, rerr: Rerr) {
         let now = ctx.now();
         let mut propagate = Vec::new();
+        let id = self.id;
         for en in &rerr.entries {
             if let Some(me) = self.routes.get(en.dst).copied() {
                 if me.is_active(now) && me.next_hop == prev {
                     self.routes.invalidate(en.dst, now);
+                    let dest = en.dst;
+                    let sn = me.seqno.to_u64();
+                    ctx.trace(|| TraceEvent::RouteInvalidate {
+                        node: id,
+                        dest,
+                        seqno: Some(sn),
+                        cause: InvalidateCause::RouteError,
+                    });
                     propagate.push(RerrEntry { dst: en.dst, sn: Some(me.seqno) });
                 }
             }
             if let Some(sn) = en.sn {
+                let adopts = self.routes.get(en.dst).is_none_or(|e| sn > e.seqno);
                 self.routes.adopt_seqno(en.dst, sn);
+                if adopts {
+                    let dest = en.dst;
+                    let snv = sn.to_u64();
+                    ctx.trace(|| TraceEvent::RouteInvalidate {
+                        node: id,
+                        dest,
+                        seqno: Some(snv),
+                        cause: InvalidateCause::SeqnoAdopted,
+                    });
+                }
             }
         }
         if !propagate.is_empty() {
+            let dests: Vec<NodeId> = propagate.iter().map(|e| e.dst).collect();
             ctx.broadcast(ControlKind::Rerr, Rerr { entries: propagate }.encode(), false);
+            ctx.trace(|| TraceEvent::RerrSend { node: id, dests });
         }
     }
 }
@@ -575,6 +686,9 @@ impl RoutingProtocol for Ldr {
                 let sn = self.routes.get(data.dst).map(|e| e.seqno);
                 let rerr = Rerr { entries: vec![RerrEntry { dst: data.dst, sn }] };
                 ctx.broadcast(ControlKind::Rerr, rerr.encode(), true);
+                let id = self.id;
+                let dst = data.dst;
+                ctx.trace(|| TraceEvent::RerrSend { node: id, dests: vec![dst] });
                 ctx.drop_data(data, DropReason::NoRoute);
             }
         }
@@ -636,10 +750,7 @@ impl RoutingProtocol for Ldr {
             ctx.count(ProtoCounter::DiscoveryFailed);
         } else {
             let generation = d.generation;
-            self.pending
-                .get_mut(&dest)
-                .expect("checked above")
-                .attempts = attempts;
+            self.pending.get_mut(&dest).expect("checked above").attempts = attempts;
             self.send_rreq(ctx, dest, attempts, generation);
         }
     }
@@ -648,6 +759,16 @@ impl RoutingProtocol for Ldr {
         self.clock = ctx.now();
         let now = ctx.now();
         let lost = self.routes.invalidate_via(next_hop, now);
+        let id = self.id;
+        for &(dst, sn) in &lost {
+            let snv = sn.to_u64();
+            ctx.trace(|| TraceEvent::RouteInvalidate {
+                node: id,
+                dest: dst,
+                seqno: Some(snv),
+                cause: InvalidateCause::LinkFailure,
+            });
+        }
         if let PacketBody::Data(data) = packet.body {
             if data.src == self.id {
                 // Re-discover with the feasible-distance invariant
@@ -659,11 +780,11 @@ impl RoutingProtocol for Ldr {
             }
         }
         if !lost.is_empty() {
-            let entries = lost
-                .into_iter()
-                .map(|(dst, sn)| RerrEntry { dst, sn: Some(sn) })
-                .collect();
+            let dests: Vec<NodeId> = lost.iter().map(|&(dst, _)| dst).collect();
+            let entries =
+                lost.into_iter().map(|(dst, sn)| RerrEntry { dst, sn: Some(sn) }).collect();
             ctx.broadcast(ControlKind::Rerr, Rerr { entries }.encode(), true);
+            ctx.trace(|| TraceEvent::RerrSend { node: id, dests });
         }
     }
 
@@ -702,7 +823,9 @@ impl RoutingProtocol for Ldr {
     }
 
     fn own_seqno_value(&self) -> Option<f64> {
-        Some(f64::from(self.own_seqno.epoch - 1) * 2f64.powi(32) + f64::from(self.own_seqno.counter))
+        Some(
+            f64::from(self.own_seqno.epoch - 1) * 2f64.powi(32) + f64::from(self.own_seqno.counter),
+        )
     }
 }
 

@@ -18,7 +18,11 @@ impl Node {
     }
 
     fn with_cfg(id: u16, cfg: LdrConfig) -> Self {
-        Node { ldr: Ldr::new(NodeId(id), cfg), rng: SimRng::from_seed(u64::from(id)), now: SimTime::from_secs(1) }
+        Node {
+            ldr: Ldr::new(NodeId(id), cfg),
+            rng: SimRng::from_seed(u64::from(id)),
+            now: SimTime::from_secs(1),
+        }
     }
 
     fn at(&mut self, t: SimTime) -> &mut Self {
@@ -61,11 +65,7 @@ impl Node {
     }
 
     fn link_failure(&mut self, next: u16, data: DataPacket) -> Vec<Action> {
-        let packet = Packet {
-            uid: 1,
-            origin: self.ldr.id,
-            body: PacketBody::Data(data),
-        };
+        let packet = Packet { uid: 1, origin: self.ldr.id, body: PacketBody::Data(data) };
         self.call(|l, ctx| l.handle_unicast_failure(ctx, NodeId(next), packet))
     }
 
@@ -311,7 +311,7 @@ fn sdc_satisfied_relay_answers_instead_of_flooding() {
 fn fdc_violation_sets_t_bit_in_relay() {
     let mut n = Node::new(5);
     n.install_route(7, sn(3), 3, 6); // dist 4, fd 4
-    // Make the route stale so SDC can't answer but the history remains.
+                                     // Make the route stale so SDC can't answer but the history remains.
     n.ldr.routes.invalidate(NodeId(7), n.now);
     // Requester wants fd# = 3 at the same sequence number; our fd 4 >= 3.
     let m = Rreq { sn_dst: Some(sn(3)), fd: 3, ..base_rreq(0, 7, 1) };
@@ -588,10 +588,7 @@ fn relay_without_active_route_drops_rrep() {
     n.ldr.routes.invalidate(NodeId(7), n.now);
     let infeasible = Rrep { sn_dst: sn(9), dist: 50, rreqid: 1, ..rrep };
     let acts = n.rrep_from(6, infeasible);
-    assert!(
-        sent_rreps(&acts).is_empty(),
-        "invalid route + infeasible advert: nothing to relay"
-    );
+    assert!(sent_rreps(&acts).is_empty(), "invalid route + infeasible advert: nothing to relay");
 }
 
 #[test]
@@ -779,8 +776,8 @@ fn stale_timer_generation_is_ignored() {
 fn request_as_error_invalidates_route_through_asking_successor() {
     let mut n = Node::new(5);
     n.install_route(7, sn(2), 2, 6); // dist 3 via 6
-    // Node 6 (our successor to 7) floods an RREQ for 7 with fd# = 3 >
-    // d - 1 = 2: it should have answered if it had a route.
+                                     // Node 6 (our successor to 7) floods an RREQ for 7 with fd# = 3 >
+                                     // d - 1 = 2: it should have answered if it had a route.
     let m = Rreq { sn_dst: Some(sn(2)), fd: 3, ..base_rreq(6, 7, 9) };
     n.rreq_from(6, m);
     assert!(n.ldr.routes.active(NodeId(7), n.now).is_none());
@@ -790,7 +787,7 @@ fn request_as_error_invalidates_route_through_asking_successor() {
 fn request_as_error_respects_low_fd_requests() {
     let mut n = Node::new(5);
     n.install_route(7, sn(2), 4, 6); // dist 5 via 6
-    // fd# = 2 <= d - 1 = 4: node 6 couldn't have answered anyway.
+                                     // fd# = 2 <= d - 1 = 4: node 6 couldn't have answered anyway.
     let m = Rreq { sn_dst: Some(sn(2)), fd: 2, ..base_rreq(6, 7, 9) };
     n.rreq_from(6, m);
     assert!(n.ldr.routes.active(NodeId(7), n.now).is_some());

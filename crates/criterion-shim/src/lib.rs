@@ -1,0 +1,266 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] crate.
+//!
+//! The build environment for this workspace has no access to a crate
+//! registry, so the real `criterion` cannot be downloaded. This shim
+//! implements the subset of the API the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`BenchmarkId::from_parameter`], `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros — measuring wall time
+//! with `std::time::Instant` and printing a `name  time/iter` line per
+//! benchmark.
+//!
+//! Behaviour:
+//!
+//! * Under `cargo bench` (or any invocation without `--test`), every
+//!   benchmark runs a short calibration pass and then enough
+//!   iterations to fill the group's measurement time (default 2 s),
+//!   reporting mean ns/iter.
+//! * Under `cargo test` (cargo passes `--test` to `harness = false`
+//!   bench targets), every benchmark body runs **once** as a smoke
+//!   test, matching real criterion's test-mode behaviour.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How benchmarks execute (full measurement vs. one-shot smoke test).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Mode {
+    Measure,
+    TestOnce,
+}
+
+fn mode_from_args() -> Mode {
+    if std::env::args().any(|a| a == "--test") {
+        Mode::TestOnce
+    } else {
+        Mode::Measure
+    }
+}
+
+/// Runs timed closures for one benchmark.
+pub struct Bencher {
+    mode: Mode,
+    measurement_time: Duration,
+    /// Mean nanoseconds per iteration, filled by `iter`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean cost per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::TestOnce {
+            std::hint::black_box(f());
+            self.mean_ns = 0.0;
+            self.iters = 1;
+            return;
+        }
+        // Calibrate: find an iteration count that takes ~10 ms.
+        let mut n: u64 = 1;
+        let per_iter_ns = loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_millis(10) || n >= 1 << 30 {
+                break (elapsed.as_nanos() as f64 / n as f64).max(0.1);
+            }
+            n *= 4;
+        };
+        // Measure: as many iterations as fit the measurement budget.
+        let budget = self.measurement_time.as_nanos() as f64;
+        let total = ((budget / per_iter_ns) as u64).max(1);
+        let start = Instant::now();
+        for _ in 0..total {
+            std::hint::black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / total as f64;
+        self.iters = total;
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    if b.mode == Mode::TestOnce {
+        println!("bench {name}: ok (test mode, 1 iteration)");
+        return;
+    }
+    let ns = b.mean_ns;
+    let pretty = if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    };
+    println!("bench {name}: {pretty}/iter ({} iterations)", b.iters);
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+
+    /// An id with a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// A named set of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    mode: Mode,
+    measurement_time: Duration,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target sample count (accepted for API compatibility;
+    /// the shim sizes runs by measurement time alone).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            mode: self.mode,
+            measurement_time: self.measurement_time,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: self.mode,
+            measurement_time: self.measurement_time,
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { mode: mode_from_args() }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark with default settings.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: self.mode,
+            measurement_time: Duration::from_secs(2),
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let mode = self.mode;
+        BenchmarkGroup {
+            name: name.into(),
+            mode,
+            measurement_time: Duration::from_secs(2),
+            _parent: self,
+        }
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export of `std::hint::black_box`, which real criterion provides.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            mode: Mode::Measure,
+            measurement_time: Duration::from_millis(30),
+            mean_ns: 0.0,
+            iters: 0,
+        };
+        b.iter(|| std::hint::black_box(41u64) + 1);
+        assert!(b.mean_ns > 0.0);
+        assert!(b.iters >= 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter("LDR").id, "LDR");
+        assert_eq!(BenchmarkId::new("t", 5).id, "t/5");
+    }
+}

@@ -117,6 +117,13 @@ pub struct SimConfig {
     pub audit_interval: Option<SimDuration>,
     /// Audit after *every* protocol event (expensive; for tests).
     pub audit_every_event: bool,
+    /// Run the every-mutation invariant auditor
+    /// ([`crate::audit::InvariantAuditor`]): after each protocol
+    /// callback, check fd-monotonicity-per-seqno and successor-graph
+    /// acyclicity, and capture a forensic dump on the first violation.
+    /// Much more expensive than `audit_every_event` alone; for tests
+    /// and protocol debugging.
+    pub invariant_audit: bool,
 }
 
 impl Default for SimConfig {
@@ -127,6 +134,7 @@ impl Default for SimConfig {
             seed: 1,
             audit_interval: None,
             audit_every_event: false,
+            invariant_audit: false,
         }
     }
 }

@@ -17,7 +17,10 @@
 //!   RREQ load, latency, RREP Init/Recv — with Student-t confidence
 //!   intervals ([`metrics`], [`stats`]);
 //! * an online routing-loop auditor that checks per-destination
-//!   successor graphs at runtime ([`loopcheck`]).
+//!   successor graphs at runtime ([`loopcheck`]);
+//! * a routing-decision trace layer ([`trace`]) and an opt-in
+//!   every-mutation invariant auditor with first-violation forensic
+//!   dumps ([`audit`]).
 //!
 //! Routing protocols implement [`protocol::RoutingProtocol`] and plug
 //! into a [`world::World`].
@@ -50,6 +53,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod audit;
 pub mod config;
 pub mod event;
 pub mod geometry;

@@ -111,12 +111,7 @@ mod tests {
     #[test]
     fn straight_chain_is_loop_free() {
         // 0 -> 1 -> 2 -> 3 (dest 3)
-        let tables = vec![
-            vec![(n(3), n(1))],
-            vec![(n(3), n(2))],
-            vec![(n(3), n(3))],
-            vec![],
-        ];
+        let tables = vec![vec![(n(3), n(1))], vec![(n(3), n(2))], vec![(n(3), n(3))], vec![]];
         assert!(find_loops(&tables).is_empty());
     }
 
@@ -134,12 +129,8 @@ mod tests {
     #[test]
     fn three_cycle_detected_with_tail() {
         // 3 -> 0 -> 1 -> 2 -> 0 for dest 9.
-        let tables = vec![
-            vec![(n(9), n(1))],
-            vec![(n(9), n(2))],
-            vec![(n(9), n(0))],
-            vec![(n(9), n(0))],
-        ];
+        let tables =
+            vec![vec![(n(9), n(1))], vec![(n(9), n(2))], vec![(n(9), n(0))], vec![(n(9), n(0))]];
         let v = find_loops(&tables);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].cycle.len(), 4);
@@ -147,10 +138,7 @@ mod tests {
 
     #[test]
     fn loops_for_different_destinations_both_reported() {
-        let tables = vec![
-            vec![(n(5), n(1)), (n(6), n(1))],
-            vec![(n(5), n(0)), (n(6), n(0))],
-        ];
+        let tables = vec![vec![(n(5), n(1)), (n(6), n(1))], vec![(n(5), n(0)), (n(6), n(0))]];
         let v = find_loops(&tables);
         assert_eq!(v.len(), 2);
         let dests: Vec<NodeId> = v.iter().map(|x| x.destination).collect();
@@ -167,12 +155,7 @@ mod tests {
     #[test]
     fn diamond_converging_paths_are_loop_free() {
         // 0 -> {1}, 1 -> 3, 2 -> 1, all towards 3.
-        let tables = vec![
-            vec![(n(3), n(1))],
-            vec![(n(3), n(3))],
-            vec![(n(3), n(1))],
-            vec![],
-        ];
+        let tables = vec![vec![(n(3), n(1))], vec![(n(3), n(3))], vec![(n(3), n(1))], vec![]];
         assert!(find_loops(&tables).is_empty());
     }
 

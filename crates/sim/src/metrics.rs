@@ -38,6 +38,14 @@ pub struct Metrics {
     pub collisions: u64,
     /// Routing-table loops observed by the auditor (0 required for LDR).
     pub loop_violations: u64,
+    /// Routing-decision trace events emitted by protocols.
+    pub trace_events: u64,
+    /// Every-mutation invariant checks performed (0 unless
+    /// `SimConfig::invariant_audit` is set).
+    pub invariant_checks: u64,
+    /// Invariant breaches (fd regressions + loops) the every-mutation
+    /// auditor found.
+    pub invariant_breaches: u64,
     /// Mean of each node's own destination sequence number at run end.
     pub mean_own_seqno: f64,
     /// Simulated run length, for rate normalisation.
@@ -106,7 +114,10 @@ impl Metrics {
     /// The paper's "RREQ load": RREQs transmitted per received data
     /// packet.
     pub fn rreq_load(&self) -> f64 {
-        safe_ratio(self.control_tx.get(&ControlKind::Rreq).copied().unwrap_or(0), self.data_delivered)
+        safe_ratio(
+            self.control_tx.get(&ControlKind::Rreq).copied().unwrap_or(0),
+            self.data_delivered,
+        )
     }
 
     /// Mean end-to-end data latency in seconds.

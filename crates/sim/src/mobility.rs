@@ -8,16 +8,20 @@ use crate::geometry::{Position, Terrain};
 use crate::packet::NodeId;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use std::cell::RefCell;
 
 /// A mobility model answers "where is node `i` at time `t`".
 ///
-/// Queries take `&mut self` so models may advance internal state lazily;
-/// the simulator only ever queries with non-decreasing times per run
+/// Queries take `&self` so that position lookups compose with other
+/// immutable borrows of the simulator (`World::neighbors` is a
+/// read-only query). Models that advance internal state lazily (e.g.
+/// [`RandomWaypoint`]'s legs) keep it behind interior mutability; the
+/// simulator only ever queries with non-decreasing times per run
 /// (arbitrary re-queries at earlier times are not required to be exact
 /// for lazy models, and the built-in models never receive them).
 pub trait MobilityModel: Send {
     /// Position of `node` at time `t`.
-    fn position(&mut self, node: NodeId, t: SimTime) -> Position;
+    fn position(&self, node: NodeId, t: SimTime) -> Position;
     /// Number of nodes this model covers.
     fn len(&self) -> usize;
     /// Whether the model covers zero nodes.
@@ -48,9 +52,7 @@ impl StaticMobility {
 
     /// `n` nodes placed uniformly at random in `terrain`.
     pub fn random(n: usize, terrain: Terrain, rng: &mut SimRng) -> Self {
-        StaticMobility {
-            positions: (0..n).map(|_| terrain.random_position(rng)).collect(),
-        }
+        StaticMobility { positions: (0..n).map(|_| terrain.random_position(rng)).collect() }
     }
 
     /// `n` nodes on a near-square grid filling `terrain`.
@@ -72,7 +74,7 @@ impl StaticMobility {
 }
 
 impl MobilityModel for StaticMobility {
-    fn position(&mut self, node: NodeId, _t: SimTime) -> Position {
+    fn position(&self, node: NodeId, _t: SimTime) -> Position {
         self.positions[node.index()]
     }
     fn len(&self) -> usize {
@@ -98,17 +100,14 @@ impl ScriptedMobility {
     pub fn new(tracks: Vec<Vec<(SimTime, Position)>>) -> Self {
         for (i, tr) in tracks.iter().enumerate() {
             assert!(!tr.is_empty(), "node {i} has an empty track");
-            assert!(
-                tr.windows(2).all(|w| w[0].0 <= w[1].0),
-                "node {i} keyframes out of order"
-            );
+            assert!(tr.windows(2).all(|w| w[0].0 <= w[1].0), "node {i} keyframes out of order");
         }
         ScriptedMobility { tracks }
     }
 }
 
 impl MobilityModel for ScriptedMobility {
-    fn position(&mut self, node: NodeId, t: SimTime) -> Position {
+    fn position(&self, node: NodeId, t: SimTime) -> Position {
         let tr = &self.tracks[node.index()];
         if t <= tr[0].0 {
             return tr[0].1;
@@ -142,6 +141,35 @@ struct Leg {
     move_end: SimTime,
 }
 
+/// The lazily advanced part of [`RandomWaypoint`]: the RNG and the
+/// current leg per node. Kept behind a `RefCell` so `position` can take
+/// `&self` (queries are logically read-only; the legs are a cache of
+/// the trajectory the seed determines).
+#[derive(Clone, Debug)]
+struct RwpState {
+    rng: SimRng,
+    legs: Vec<Leg>,
+}
+
+impl RwpState {
+    fn next_leg(
+        &mut self,
+        terrain: Terrain,
+        pause: SimDuration,
+        min_speed: f64,
+        max_speed: f64,
+        from: Position,
+        pause_from: SimTime,
+    ) -> Leg {
+        let to = terrain.random_position(&mut self.rng);
+        let speed = self.rng.range_f64(min_speed, max_speed);
+        let dist = from.distance(to);
+        let move_start = pause_from + pause;
+        let travel = SimDuration::from_secs_f64(dist / speed);
+        Leg { from, to, move_start, move_end: move_start + travel }
+    }
+}
+
 /// The random waypoint model of the evaluation (§4): each node pauses
 /// for `pause`, picks a uniform destination in the terrain and a uniform
 /// speed in `[min_speed, max_speed]`, travels there, and repeats.
@@ -151,8 +179,7 @@ pub struct RandomWaypoint {
     pause: SimDuration,
     min_speed: f64,
     max_speed: f64,
-    rng: SimRng,
-    legs: Vec<Leg>,
+    state: RefCell<RwpState>,
 }
 
 impl RandomWaypoint {
@@ -174,41 +201,35 @@ impl RandomWaypoint {
             min_speed > 0.0 && min_speed <= max_speed,
             "speeds must satisfy 0 < min <= max (got {min_speed}..{max_speed})"
         );
-        let legs = (0..n)
-            .map(|_| {
-                let p = terrain.random_position(&mut rng);
-                Leg { from: p, to: p, move_start: SimTime::ZERO, move_end: SimTime::ZERO }
-            })
-            .collect();
-        let mut rwp = RandomWaypoint { terrain, pause, min_speed, max_speed, rng, legs };
-        // Turn each placeholder into a real first leg (pause, then move).
-        for i in 0..n {
-            let leg = rwp.next_leg(rwp.legs[i].to, SimTime::ZERO);
-            rwp.legs[i] = leg;
+        let starts: Vec<Position> = (0..n).map(|_| terrain.random_position(&mut rng)).collect();
+        let mut state = RwpState { rng, legs: Vec::with_capacity(n) };
+        // A real first leg per node (pause at the start, then move).
+        for p in starts {
+            let leg = state.next_leg(terrain, pause, min_speed, max_speed, p, SimTime::ZERO);
+            state.legs.push(leg);
         }
-        rwp
-    }
-
-    fn next_leg(&mut self, from: Position, pause_from: SimTime) -> Leg {
-        let to = self.terrain.random_position(&mut self.rng);
-        let speed = self.rng.range_f64(self.min_speed, self.max_speed);
-        let dist = from.distance(to);
-        let move_start = pause_from + self.pause;
-        let travel = SimDuration::from_secs_f64(dist / speed);
-        Leg { from, to, move_start, move_end: move_start + travel }
+        RandomWaypoint { terrain, pause, min_speed, max_speed, state: RefCell::new(state) }
     }
 }
 
 impl MobilityModel for RandomWaypoint {
-    fn position(&mut self, node: NodeId, t: SimTime) -> Position {
+    fn position(&self, node: NodeId, t: SimTime) -> Position {
         let i = node.index();
+        let mut st = self.state.borrow_mut();
         // Advance past any completed legs (lazily).
-        while t > self.legs[i].move_end + self.pause {
-            let arrived_at = self.legs[i].move_end;
-            let from = self.legs[i].to;
-            self.legs[i] = self.next_leg(from, arrived_at);
+        while t > st.legs[i].move_end + self.pause {
+            let arrived_at = st.legs[i].move_end;
+            let from = st.legs[i].to;
+            st.legs[i] = st.next_leg(
+                self.terrain,
+                self.pause,
+                self.min_speed,
+                self.max_speed,
+                from,
+                arrived_at,
+            );
         }
-        let leg = &self.legs[i];
+        let leg = &st.legs[i];
         if t <= leg.move_start {
             leg.from
         } else if t >= leg.move_end {
@@ -220,7 +241,7 @@ impl MobilityModel for RandomWaypoint {
         }
     }
     fn len(&self) -> usize {
-        self.legs.len()
+        self.state.borrow().legs.len()
     }
 }
 
@@ -230,7 +251,7 @@ mod tests {
 
     #[test]
     fn static_line_spacing() {
-        let mut m = StaticMobility::line(4, 200.0);
+        let m = StaticMobility::line(4, 200.0);
         assert_eq!(m.len(), 4);
         assert_eq!(m.position(NodeId(3), SimTime::from_secs(5)).x, 600.0);
         assert_eq!(m.position(NodeId(0), SimTime::ZERO).y, 0.0);
@@ -239,7 +260,7 @@ mod tests {
     #[test]
     fn static_grid_in_terrain() {
         let terrain = Terrain::new(1000.0, 500.0);
-        let mut m = StaticMobility::grid(10, terrain);
+        let m = StaticMobility::grid(10, terrain);
         for i in 0..10 {
             assert!(terrain.contains(m.position(NodeId(i), SimTime::ZERO)));
         }
@@ -247,7 +268,7 @@ mod tests {
 
     #[test]
     fn scripted_interpolates() {
-        let mut m = ScriptedMobility::new(vec![vec![
+        let m = ScriptedMobility::new(vec![vec![
             (SimTime::ZERO, Position::new(0.0, 0.0)),
             (SimTime::from_secs(10), Position::new(100.0, 0.0)),
         ]]);
@@ -266,7 +287,7 @@ mod tests {
     fn rwp_stays_in_terrain_with_monotone_queries() {
         let terrain = Terrain::new(1500.0, 300.0);
         let rng = SimRng::stream(1, "mobility");
-        let mut m = RandomWaypoint::new(10, terrain, SimDuration::from_secs(30), 1.0, 20.0, rng);
+        let m = RandomWaypoint::new(10, terrain, SimDuration::from_secs(30), 1.0, 20.0, rng);
         for step in 0..900 {
             let t = SimTime::from_secs(step);
             for n in 0..10 {
@@ -280,7 +301,7 @@ mod tests {
     fn rwp_nodes_actually_move() {
         let terrain = Terrain::new(1500.0, 300.0);
         let rng = SimRng::stream(2, "mobility");
-        let mut m = RandomWaypoint::new(5, terrain, SimDuration::ZERO, 5.0, 5.0, rng);
+        let m = RandomWaypoint::new(5, terrain, SimDuration::ZERO, 5.0, 5.0, rng);
         let before = m.position(NodeId(0), SimTime::ZERO);
         let after = m.position(NodeId(0), SimTime::from_secs(60));
         assert!(before.distance(after) > 1.0, "node never moved");
@@ -290,8 +311,7 @@ mod tests {
     fn rwp_respects_pause() {
         let terrain = Terrain::new(1000.0, 1000.0);
         let rng = SimRng::stream(3, "mobility");
-        let mut m =
-            RandomWaypoint::new(3, terrain, SimDuration::from_secs(100), 1.0, 2.0, rng);
+        let m = RandomWaypoint::new(3, terrain, SimDuration::from_secs(100), 1.0, 2.0, rng);
         // During the initial pause nodes must hold still.
         let p0 = m.position(NodeId(1), SimTime::ZERO);
         let p1 = m.position(NodeId(1), SimTime::from_secs(50));
@@ -304,7 +324,7 @@ mod tests {
     fn rwp_speed_bound_respected() {
         let terrain = Terrain::new(2200.0, 600.0);
         let rng = SimRng::stream(4, "mobility");
-        let mut m = RandomWaypoint::new(8, terrain, SimDuration::ZERO, 1.0, 20.0, rng);
+        let m = RandomWaypoint::new(8, terrain, SimDuration::ZERO, 1.0, 20.0, rng);
         let mut prev: Vec<Position> =
             (0..8).map(|n| m.position(NodeId(n), SimTime::ZERO)).collect();
         for step in 1..=300 {

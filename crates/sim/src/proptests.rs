@@ -110,7 +110,7 @@ proptest! {
     ) {
         use crate::mobility::{MobilityModel, RandomWaypoint};
         let terrain = crate::geometry::Terrain::new(1500.0, 300.0);
-        let mut m = RandomWaypoint::new(
+        let m = RandomWaypoint::new(
             5,
             terrain,
             crate::time::SimDuration::from_secs(pause),

@@ -11,6 +11,7 @@
 use crate::packet::{ControlKind, ControlPacket, DataPacket, NodeId, Packet};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceEvent;
 
 /// Why a data packet was dropped at the routing layer.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -107,6 +108,9 @@ pub enum Action {
         /// Increment.
         amount: u64,
     },
+    /// Emit a routing-decision trace event (see [`crate::trace`]).
+    /// Queued only when tracing is enabled on the [`Ctx`].
+    Trace(TraceEvent),
 }
 
 /// Callback context: read-only facts about the node plus an action queue.
@@ -117,11 +121,14 @@ pub struct Ctx<'a> {
     n_nodes: usize,
     rng: &'a mut SimRng,
     actions: &'a mut Vec<Action>,
+    trace_enabled: bool,
 }
 
 impl<'a> Ctx<'a> {
     /// Creates a context (used by the simulator and by protocol unit
-    /// tests that drive callbacks directly).
+    /// tests that drive callbacks directly). Tracing starts disabled;
+    /// the simulator enables it via [`Ctx::set_trace_enabled`] when a
+    /// sink or auditor is attached.
     pub fn new(
         now: SimTime,
         id: NodeId,
@@ -129,7 +136,27 @@ impl<'a> Ctx<'a> {
         rng: &'a mut SimRng,
         actions: &'a mut Vec<Action>,
     ) -> Self {
-        Ctx { now, id, n_nodes, rng, actions }
+        Ctx { now, id, n_nodes, rng, actions, trace_enabled: false }
+    }
+
+    /// Turns routing-decision tracing on or off for this callback.
+    pub fn set_trace_enabled(&mut self, on: bool) {
+        self.trace_enabled = on;
+    }
+
+    /// Whether [`Ctx::trace`] will record anything.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_enabled
+    }
+
+    /// Emits a routing-decision trace event. The closure is evaluated
+    /// only when tracing is enabled, so event construction (snapshots,
+    /// allocation) costs nothing in untraced runs.
+    pub fn trace<F: FnOnce() -> TraceEvent>(&mut self, f: F) {
+        if self.trace_enabled {
+            let event = f();
+            self.actions.push(Action::Trace(event));
+        }
     }
 
     /// Current simulated time.
@@ -302,6 +329,27 @@ mod tests {
             actions[2],
             Action::Count { which: ProtoCounter::DiscoveryStarted, amount: 1 }
         ));
+    }
+
+    #[test]
+    fn ctx_trace_is_gated() {
+        let mut rng = SimRng::from_seed(3);
+        let mut actions = Vec::new();
+        let mut ctx = Ctx::new(SimTime::ZERO, NodeId(1), 4, &mut rng, &mut actions);
+        let mut built = 0;
+        ctx.trace(|| {
+            built += 1;
+            TraceEvent::SeqnoReset { node: NodeId(1), old: 1, new: 2 }
+        });
+        assert_eq!(built, 0, "disabled tracing must not even build the event");
+        ctx.set_trace_enabled(true);
+        ctx.trace(|| {
+            built += 1;
+            TraceEvent::SeqnoReset { node: NodeId(1), old: 1, new: 2 }
+        });
+        assert_eq!(built, 1);
+        assert_eq!(actions.len(), 1);
+        assert!(matches!(actions[0], Action::Trace(TraceEvent::SeqnoReset { old: 1, new: 2, .. })));
     }
 
     #[test]

@@ -1,16 +1,79 @@
-//! Packet-lifecycle tracing.
+//! Packet-lifecycle and routing-decision tracing.
 //!
 //! An optional [`TraceSink`] attached to a [`crate::world::World`]
-//! receives one event per interesting link-layer/routing occurrence:
-//! transmissions, clean receptions, collision losses, MAC give-ups and
-//! application deliveries. [`MemoryTrace`] collects them for assertions
-//! and debugging; shared handles (`Arc<Mutex<MemoryTrace>>`) implement
-//! the trait too, so callers can keep access while the world owns the
-//! sink.
+//! receives one event per interesting occurrence on two layers:
+//!
+//! * **link layer** — transmissions, clean receptions, collision
+//!   losses, MAC give-ups and application deliveries;
+//! * **routing layer** — route-table mutations ([`RouteInstall`],
+//!   [`RouteInvalidate`], [`SeqnoReset`]), per-advertisement
+//!   feasibility verdicts with the full `(sn, d, fd)` invariant triple
+//!   before and after ([`AdvertConsidered`], [`SolicitVerdict`]) and
+//!   the RREQ/RREP/RERR lifecycle ([`RreqStart`], [`RreqRelay`],
+//!   [`RrepSend`], [`RerrSend`]). Protocols emit these through
+//!   [`crate::protocol::Ctx::trace`]; emission is free when no sink or
+//!   auditor is attached (the closure never runs).
+//!
+//! [`MemoryTrace`] collects events for assertions and debugging; shared
+//! handles (`Arc<Mutex<MemoryTrace>>`) implement the trait too, so
+//! callers can keep access while the world owns the sink.
+//!
+//! [`RouteInstall`]: TraceEvent::RouteInstall
+//! [`RouteInvalidate`]: TraceEvent::RouteInvalidate
+//! [`SeqnoReset`]: TraceEvent::SeqnoReset
+//! [`AdvertConsidered`]: TraceEvent::AdvertConsidered
+//! [`SolicitVerdict`]: TraceEvent::SolicitVerdict
+//! [`RreqStart`]: TraceEvent::RreqStart
+//! [`RreqRelay`]: TraceEvent::RreqRelay
+//! [`RrepSend`]: TraceEvent::RrepSend
+//! [`RerrSend`]: TraceEvent::RerrSend
 
 use crate::packet::NodeId;
 use crate::time::SimTime;
 use std::sync::{Arc, Mutex};
+
+/// A routing entry's `(sn, d, fd)` invariant triple, with the sequence
+/// number scalarised (protocols encode their richer sequence-number
+/// types — e.g. LDR's `(epoch, counter)` pair — into an
+/// order-preserving `u64`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InvariantSnapshot {
+    /// Destination sequence number, if one is known.
+    pub sn: Option<u64>,
+    /// Measured distance (hops; `u32::MAX` is infinity).
+    pub d: u32,
+    /// Feasible distance (minimum `d` attained under the current `sn`).
+    pub fd: u32,
+}
+
+/// What a protocol's route table decided about one advertisement
+/// (mirrors LDR's Procedure 3 outcomes; other protocols map their own
+/// accept/reject decisions onto the same vocabulary).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteVerdict {
+    /// Installed as a new route or successor change.
+    Installed,
+    /// Refreshed the current successor in place.
+    Refreshed,
+    /// Feasible (NDC holds) but not better than the current route.
+    NotBetter,
+    /// Rejected by the feasibility condition (NDC).
+    Infeasible,
+}
+
+/// Why a route was invalidated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InvalidateCause {
+    /// The MAC declared the next-hop link broken.
+    LinkFailure,
+    /// A received RERR named the destination via our successor.
+    RouteError,
+    /// The "request as error" optimisation: our successor towards the
+    /// destination was itself heard soliciting it.
+    RequestAsError,
+    /// A higher sequence number was adopted, resetting `fd` history.
+    SeqnoAdopted,
+}
 
 /// One traced occurrence.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -54,6 +117,148 @@ pub enum TraceEvent {
         /// Sequence within the flow.
         seq: u32,
     },
+    /// A route was installed or its successor replaced.
+    RouteInstall {
+        /// The node whose table changed.
+        node: NodeId,
+        /// Destination of the route.
+        dest: NodeId,
+        /// New successor.
+        next: NodeId,
+        /// Invariants before the mutation (`None`: no prior entry).
+        before: Option<InvariantSnapshot>,
+        /// Invariants after the mutation.
+        after: InvariantSnapshot,
+    },
+    /// A route was marked unusable (its `sn`/`fd` history survives).
+    RouteInvalidate {
+        /// The node whose table changed.
+        node: NodeId,
+        /// Destination of the route.
+        dest: NodeId,
+        /// Stored sequence number at invalidation time.
+        seqno: Option<u64>,
+        /// Why.
+        cause: InvalidateCause,
+    },
+    /// A node raised its *own* destination sequence number (LDR path
+    /// reset, reverse probe, or an AODV-style increment).
+    SeqnoReset {
+        /// The destination whose number rose.
+        node: NodeId,
+        /// Value before.
+        old: u64,
+        /// Value after.
+        new: u64,
+    },
+    /// The route table judged one advertisement `(sn*, d*)` against the
+    /// stored invariants — the per-advert NDC verdict.
+    AdvertConsidered {
+        /// The judging node.
+        node: NodeId,
+        /// Advertised destination.
+        dest: NodeId,
+        /// Neighbour the advertisement arrived from.
+        from: NodeId,
+        /// Advertised sequence number (scalarised).
+        adv_sn: u64,
+        /// Advertised distance `d*`.
+        adv_d: u32,
+        /// Stored invariants before the decision.
+        before: Option<InvariantSnapshot>,
+        /// Stored invariants after the decision.
+        after: Option<InvariantSnapshot>,
+        /// The decision.
+        verdict: RouteVerdict,
+    },
+    /// An intermediate node decided whether its stored route may answer
+    /// a solicitation in the destination's stead — the SDC verdict.
+    SolicitVerdict {
+        /// The deciding node.
+        node: NodeId,
+        /// Solicited destination.
+        dest: NodeId,
+        /// Whether the solicitation carried the T (path-reset) bit.
+        t_bit: bool,
+        /// Whether SDC allowed the reply.
+        allowed: bool,
+    },
+    /// A node originated a route request.
+    RreqStart {
+        /// Origin.
+        node: NodeId,
+        /// Solicited destination.
+        dest: NodeId,
+        /// Request id (unique per origin).
+        rreqid: u32,
+        /// Time-to-live of this (expanding-ring) attempt.
+        ttl: u8,
+    },
+    /// A node relayed a route request it was not the target of.
+    RreqRelay {
+        /// Relay.
+        node: NodeId,
+        /// Solicited destination.
+        dest: NodeId,
+        /// The request's origin.
+        origin: NodeId,
+    },
+    /// A node sent (originated or relayed) a route reply.
+    RrepSend {
+        /// Sender.
+        node: NodeId,
+        /// Advertised destination.
+        dest: NodeId,
+        /// Reverse-path neighbour the reply was unicast to.
+        to: NodeId,
+        /// Advertised distance.
+        dist: u32,
+    },
+    /// A node broadcast a route error.
+    RerrSend {
+        /// Sender.
+        node: NodeId,
+        /// Destinations named in the error.
+        dests: Vec<NodeId>,
+    },
+}
+
+impl TraceEvent {
+    /// The node the event happened at (for per-node timelines).
+    pub fn node(&self) -> NodeId {
+        match *self {
+            TraceEvent::TxStart { node, .. }
+            | TraceEvent::RxOk { node, .. }
+            | TraceEvent::RxCollision { node }
+            | TraceEvent::MacGiveUp { node, .. }
+            | TraceEvent::Delivered { node, .. }
+            | TraceEvent::RouteInstall { node, .. }
+            | TraceEvent::RouteInvalidate { node, .. }
+            | TraceEvent::SeqnoReset { node, .. }
+            | TraceEvent::AdvertConsidered { node, .. }
+            | TraceEvent::SolicitVerdict { node, .. }
+            | TraceEvent::RreqStart { node, .. }
+            | TraceEvent::RreqRelay { node, .. }
+            | TraceEvent::RrepSend { node, .. }
+            | TraceEvent::RerrSend { node, .. } => node,
+        }
+    }
+
+    /// Whether this is a routing-layer event (vs. link-layer).
+    pub fn is_routing(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::RouteInstall { .. }
+                | TraceEvent::RouteInvalidate { .. }
+                | TraceEvent::SeqnoReset { .. }
+                | TraceEvent::AdvertConsidered { .. }
+                | TraceEvent::SolicitVerdict { .. }
+                | TraceEvent::RreqStart { .. }
+                | TraceEvent::RreqRelay { .. }
+                | TraceEvent::RrepSend { .. }
+                | TraceEvent::RerrSend { .. }
+        )
+    }
 }
 
 /// Receives trace events from the simulator.
@@ -118,6 +323,22 @@ mod tests {
         assert_eq!(tr.events().len(), 2);
         assert!(tr.events()[0].0 < tr.events()[1].0);
         assert_eq!(tr.count(|e| matches!(e, TraceEvent::Delivered { .. })), 1);
+    }
+
+    #[test]
+    fn node_and_layer_classification() {
+        let link = TraceEvent::RxCollision { node: NodeId(4) };
+        assert_eq!(link.node(), NodeId(4));
+        assert!(!link.is_routing());
+        let routing = TraceEvent::RouteInstall {
+            node: NodeId(2),
+            dest: NodeId(9),
+            next: NodeId(3),
+            before: None,
+            after: InvariantSnapshot { sn: Some(7), d: 2, fd: 2 },
+        };
+        assert_eq!(routing.node(), NodeId(2));
+        assert!(routing.is_routing());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! timestamp order. All randomness is drawn from named sub-streams of
 //! the run seed, so a `(configuration, seed)` pair replays exactly.
 
+use crate::audit::{ForensicReport, InvariantAuditor};
 use crate::config::SimConfig;
 use crate::event::{Event, EventQueue};
 use crate::loopcheck::{find_loops, LoopViolation};
@@ -110,6 +111,7 @@ pub struct World {
     manual: Vec<AppPacket>,
     next_manual_flow: u32,
     trace: Option<Box<dyn TraceSink>>,
+    auditor: Option<InvariantAuditor>,
     /// First routing loop the auditor found, if any.
     pub first_loop: Option<LoopViolation>,
 }
@@ -142,6 +144,7 @@ impl World {
                 }
             })
             .collect();
+        let auditor = cfg.invariant_audit.then(InvariantAuditor::new);
         let mut world = World {
             traffic_rng: SimRng::stream(seed, "traffic"),
             cfg,
@@ -158,6 +161,7 @@ impl World {
             manual: Vec::new(),
             next_manual_flow: MANUAL_FLOW_BASE,
             trace: None,
+            auditor,
             first_loop: None,
         };
         if let Some(interval) = world.cfg.audit_interval {
@@ -216,15 +220,28 @@ impl World {
         flow_id
     }
 
-    /// Attaches a packet-lifecycle trace sink (see [`crate::trace`]).
+    /// Attaches a trace sink receiving both packet-lifecycle and
+    /// routing-decision events (see [`crate::trace`]). Attaching a sink
+    /// enables protocol-side emission for subsequent callbacks.
     pub fn set_trace(&mut self, sink: Box<dyn TraceSink>) {
         self.trace = Some(sink);
     }
 
     fn emit(&mut self, event: TraceEvent) {
+        if let Some(a) = self.auditor.as_mut() {
+            a.observe(self.now, &event);
+        }
         if let Some(t) = self.trace.as_mut() {
             t.record(self.now, event);
         }
+    }
+
+    /// The every-mutation auditor's first-violation forensic report, if
+    /// [`SimConfig::invariant_audit`] is on and a breach occurred.
+    /// Retrieve after [`World::run_until`]/[`World::finalize`] (the
+    /// consuming [`World::run`] drops the world).
+    pub fn forensic_report(&self) -> Option<&ForensicReport> {
+        self.auditor.as_ref().and_then(|a| a.report())
     }
 
     /// Schedules a crash-and-restart of `node` at time `at`: its MAC
@@ -255,7 +272,7 @@ impl World {
     }
 
     /// Node indices currently within radio range of `node`.
-    pub fn neighbors(&mut self, node: NodeId) -> Vec<NodeId> {
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
         let now = self.now;
         let p = self.mobility.position(node, now);
         let range_sq = self.cfg.phy.range_m * self.cfg.phy.range_m;
@@ -306,8 +323,7 @@ impl World {
     /// number, run length.
     pub fn finalize(&mut self) {
         self.metrics.ifq_drops = self.nodes.iter().map(|s| s.mac.ifq_drops).sum();
-        self.metrics.mac_retry_failures =
-            self.nodes.iter().map(|s| s.mac.retry_failures).sum();
+        self.metrics.mac_retry_failures = self.nodes.iter().map(|s| s.mac.retry_failures).sum();
         let mut sum = 0.0;
         let mut count = 0u64;
         for s in &self.nodes {
@@ -432,16 +448,37 @@ impl World {
     {
         let n = self.nodes.len();
         let now = self.now;
+        let trace_on = self.trace.is_some() || self.auditor.is_some();
         let mut actions = Vec::new();
         {
             let slot = &mut self.nodes[node.index()];
             let mut ctx = Ctx::new(now, node, n, &mut slot.proto_rng, &mut actions);
+            ctx.set_trace_enabled(trace_on);
             f(slot.protocol.as_mut(), &mut ctx);
         }
         self.apply_actions(node, actions);
         if self.cfg.audit_every_event {
             self.audit_now();
         }
+        self.invariant_check();
+    }
+
+    /// Re-checks the every-mutation invariants (fd monotonicity,
+    /// successor acyclicity) if the auditor is attached. Route tables
+    /// only mutate inside protocol callbacks, so running this after
+    /// each one observes every table state the run passes through.
+    fn invariant_check(&mut self) {
+        if self.auditor.is_none() {
+            return;
+        }
+        let dumps: Vec<Vec<crate::protocol::RouteDump>> =
+            self.nodes.iter().map(|s| s.protocol.route_table_dump()).collect();
+        let successors: Vec<Vec<(NodeId, NodeId)>> =
+            self.nodes.iter().map(|s| s.protocol.route_successors()).collect();
+        let aud = self.auditor.as_mut().expect("checked above");
+        let new = aud.check(self.now, self.cfg.seed, &dumps, &successors);
+        self.metrics.invariant_checks += 1;
+        self.metrics.invariant_breaches += new;
     }
 
     fn apply_actions(&mut self, node: NodeId, actions: Vec<Action>) {
@@ -475,6 +512,10 @@ impl World {
                 }
                 Action::Count { which, amount } => {
                     self.metrics.record_proto(which, amount);
+                }
+                Action::Trace(event) => {
+                    self.metrics.trace_events += 1;
+                    self.emit(event);
                 }
             }
         }
@@ -581,8 +622,7 @@ impl World {
             }
             (frame, dur)
         };
-        self.nodes[node.index()].mac.state =
-            MacState::Transmitting { tx_id, until: now + dur };
+        self.nodes[node.index()].mac.state = MacState::Transmitting { tx_id, until: now + dur };
         self.fel.schedule(now + dur, Event::TxEnd { node, tx_id });
         let (uid, dst) = match &frame.payload {
             FramePayload::Packet(p) => (Some(p.uid), frame.dst),
@@ -786,11 +826,7 @@ impl World {
         self.nodes[node.index()].mac.ack_busy_until = now + dur;
         let tx_id = self.next_tx_id;
         self.next_tx_id += 1;
-        let frame = Frame {
-            src: node,
-            dst: Some(to),
-            payload: FramePayload::Ack { acked_tx },
-        };
+        let frame = Frame { src: node, dst: Some(to), payload: FramePayload::Ack { acked_tx } };
         self.propagate(node, frame, tx_id, dur);
         // Free the radio (and retry pending frames) when the ACK ends.
         self.fel.schedule(now + dur, Event::MacKick(node));
@@ -813,6 +849,7 @@ mod tests {
             seed,
             audit_interval: None,
             audit_every_event: false,
+            invariant_audit: false,
         };
         let topo = StaticRouting::tables_for_line(n);
         World::new(cfg, Box::new(mobility), move |id, _| {
@@ -834,12 +871,7 @@ mod tests {
     fn multi_hop_chain_delivery() {
         let mut w = small_world(5, 200.0, 2);
         for i in 0..20 {
-            w.schedule_app_packet(
-                SimTime::from_millis(1000 + i * 100),
-                NodeId(0),
-                NodeId(4),
-                512,
-            );
+            w.schedule_app_packet(SimTime::from_millis(1000 + i * 100), NodeId(0), NodeId(4), 512);
         }
         let m = w.run();
         assert_eq!(m.data_originated, 20);
@@ -859,8 +891,9 @@ mod tests {
 
     #[test]
     fn neighbors_respect_range() {
-        let mut w = small_world(4, 200.0, 4);
+        let w = small_world(4, 200.0, 4);
         // 200 m spacing, 275 m range: only adjacent nodes are neighbours.
+        // `neighbors` is a read-only query: `w` needs no `mut`.
         assert_eq!(w.neighbors(NodeId(0)), vec![NodeId(1)]);
         assert_eq!(w.neighbors(NodeId(1)), vec![NodeId(0), NodeId(2)]);
     }
@@ -886,11 +919,8 @@ mod tests {
     #[test]
     fn cbr_traffic_generates_and_delivers() {
         let mobility = StaticMobility::line(3, 150.0);
-        let cfg = SimConfig {
-            duration: SimDuration::from_secs(60),
-            seed: 5,
-            ..SimConfig::default()
-        };
+        let cfg =
+            SimConfig { duration: SimDuration::from_secs(60), seed: 5, ..SimConfig::default() };
         let topo = StaticRouting::tables_for_line(3);
         let mut w = World::new(cfg, Box::new(mobility), move |id, _| {
             Box::new(StaticRouting::new(id, topo.clone()))
@@ -984,9 +1014,9 @@ mod tests {
         // with capture enabled R still decodes it.
         let run = |capture: Option<f64>| {
             let positions = vec![
-                Position::new(0.0, 0.0),    // R
-                Position::new(-50.0, 0.0),  // A
-                Position::new(250.0, 0.0),  // B
+                Position::new(0.0, 0.0),   // R
+                Position::new(-50.0, 0.0), // A
+                Position::new(250.0, 0.0), // B
             ];
             let adj = vec![vec![1, 2], vec![0], vec![0]];
             let topo = StaticRouting::from_adjacency(&adj);
@@ -996,21 +1026,16 @@ mod tests {
                 seed: 5,
                 ..SimConfig::default()
             };
-            let mut w = World::new(
-                cfg,
-                Box::new(StaticMobility::new(positions)),
-                move |id, _| Box::new(StaticRouting::new(id, topo.clone())),
-            );
+            let mut w = World::new(cfg, Box::new(StaticMobility::new(positions)), move |id, _| {
+                Box::new(StaticRouting::new(id, topo.clone()))
+            });
             // Repeat the overlapping pair many times so backoff
             // randomness cannot hide the effect.
             for k in 0..50u64 {
                 let base = 100_000_000 + k * 100_000_000; // every 100 ms
                 w.fel.schedule(SimTime::from_nanos(base), Event::AppSend { idx: 0 });
                 // B starts 500 us into A's ~2.4 ms frame.
-                w.fel.schedule(
-                    SimTime::from_nanos(base + 500_000),
-                    Event::AppSend { idx: 1 },
-                );
+                w.fel.schedule(SimTime::from_nanos(base + 500_000), Event::AppSend { idx: 1 });
                 // (re-use two manual packets scheduled below)
             }
             w.manual.push(AppPacket {

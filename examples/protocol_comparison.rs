@@ -64,7 +64,15 @@ fn main() {
 
     println!(
         "{:<6} {:>9} {:>12} {:>10} {:>10} {:>11} {:>11} {:>10} {:>7}",
-        "proto", "delivery", "latency(ms)", "net load", "RREQ load", "RREP init", "RREP recv", "seqno", "loops"
+        "proto",
+        "delivery",
+        "latency(ms)",
+        "net load",
+        "RREQ load",
+        "RREP init",
+        "RREP recv",
+        "seqno",
+        "loops"
     );
     for (name, m) in &results {
         println!(
@@ -84,10 +92,7 @@ fn main() {
     let ldr = &results[0].1;
     let aodv = &results[1].1;
     println!("\nThe paper's headline effects, reproduced here:");
-    println!(
-        "  - LDR is loop-free at every audited instant ({} violations).",
-        ldr.loop_violations
-    );
+    println!("  - LDR is loop-free at every audited instant ({} violations).", ldr.loop_violations);
     if ldr.mean_own_seqno > 0.1 {
         println!(
             "  - AODV's destination sequence numbers grow {:.1}x faster than LDR's \

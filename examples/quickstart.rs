@@ -75,12 +75,7 @@ fn main() {
 
     // Phase 1: E sends CBR-ish packets to T starting at t = 1 s.
     for k in 0..100u64 {
-        world.schedule_app_packet(
-            SimTime::from_millis(1000 + 250 * k),
-            NodeId(0),
-            NodeId(4),
-            512,
-        );
+        world.schedule_app_packet(SimTime::from_millis(1000 + 250 * k), NodeId(0), NodeId(4), 512);
     }
 
     world.run_until(SimTime::from_secs(5));
@@ -100,10 +95,22 @@ fn main() {
     world.finalize();
     let m = world.metrics();
     println!("\n--- outcome ---");
-    println!("  originated {}   delivered {} ({:.1}%)", m.data_originated, m.data_delivered, 100.0 * m.delivery_ratio());
+    println!(
+        "  originated {}   delivered {} ({:.1}%)",
+        m.data_originated,
+        m.data_delivered,
+        100.0 * m.delivery_ratio()
+    );
     println!("  mean latency {:.2} ms", 1000.0 * m.mean_latency_s());
-    println!("  RREQ tx {}   RREP tx {:?}", m.rreq_tx(), m.control_tx.get(&manet_sim::packet::ControlKind::Rrep));
-    println!("  destination seqno resets (T-bit path resets): {}", world.protocol(NodeId(4)).own_seqno_value().unwrap_or(0.0));
+    println!(
+        "  RREQ tx {}   RREP tx {:?}",
+        m.rreq_tx(),
+        m.control_tx.get(&manet_sim::packet::ControlKind::Rrep)
+    );
+    println!(
+        "  destination seqno resets (T-bit path resets): {}",
+        world.protocol(NodeId(4)).own_seqno_value().unwrap_or(0.0)
+    );
     println!("  loop-audit violations: {} (LDR is loop-free at every instant)", m.loop_violations);
     assert_eq!(m.loop_violations, 0);
 }

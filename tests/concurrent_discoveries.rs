@@ -17,10 +17,7 @@ fn mesh_world(seed: u64) -> World {
     let mut positions = Vec::new();
     for r in 0..3 {
         for c in 0..3 {
-            positions.push(manet_sim::geometry::Position::new(
-                c as f64 * 200.0,
-                r as f64 * 200.0,
-            ));
+            positions.push(manet_sim::geometry::Position::new(c as f64 * 200.0, r as f64 * 200.0));
         }
     }
     let cfg = SimConfig {
@@ -29,11 +26,7 @@ fn mesh_world(seed: u64) -> World {
         audit_interval: Some(SimDuration::from_millis(250)),
         ..SimConfig::default()
     };
-    World::new(
-        cfg,
-        Box::new(StaticMobility::new(positions)),
-        Ldr::factory(LdrConfig::default()),
-    )
+    World::new(cfg, Box::new(StaticMobility::new(positions)), Ldr::factory(LdrConfig::default()))
 }
 
 #[test]
@@ -99,18 +92,8 @@ fn relay_can_go_active_for_a_destination_while_engaged_for_it() {
     // active for a destination it is engaged for.
     let mut world = mesh_world(47);
     for k in 0..40u64 {
-        world.schedule_app_packet(
-            SimTime::from_millis(1000 + 250 * k),
-            NodeId(0),
-            NodeId(8),
-            512,
-        );
-        world.schedule_app_packet(
-            SimTime::from_millis(1005 + 250 * k),
-            NodeId(4),
-            NodeId(8),
-            512,
-        );
+        world.schedule_app_packet(SimTime::from_millis(1000 + 250 * k), NodeId(0), NodeId(8), 512);
+        world.schedule_app_packet(SimTime::from_millis(1005 + 250 * k), NodeId(4), NodeId(8), 512);
     }
     let m = world.run();
     assert!(m.delivery_ratio() > 0.95, "{:.2}", m.delivery_ratio());

@@ -27,11 +27,7 @@ fn factories() -> Vec<(&'static str, Factory)> {
 }
 
 fn static_chain_run(mut factory: Factory, n: usize, packets: u64, seed: u64) -> Metrics {
-    let cfg = SimConfig {
-        duration: SimDuration::from_secs(60),
-        seed,
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig { duration: SimDuration::from_secs(60), seed, ..SimConfig::default() };
     let mobility = StaticMobility::line(n, 200.0);
     let mut world = World::new(cfg, Box::new(mobility), |id, nn| factory(id, nn));
     for k in 0..packets {
@@ -67,18 +63,12 @@ fn on_demand_protocols_pay_no_overhead_without_traffic() {
         if name == "OLSR" {
             continue; // proactive by design
         }
-        let cfg = SimConfig { duration: SimDuration::from_secs(30), seed: 6, ..SimConfig::default() };
-        let world = World::new(
-            cfg,
-            Box::new(StaticMobility::line(5, 200.0)),
-            |id, nn| factory(id, nn),
-        );
+        let cfg =
+            SimConfig { duration: SimDuration::from_secs(30), seed: 6, ..SimConfig::default() };
+        let world =
+            World::new(cfg, Box::new(StaticMobility::line(5, 200.0)), |id, nn| factory(id, nn));
         let m = world.run();
-        assert_eq!(
-            m.total_control_tx(),
-            0,
-            "{name} sent control packets with no data to route"
-        );
+        assert_eq!(m.total_control_tx(), 0, "{name} sent control packets with no data to route");
     }
 }
 
@@ -86,11 +76,7 @@ fn on_demand_protocols_pay_no_overhead_without_traffic() {
 fn olsr_maintains_routes_proactively() {
     let cfg = SimConfig { duration: SimDuration::from_secs(30), seed: 7, ..SimConfig::default() };
     let mut factory: Factory = Box::new(Olsr::factory(OlsrConfig::default()));
-    let world = World::new(
-        cfg,
-        Box::new(StaticMobility::line(5, 200.0)),
-        |id, nn| factory(id, nn),
-    );
+    let world = World::new(cfg, Box::new(StaticMobility::line(5, 200.0)), |id, nn| factory(id, nn));
     let m = world.run();
     assert!(
         m.control_tx.get(&manet_sim::packet::ControlKind::Hello).copied().unwrap_or(0) > 50,
@@ -176,11 +162,10 @@ fn partitioned_network_fails_gracefully() {
     for (name, mut factory) in factories() {
         let cfg =
             SimConfig { duration: SimDuration::from_secs(30), seed: 21, ..SimConfig::default() };
-        let mut world = World::new(
-            cfg,
-            Box::new(StaticMobility::new(positions.clone())),
-            |id, nn| factory(id, nn),
-        );
+        let mut world =
+            World::new(cfg, Box::new(StaticMobility::new(positions.clone())), |id, nn| {
+                factory(id, nn)
+            });
         world.schedule_app_packet(SimTime::from_secs(1), NodeId(0), NodeId(5), 512);
         let m = world.run();
         assert_eq!(m.data_delivered, 0, "{name} delivered across a partition?!");
@@ -212,12 +197,7 @@ fn continuous_traffic_keeps_routes_alive_without_rediscovery() {
         Ldr::factory(LdrConfig::default()),
     );
     for k in 0..160u64 {
-        world.schedule_app_packet(
-            SimTime::from_millis(1000 + 250 * k),
-            NodeId(0),
-            NodeId(3),
-            512,
-        );
+        world.schedule_app_packet(SimTime::from_millis(1000 + 250 * k), NodeId(0), NodeId(3), 512);
     }
     let m = world.run();
     assert_eq!(m.data_delivered, 160);
@@ -244,15 +224,10 @@ fn aodv_hello_variant_detects_breaks_without_data_failures() {
         ],
     ];
     let cfg = SimConfig { duration: SimDuration::from_secs(30), seed: 63, ..SimConfig::default() };
-    let hello_cfg = AodvConfig {
-        hello_interval: Some(SimDuration::from_secs(1)),
-        ..AodvConfig::default()
-    };
-    let mut world = World::new(
-        cfg,
-        Box::new(ScriptedMobility::new(tracks)),
-        Aodv::factory(hello_cfg),
-    );
+    let hello_cfg =
+        AodvConfig { hello_interval: Some(SimDuration::from_secs(1)), ..AodvConfig::default() };
+    let mut world =
+        World::new(cfg, Box::new(ScriptedMobility::new(tracks)), Aodv::factory(hello_cfg));
     // One early packet builds the route; then silence.
     world.schedule_app_packet(SimTime::from_secs(1), NodeId(0), NodeId(2), 512);
     let m = world.run();

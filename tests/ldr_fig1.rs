@@ -30,11 +30,7 @@ fn chain_world(tracks: Vec<Vec<(SimTime, Position)>>, seed: u64) -> World {
         audit_interval: Some(SimDuration::from_millis(200)),
         ..SimConfig::default()
     };
-    World::new(
-        cfg,
-        Box::new(ScriptedMobility::new(tracks)),
-        Ldr::factory(LdrConfig::default()),
-    )
+    World::new(cfg, Box::new(ScriptedMobility::new(tracks)), Ldr::factory(LdrConfig::default()))
 }
 
 fn static_tracks() -> Vec<Vec<(SimTime, Position)>> {
@@ -66,7 +62,10 @@ fn discovery_installs_ordered_feasible_distances() {
     assert!(ok_e);
     assert_eq!(next_e, B);
     assert_eq!((d_e, fd_e), (4, 4));
-    assert!(fd_e > fd_b && fd_b > fd_c && fd_c > fd_d, "ordering criteria: {fd_e} > {fd_b} > {fd_c} > {fd_d}");
+    assert!(
+        fd_e > fd_b && fd_b > fd_c && fd_c > fd_d,
+        "ordering criteria: {fd_e} > {fd_b} > {fd_c} > {fd_d}"
+    );
     assert_eq!(world.metrics().data_delivered, 1);
     assert_eq!(world.metrics().loop_violations, 0);
 }
@@ -101,12 +100,7 @@ fn break_triggers_rerr_rediscovery_and_recovery() {
     ];
     let mut world = chain_world(tracks, 33);
     for k in 0..120u64 {
-        world.schedule_app_packet(
-            SimTime::from_millis(1000 + 250 * k),
-            NodeId(E),
-            NodeId(T),
-            512,
-        );
+        world.schedule_app_packet(SimTime::from_millis(1000 + 250 * k), NodeId(E), NodeId(T), 512);
     }
     let m = world.run();
     assert!(m.data_delivered > 80, "delivery resumed after the break: {}", m.data_delivered);
@@ -159,12 +153,7 @@ fn t_bit_reset_raises_destination_seqno_when_invariants_block_replies() {
     );
     let t_node = NodeId(4);
     for k in 0..100u64 {
-        world.schedule_app_packet(
-            SimTime::from_millis(1000 + 250 * k),
-            NodeId(0),
-            t_node,
-            512,
-        );
+        world.schedule_app_packet(SimTime::from_millis(1000 + 250 * k), NodeId(0), t_node, 512);
     }
     world.run_until(SimTime::from_secs(7));
     let sn_before = world.protocol(t_node).own_seqno_value().unwrap();

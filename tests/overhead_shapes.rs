@@ -15,16 +15,15 @@ use manet_sim::time::SimDuration;
 use manet_sim::traffic::TrafficConfig;
 use manet_sim::world::World;
 
-fn run(mut factory: Box<dyn FnMut(NodeId, usize) -> Box<dyn RoutingProtocol>>, seed: u64) -> Metrics {
+fn run(
+    mut factory: Box<dyn FnMut(NodeId, usize) -> Box<dyn RoutingProtocol>>,
+    seed: u64,
+) -> Metrics {
     // Table-1-like conditions: the RREQ saving comes from LDR's
     // optimal-TTL / feasible-distance machinery on *re*-discoveries, so
     // runs must be long enough for route maintenance to dominate the
     // cold start.
-    let cfg = SimConfig {
-        duration: SimDuration::from_secs(300),
-        seed,
-        ..SimConfig::default()
-    };
+    let cfg = SimConfig { duration: SimDuration::from_secs(300), seed, ..SimConfig::default() };
     let mobility = RandomWaypoint::new(
         50,
         Terrain::new(1500.0, 300.0),
@@ -49,16 +48,11 @@ fn aggregate(proto: &str) -> (u64, u64, f64, f64) {
             _ => run(Box::new(Aodv::factory(AodvConfig::default())), seed),
         };
         rreq_tx += m.rreq_tx();
-        rreq_init += m
-            .control_init
-            .get(&manet_sim::packet::ControlKind::Rreq)
-            .copied()
-            .unwrap_or(0);
-        usable += m
-            .proto
-            .get(&manet_sim::protocol::ProtoCounter::RrepUsableRecv)
-            .copied()
-            .unwrap_or(0) as f64;
+        rreq_init +=
+            m.control_init.get(&manet_sim::packet::ControlKind::Rreq).copied().unwrap_or(0);
+        usable +=
+            m.proto.get(&manet_sim::protocol::ProtoCounter::RrepUsableRecv).copied().unwrap_or(0)
+                as f64;
         delivered += m.data_delivered as f64;
     }
     (rreq_tx, rreq_init, usable, delivered)
@@ -69,10 +63,7 @@ fn ldr_floods_less_and_harvests_more_usable_replies_than_aodv() {
     let (ldr_tx, ldr_init, ldr_usable, ldr_del) = aggregate("ldr");
     let (aodv_tx, aodv_init, aodv_usable, aodv_del) = aggregate("aodv");
 
-    assert!(
-        ldr_tx < aodv_tx,
-        "LDR must transmit fewer broadcast RREQs: {ldr_tx} !< {aodv_tx}"
-    );
+    assert!(ldr_tx < aodv_tx, "LDR must transmit fewer broadcast RREQs: {ldr_tx} !< {aodv_tx}");
     // (The paper's claim is about transmissions — flood volume — not
     // initiations: LDR's optimal-TTL rings are smaller even when its
     // discovery *count* is similar, so only the tx comparison is

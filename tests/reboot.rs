@@ -19,23 +19,14 @@ fn chain_world(n: usize, seed: u64, secs: u64) -> World {
         audit_interval: Some(SimDuration::from_millis(500)),
         ..SimConfig::default()
     };
-    World::new(
-        cfg,
-        Box::new(StaticMobility::line(n, 200.0)),
-        Ldr::factory(LdrConfig::default()),
-    )
+    World::new(cfg, Box::new(StaticMobility::line(n, 200.0)), Ldr::factory(LdrConfig::default()))
 }
 
 #[test]
 fn intermediate_reboot_loses_routes_but_traffic_recovers() {
     let mut world = chain_world(4, 51, 40);
     for k in 0..120u64 {
-        world.schedule_app_packet(
-            SimTime::from_millis(1000 + 250 * k),
-            NodeId(0),
-            NodeId(3),
-            512,
-        );
+        world.schedule_app_packet(SimTime::from_millis(1000 + 250 * k), NodeId(0), NodeId(3), 512);
     }
     // The middle relay crashes mid-stream.
     world.schedule_reboot(SimTime::from_secs(10), NodeId(1));
@@ -53,12 +44,7 @@ fn intermediate_reboot_loses_routes_but_traffic_recovers() {
 fn rebooted_destination_participates_immediately_no_hold() {
     let mut world = chain_world(4, 53, 40);
     for k in 0..120u64 {
-        world.schedule_app_packet(
-            SimTime::from_millis(1000 + 250 * k),
-            NodeId(0),
-            NodeId(3),
-            512,
-        );
+        world.schedule_app_packet(SimTime::from_millis(1000 + 250 * k), NodeId(0), NodeId(3), 512);
     }
     // The destination crashes, then the path's relay crashes moments
     // later, wiping the network's usable routes — the subsequent
@@ -88,12 +74,7 @@ fn reboot_mid_discovery_is_survivable() {
     // the origin's retry must still converge.
     let mut world = chain_world(4, 57, 30);
     for k in 0..80u64 {
-        world.schedule_app_packet(
-            SimTime::from_millis(1000 + 250 * k),
-            NodeId(0),
-            NodeId(3),
-            512,
-        );
+        world.schedule_app_packet(SimTime::from_millis(1000 + 250 * k), NodeId(0), NodeId(3), 512);
     }
     // Crash the destination a hair after the first RREQ goes out.
     world.schedule_reboot(SimTime::from_millis(1002), NodeId(3));
