@@ -124,7 +124,7 @@ impl Route {
     }
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Discovery {
     generation: u64,
     attempts: u32,
@@ -132,6 +132,7 @@ struct Discovery {
 }
 
 /// An AODV node.
+#[derive(Clone)]
 pub struct Aodv {
     id: NodeId,
     cfg: AodvConfig,
@@ -184,6 +185,118 @@ impl Aodv {
 
     fn active(&self, dest: NodeId, now: SimTime) -> Option<&Route> {
         self.routes.get(&dest).filter(|r| r.is_active(now))
+    }
+
+    // ----- verification hooks ----------------------------------------------
+    //
+    // Counterparts of the `ldr::Ldr` hooks, used by `crates/modelcheck`
+    // to drive AODV through the same exhaustive event interleavings.
+
+    /// Forces the route towards `dest` (if any) to expire immediately —
+    /// the model checker's route-table-timeout transition. A timeout is
+    /// not an invalidation: `valid` and the stored sequence number are
+    /// untouched (RFC 3561 increments the number only on *detected*
+    /// breaks, which is exactly the distinction the known AODV loop
+    /// scenarios exploit).
+    pub fn force_expire(&mut self, dest: NodeId) -> bool {
+        match self.routes.get_mut(&dest) {
+            Some(r) => {
+                r.expires = SimTime::ZERO;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Raises this node's own sequence number by one — the model
+    /// checker's destination-seqno-increment transition.
+    pub fn bump_own_seqno(&mut self) {
+        self.own_seq = self.own_seq.wrapping_add(1);
+    }
+
+    /// Appends a canonical byte encoding of the complete protocol state
+    /// to `out` (sorted map iteration; see
+    /// `ldr::Ldr::verification_digest` for the contract).
+    pub fn verification_digest(&self, out: &mut Vec<u8>) {
+        fn push_u64(out: &mut Vec<u8>, v: u64) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn push_u32(out: &mut Vec<u8>, v: u32) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        push_u32(out, self.own_seq);
+        push_u32(out, self.next_rreqid);
+        push_u64(out, self.next_generation);
+        push_u64(out, self.clock.as_nanos());
+
+        let mut routes: Vec<(&NodeId, &Route)> = self.routes.iter().collect();
+        routes.sort_unstable_by_key(|(d, _)| d.0);
+        push_u64(out, routes.len() as u64);
+        for (dest, r) in routes {
+            out.extend_from_slice(&dest.0.to_le_bytes());
+            match r.seq {
+                None => out.push(0),
+                Some(s) => {
+                    out.push(1);
+                    push_u32(out, s);
+                }
+            }
+            push_u32(out, r.hops);
+            out.extend_from_slice(&r.next.0.to_le_bytes());
+            out.push(u8::from(r.valid));
+            push_u64(out, r.expires.as_nanos());
+            let mut pre: Vec<u16> = r.precursors.iter().map(|n| n.0).collect();
+            pre.sort_unstable();
+            push_u64(out, pre.len() as u64);
+            for p in pre {
+                out.extend_from_slice(&p.to_le_bytes());
+            }
+        }
+
+        let mut seen: Vec<(&(NodeId, u32), &SimTime)> = self.seen.iter().collect();
+        seen.sort_unstable_by_key(|((origin, rreqid), _)| (origin.0, *rreqid));
+        push_u64(out, seen.len() as u64);
+        for ((origin, rreqid), exp) in seen {
+            out.extend_from_slice(&origin.0.to_le_bytes());
+            push_u32(out, *rreqid);
+            push_u64(out, exp.as_nanos());
+        }
+
+        let mut fwd: Vec<_> = self.forwarded.iter().collect();
+        fwd.sort_unstable_by_key(|((orig, dst), _)| (orig.0, dst.0));
+        push_u64(out, fwd.len() as u64);
+        for ((orig, dst), (seq, hops, exp)) in fwd {
+            out.extend_from_slice(&orig.0.to_le_bytes());
+            out.extend_from_slice(&dst.0.to_le_bytes());
+            push_u32(out, *seq);
+            out.push(*hops);
+            push_u64(out, exp.as_nanos());
+        }
+
+        let mut pending: Vec<(&NodeId, &Discovery)> = self.pending.iter().collect();
+        pending.sort_unstable_by_key(|(d, _)| d.0);
+        push_u64(out, pending.len() as u64);
+        for (dest, disc) in pending {
+            out.extend_from_slice(&dest.0.to_le_bytes());
+            push_u64(out, disc.generation);
+            push_u32(out, disc.attempts);
+            push_u64(out, disc.queue.len() as u64);
+            for p in &disc.queue {
+                out.extend_from_slice(&p.src.0.to_le_bytes());
+                out.extend_from_slice(&p.dst.0.to_le_bytes());
+                push_u32(out, p.flow);
+                push_u32(out, p.seq);
+                out.push(p.ttl);
+            }
+        }
+
+        let mut nb: Vec<(&NodeId, &SimTime)> = self.neighbors.iter().collect();
+        nb.sort_unstable_by_key(|(n, _)| n.0);
+        push_u64(out, nb.len() as u64);
+        for (n, deadline) in nb {
+            out.extend_from_slice(&n.0.to_le_bytes());
+            push_u64(out, deadline.as_nanos());
+        }
     }
 
     /// RFC 3561 §6.2 update rule: accept if the sequence number is
@@ -632,14 +745,15 @@ impl RoutingProtocol for Aodv {
         }
         let attempts = d.attempts + 1;
         if attempts > self.cfg.max_attempts {
-            let d = self.pending.remove(&dest).expect("checked above");
-            for p in d.queue {
-                ctx.drop_data(p, DropReason::NoRoute);
+            if let Some(d) = self.pending.remove(&dest) {
+                for p in d.queue {
+                    ctx.drop_data(p, DropReason::NoRoute);
+                }
             }
             ctx.count(ProtoCounter::DiscoveryFailed);
-        } else {
+        } else if let Some(d) = self.pending.get_mut(&dest) {
             let generation = d.generation;
-            self.pending.get_mut(&dest).expect("checked above").attempts = attempts;
+            d.attempts = attempts;
             self.send_rreq(ctx, dest, attempts, generation);
         }
     }

@@ -75,7 +75,7 @@ struct CacheEntry {
 
 /// A pending route discovery at the origin (the node is *active* for
 /// this destination).
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Discovery {
     generation: u64,
     attempts: u32,
@@ -107,6 +107,7 @@ struct Discovery {
 /// assert!(node.is_active_for(NodeId(7)));
 /// assert!(!actions.is_empty()); // RREQ broadcast + retry timer
 /// ```
+#[derive(Clone)]
 pub struct Ldr {
     id: NodeId,
     cfg: LdrConfig,
@@ -156,6 +157,98 @@ impl Ldr {
         self.pending.contains_key(&dest)
     }
 
+    // ----- verification hooks ----------------------------------------------
+    //
+    // Used by the exhaustive model checker (`crates/modelcheck`), which
+    // drives the protocol callbacks directly and needs (a) a canonical
+    // encoding of the full node state for state-space deduplication and
+    // (b) environment transitions — soft-state expiry, the destination
+    // raising its own number — that the simulator normally produces via
+    // the passage of time.
+
+    /// Forces the route towards `dest` (if any) to expire immediately —
+    /// the model checker's route-table-timeout transition. Returns
+    /// whether an entry existed. Soft-state only: `sn`/`fd` history is
+    /// untouched, exactly as with a natural timeout.
+    pub fn force_expire(&mut self, dest: NodeId) -> bool {
+        self.routes.force_expire(dest)
+    }
+
+    /// Raises this node's own destination sequence number by one — the
+    /// model checker's destination-seqno-increment transition (the
+    /// owner-only operation of §3).
+    pub fn bump_own_seqno(&mut self) {
+        self.own_seqno.increment();
+    }
+
+    /// Appends a canonical byte encoding of the complete protocol state
+    /// to `out`. Two `Ldr` values produce the same bytes iff they are
+    /// behaviourally identical, which is what the model checker hashes
+    /// for state-space deduplication. All map iteration is sorted, so
+    /// the encoding is independent of hash-map order.
+    pub fn verification_digest(&self, out: &mut Vec<u8>) {
+        fn push_u64(out: &mut Vec<u8>, v: u64) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn push_u32(out: &mut Vec<u8>, v: u32) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        push_u64(out, self.own_seqno.to_u64());
+        push_u32(out, self.next_rreqid);
+        push_u64(out, self.next_generation);
+        push_u64(out, self.clock.as_nanos());
+
+        let mut routes: Vec<(&NodeId, &RouteEntry)> = self.routes.iter().collect();
+        routes.sort_unstable_by_key(|(d, _)| d.0);
+        push_u64(out, routes.len() as u64);
+        for (dest, e) in routes {
+            out.extend_from_slice(&dest.0.to_le_bytes());
+            push_u64(out, e.seqno.to_u64());
+            push_u32(out, e.dist);
+            push_u32(out, e.fd);
+            out.extend_from_slice(&e.next_hop.0.to_le_bytes());
+            out.push(u8::from(e.valid));
+            push_u64(out, e.expires.as_nanos());
+        }
+
+        let mut cache: Vec<(&(NodeId, u32), &CacheEntry)> = self.cache.iter().collect();
+        cache.sort_unstable_by_key(|((origin, rreqid), _)| (origin.0, *rreqid));
+        push_u64(out, cache.len() as u64);
+        for ((origin, rreqid), c) in cache {
+            out.extend_from_slice(&origin.0.to_le_bytes());
+            push_u32(out, *rreqid);
+            out.extend_from_slice(&c.last_hop.0.to_le_bytes());
+            push_u64(out, c.expires.as_nanos());
+            match c.relayed {
+                None => out.push(0),
+                Some((sn, d)) => {
+                    out.push(1);
+                    push_u64(out, sn.to_u64());
+                    push_u32(out, d);
+                }
+            }
+            out.push(u8::from(c.replied));
+            out.push(u8::from(c.reverse_ok));
+        }
+
+        let mut pending: Vec<(&NodeId, &Discovery)> = self.pending.iter().collect();
+        pending.sort_unstable_by_key(|(d, _)| d.0);
+        push_u64(out, pending.len() as u64);
+        for (dest, disc) in pending {
+            out.extend_from_slice(&dest.0.to_le_bytes());
+            push_u64(out, disc.generation);
+            push_u32(out, disc.attempts);
+            push_u64(out, disc.queue.len() as u64);
+            for p in &disc.queue {
+                out.extend_from_slice(&p.src.0.to_le_bytes());
+                out.extend_from_slice(&p.dst.0.to_le_bytes());
+                push_u32(out, p.flow);
+                push_u32(out, p.seq);
+                out.push(p.ttl);
+            }
+        }
+    }
+
     // ----- traced table mutations ------------------------------------------
 
     /// Procedure 3 with observability: judge one advertisement through
@@ -191,7 +284,8 @@ impl Ldr {
             if matches!(out, AdvertOutcome::Installed | AdvertOutcome::Refreshed) {
                 if let Some(e) = self.routes.get(dest) {
                     let next = e.next_hop;
-                    let after = after.expect("entry exists after install");
+                    let after =
+                        InvariantSnapshot { sn: Some(e.seqno.to_u64()), d: e.dist, fd: e.fd };
                     ctx.trace(|| TraceEvent::RouteInstall { node: id, dest, next, before, after });
                 }
             }
@@ -743,14 +837,15 @@ impl RoutingProtocol for Ldr {
         }
         let attempts = d.attempts + 1;
         if attempts > self.cfg.max_attempts {
-            let d = self.pending.remove(&dest).expect("checked above");
-            for p in d.queue {
-                ctx.drop_data(p, DropReason::NoRoute);
+            if let Some(d) = self.pending.remove(&dest) {
+                for p in d.queue {
+                    ctx.drop_data(p, DropReason::NoRoute);
+                }
             }
             ctx.count(ProtoCounter::DiscoveryFailed);
-        } else {
+        } else if let Some(d) = self.pending.get_mut(&dest) {
             let generation = d.generation;
-            self.pending.get_mut(&dest).expect("checked above").attempts = attempts;
+            d.attempts = attempts;
             self.send_rreq(ctx, dest, attempts, generation);
         }
     }

@@ -269,6 +269,24 @@ impl RouteTable {
         }
     }
 
+    /// Forces the entry for `dest` to expire immediately, as if its
+    /// soft-state lifetime had elapsed: `expires` drops to the epoch
+    /// while `valid` and the `sn`/`fd` history are untouched (a timeout
+    /// is not an invalidation). Returns whether an entry existed.
+    ///
+    /// This models the passage of time for callers that drive the
+    /// protocol without a clock — the model checker's
+    /// route-table-timeout transition.
+    pub fn force_expire(&mut self, dest: NodeId) -> bool {
+        match self.entries.get_mut(&dest) {
+            Some(e) => {
+                e.expires = SimTime::ZERO;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Extends the lifetime of an entry (route used by data traffic).
     pub fn refresh(&mut self, dest: NodeId, expires: SimTime) {
         if let Some(e) = self.entries.get_mut(&dest) {

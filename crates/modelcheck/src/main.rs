@@ -1,0 +1,52 @@
+//! Runs the curated model-checking suite.
+//!
+//! Exit status 0 means every LDR obligation explored clean *and* the
+//! AODV sensitivity witness produced its loop; anything else is 1.
+
+use modelcheck::{report, scenarios, Checker};
+
+fn main() {
+    let mut failed = false;
+
+    for entry in scenarios::LDR_SUITE {
+        let checker = Checker::new(entry.scenario, entry.budget);
+        let outcome = checker.run(scenarios::ldr_factory());
+        let status = match (&outcome.violation, outcome.exhaustive) {
+            (None, true) => "ok (exhaustive)",
+            (None, false) => "ok (budget-bounded)",
+            (Some(_), _) => "VIOLATION",
+        };
+        println!(
+            "{:<24} {:>8} states {:>9} transitions  {status}",
+            entry.scenario.name, outcome.states, outcome.transitions
+        );
+        if let Some(cex) = &outcome.violation {
+            failed = true;
+            print!("{}", report::render(&entry.scenario, scenarios::ldr_factory(), cex));
+        }
+    }
+
+    let entry = scenarios::AODV_STALE_REPLY;
+    let checker = Checker::new(entry.scenario, entry.budget);
+    let outcome = checker.run(scenarios::aodv_factory());
+    match &outcome.violation {
+        Some(cex) => {
+            println!(
+                "{:<24} {:>8} states {:>9} transitions  loop found (expected)",
+                entry.scenario.name, outcome.states, outcome.transitions
+            );
+            print!("{}", report::render(&entry.scenario, scenarios::aodv_factory(), cex));
+        }
+        None => {
+            failed = true;
+            println!(
+                "{:<24} {:>8} states {:>9} transitions  NO LOOP FOUND (expected one)",
+                entry.scenario.name, outcome.states, outcome.transitions
+            );
+        }
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

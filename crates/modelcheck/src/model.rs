@@ -1,0 +1,126 @@
+//! The pluggable protocol interface the checker drives.
+//!
+//! [`ProtocolModel`] mirrors the callback surface of
+//! [`manet_sim::protocol::RoutingProtocol`] and adds the three
+//! verification hooks a checker needs: a canonical state digest for
+//! state-space deduplication, and the two environment transitions —
+//! soft-state expiry and owner sequence-number increments — that the
+//! simulator normally produces through the passage of time. Both the
+//! LDR implementation under test and the AODV baseline implement it,
+//! so the same scenarios and invariant checks run against either.
+
+use ldr::Ldr;
+use manet_baselines::Aodv;
+use manet_sim::packet::{ControlPacket, DataPacket, NodeId, Packet};
+use manet_sim::protocol::{Ctx, RouteDump, RoutingProtocol};
+
+/// A per-node protocol instance the model checker can drive, clone (to
+/// branch the search), and canonically fingerprint.
+pub trait ProtocolModel: Clone {
+    /// Protocol name for reports ("LDR", "AODV", ...).
+    fn protocol_name(&self) -> &'static str;
+    /// Simulation-start callback (periodic timers are scheduled here).
+    fn on_start(&mut self, ctx: &mut Ctx);
+    /// The local application originates `data`.
+    fn on_originate(&mut self, ctx: &mut Ctx, data: DataPacket);
+    /// A data packet arrived from link neighbour `prev`.
+    fn on_data(&mut self, ctx: &mut Ctx, prev: NodeId, data: DataPacket);
+    /// A control message arrived from link neighbour `prev`.
+    fn on_control(&mut self, ctx: &mut Ctx, prev: NodeId, ctrl: ControlPacket, bcast: bool);
+    /// A timer requested via `Ctx::set_timer` fired.
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64);
+    /// The link layer gave up delivering `packet` to `next_hop`.
+    fn on_unicast_failure(&mut self, ctx: &mut Ctx, next_hop: NodeId, packet: Packet);
+    /// Environment transition: the route towards `dest` times out
+    /// (soft-state only; history survives). Returns whether an entry
+    /// existed to expire.
+    fn force_expire(&mut self, dest: NodeId) -> bool;
+    /// Environment transition: this node raises its *own* destination
+    /// sequence number (the owner-only operation).
+    fn bump_own_seqno(&mut self);
+    /// Appends a canonical byte encoding of the complete protocol state
+    /// (sorted map iteration; equal bytes iff behaviourally identical).
+    fn digest(&self, out: &mut Vec<u8>);
+    /// `(dest, next_hop)` pairs of currently usable routes.
+    fn successors(&self) -> Vec<(NodeId, NodeId)>;
+    /// Full routing-table snapshot, sorted by destination.
+    fn dump(&self) -> Vec<RouteDump>;
+}
+
+impl ProtocolModel for Ldr {
+    fn protocol_name(&self) -> &'static str {
+        RoutingProtocol::name(self)
+    }
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        RoutingProtocol::start(self, ctx);
+    }
+    fn on_originate(&mut self, ctx: &mut Ctx, data: DataPacket) {
+        self.handle_data_origination(ctx, data);
+    }
+    fn on_data(&mut self, ctx: &mut Ctx, prev: NodeId, data: DataPacket) {
+        self.handle_data_packet(ctx, prev, data);
+    }
+    fn on_control(&mut self, ctx: &mut Ctx, prev: NodeId, ctrl: ControlPacket, bcast: bool) {
+        self.handle_control(ctx, prev, ctrl, bcast);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        self.handle_timer(ctx, token);
+    }
+    fn on_unicast_failure(&mut self, ctx: &mut Ctx, next_hop: NodeId, packet: Packet) {
+        self.handle_unicast_failure(ctx, next_hop, packet);
+    }
+    fn force_expire(&mut self, dest: NodeId) -> bool {
+        Ldr::force_expire(self, dest)
+    }
+    fn bump_own_seqno(&mut self) {
+        Ldr::bump_own_seqno(self);
+    }
+    fn digest(&self, out: &mut Vec<u8>) {
+        self.verification_digest(out);
+    }
+    fn successors(&self) -> Vec<(NodeId, NodeId)> {
+        self.route_successors()
+    }
+    fn dump(&self) -> Vec<RouteDump> {
+        self.route_table_dump()
+    }
+}
+
+impl ProtocolModel for Aodv {
+    fn protocol_name(&self) -> &'static str {
+        RoutingProtocol::name(self)
+    }
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        RoutingProtocol::start(self, ctx);
+    }
+    fn on_originate(&mut self, ctx: &mut Ctx, data: DataPacket) {
+        self.handle_data_origination(ctx, data);
+    }
+    fn on_data(&mut self, ctx: &mut Ctx, prev: NodeId, data: DataPacket) {
+        self.handle_data_packet(ctx, prev, data);
+    }
+    fn on_control(&mut self, ctx: &mut Ctx, prev: NodeId, ctrl: ControlPacket, bcast: bool) {
+        self.handle_control(ctx, prev, ctrl, bcast);
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx, token: u64) {
+        self.handle_timer(ctx, token);
+    }
+    fn on_unicast_failure(&mut self, ctx: &mut Ctx, next_hop: NodeId, packet: Packet) {
+        self.handle_unicast_failure(ctx, next_hop, packet);
+    }
+    fn force_expire(&mut self, dest: NodeId) -> bool {
+        Aodv::force_expire(self, dest)
+    }
+    fn bump_own_seqno(&mut self) {
+        Aodv::bump_own_seqno(self);
+    }
+    fn digest(&self, out: &mut Vec<u8>) {
+        self.verification_digest(out);
+    }
+    fn successors(&self) -> Vec<(NodeId, NodeId)> {
+        self.route_successors()
+    }
+    fn dump(&self) -> Vec<RouteDump> {
+        self.route_table_dump()
+    }
+}

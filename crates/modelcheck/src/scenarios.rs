@@ -1,0 +1,129 @@
+//! The curated scenario suite.
+//!
+//! Each entry pairs a [`Scenario`] with a search [`Budget`] sized so the
+//! whole suite stays inside the CI smoke budget. The LDR scenarios are
+//! *safety obligations* — the checker must come back clean — while the
+//! AODV scenario is a *sensitivity witness*: it reproduces the classic
+//! stale-route loop (an expired entry re-accepting an equal-sequence
+//! advertisement from a neighbour whose own route points back), proving
+//! the checker actually finds the bug class LDR's NDC rules out.
+//!
+//! Protocol configs here cap discovery at a single attempt: retries
+//! only multiply timer interleavings without enabling new route-table
+//! behaviour, and the loss budgets already model a failed first flood.
+
+use crate::checker::Budget;
+use crate::net::Scenario;
+use ldr::{Ldr, LdrConfig};
+use manet_baselines::{Aodv, AodvConfig};
+use manet_sim::packet::NodeId;
+
+/// LDR configuration used by the model-check scenarios.
+pub fn ldr_config() -> LdrConfig {
+    LdrConfig { max_attempts: 1, ..LdrConfig::default() }
+}
+
+/// AODV configuration used by the model-check scenarios.
+pub fn aodv_config() -> AodvConfig {
+    AodvConfig { max_attempts: 1, ..AodvConfig::default() }
+}
+
+/// Node factory for LDR scenarios.
+pub fn ldr_factory() -> impl Fn(NodeId) -> Ldr + Copy {
+    |id| Ldr::new(id, ldr_config())
+}
+
+/// Node factory for AODV scenarios.
+pub fn aodv_factory() -> impl Fn(NodeId) -> Aodv + Copy {
+    |id| Aodv::new(id, aodv_config())
+}
+
+/// A scenario plus the search budget it runs under.
+#[derive(Clone, Copy, Debug)]
+pub struct SuiteEntry {
+    /// The scenario.
+    pub scenario: Scenario,
+    /// Its search budget.
+    pub budget: Budget,
+}
+
+/// LDR obligations: every entry must explore clean.
+pub const LDR_SUITE: &[SuiteEntry] = &[
+    // Plain discovery over a chain, with one message loss allowed
+    // anywhere (covers retried floods arriving after partial state).
+    SuiteEntry {
+        scenario: Scenario {
+            name: "ldr-chain-discovery",
+            n: 3,
+            links: &[(0, 1), (1, 2)],
+            originations: &[(0, 2)],
+            toggles: &[],
+            max_expires: 0,
+            max_bumps: 0,
+            max_losses: 1,
+        },
+        budget: Budget { max_depth: 40, max_states: 120_000 },
+    },
+    // The stale-route shape that loops AODV: establish 2->1->0, expire
+    // the middle node's entry at any point, re-discover. NDC must
+    // reject the neighbour's equal-sequence stale advertisement.
+    SuiteEntry {
+        scenario: Scenario {
+            name: "ldr-expire-rediscover",
+            n: 3,
+            links: &[(0, 1), (1, 2)],
+            originations: &[(2, 0), (1, 0)],
+            toggles: &[],
+            max_expires: 1,
+            max_bumps: 0,
+            max_losses: 0,
+        },
+        budget: Budget { max_depth: 40, max_states: 120_000 },
+    },
+    // Two disjoint paths; one may break mid-flight. Replies racing over
+    // both sides must never assemble a cycle.
+    SuiteEntry {
+        scenario: Scenario {
+            name: "ldr-diamond-partition",
+            n: 4,
+            links: &[(0, 1), (0, 2), (1, 3), (2, 3)],
+            originations: &[(0, 3)],
+            toggles: &[(1, 3)],
+            max_expires: 0,
+            max_bumps: 0,
+            max_losses: 0,
+        },
+        budget: Budget { max_depth: 40, max_states: 150_000 },
+    },
+    // Destination-side sequence increments racing stale state: fd
+    // history must reset only on a strictly newer seqno.
+    SuiteEntry {
+        scenario: Scenario {
+            name: "ldr-bump-reset",
+            n: 3,
+            links: &[(0, 1), (1, 2)],
+            originations: &[(0, 2)],
+            toggles: &[],
+            max_expires: 1,
+            max_bumps: 1,
+            max_losses: 0,
+        },
+        budget: Budget { max_depth: 40, max_states: 120_000 },
+    },
+];
+
+/// The AODV sensitivity witness: same shape as `ldr-expire-rediscover`;
+/// the checker must find a routing loop here.
+pub const AODV_STALE_REPLY: SuiteEntry = SuiteEntry {
+    scenario: Scenario {
+        name: "aodv-stale-reply",
+        n: 3,
+        links: &[(0, 1), (1, 2)],
+        originations: &[(2, 0), (1, 0)],
+        toggles: &[],
+        max_expires: 1,
+        max_bumps: 0,
+        max_losses: 0,
+    },
+    budget: Budget { max_depth: 40, max_states: 120_000 },
+};

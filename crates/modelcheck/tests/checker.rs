@@ -1,0 +1,111 @@
+//! Checker kernel tests: canonical hashing, budget exhaustion, shrinker
+//! minimality, the LDR safety obligations and the pinned AODV loop.
+
+use manet_sim::packet::{ControlKind, ControlPacket, NodeId, PacketBody};
+use modelcheck::net::Msg;
+use modelcheck::shrink::shrink_with;
+use modelcheck::{scenarios, Budget, Checker, Event, NetState};
+
+fn ctrl_msg(src: u16, dst: u16, payload: &[u8]) -> Msg {
+    Msg {
+        src: NodeId(src),
+        dst: NodeId(dst),
+        body: PacketBody::Control(ControlPacket { kind: ControlKind::Rreq, bytes: payload.into() }),
+        was_broadcast: true,
+        notify_failure: false,
+    }
+}
+
+#[test]
+fn fingerprint_is_insertion_order_invariant() {
+    let sc = scenarios::LDR_SUITE[0].scenario;
+    let mk = scenarios::ldr_factory();
+    let m1 = ctrl_msg(0, 1, b"alpha");
+    let m2 = ctrl_msg(1, 2, b"beta");
+    let m3 = ctrl_msg(2, 1, b"gamma");
+
+    let mut a = NetState::init(&sc, mk);
+    a.inflight.extend([m1.clone(), m2.clone(), m3.clone()]);
+    let mut b = NetState::init(&sc, mk);
+    b.inflight.extend([m3, m1, m2.clone()]);
+    assert_eq!(
+        a.fingerprint(),
+        b.fingerprint(),
+        "the in-flight multiset must hash independently of arrival order"
+    );
+
+    let mut c = NetState::init(&sc, mk);
+    c.inflight.extend([m2.clone(), m2]);
+    assert_ne!(a.fingerprint(), c.fingerprint(), "different multisets must not collide");
+}
+
+#[test]
+fn fingerprint_tracks_environment_not_just_tables() {
+    let sc = scenarios::LDR_SUITE[1].scenario;
+    let mk = scenarios::ldr_factory();
+    let a = NetState::init(&sc, mk);
+    let mut b = NetState::init(&sc, mk);
+    b.expires_left -= 1;
+    assert_ne!(a.fingerprint(), b.fingerprint(), "remaining hazard budgets are part of the state");
+}
+
+#[test]
+fn dfs_reports_budget_exhaustion() {
+    let entry = scenarios::LDR_SUITE[0];
+    let tight = Checker::new(entry.scenario, Budget { max_depth: 3, max_states: 10 });
+    let outcome = tight.run(scenarios::ldr_factory());
+    assert!(outcome.violation.is_none());
+    assert!(!outcome.exhaustive, "a 10-state budget cannot cover the scenario");
+    assert!(outcome.states <= 10);
+}
+
+#[test]
+fn shrinker_reaches_one_minimality_on_synthetic_oracle() {
+    // Oracle: the trace still "fails" iff it contains the Fire events
+    // for node 0 and node 2, in that order. Everything else is noise.
+    let ev = |n: u16| Event::Fire { node: n, token: u64::from(n) };
+    let is_failing = |t: &[Event]| {
+        let a = t.iter().position(|e| *e == ev(0));
+        let c = t.iter().position(|e| *e == ev(2));
+        matches!((a, c), (Some(i), Some(j)) if i < j)
+    };
+    let noisy = vec![ev(5), ev(0), ev(1), ev(3), ev(2), ev(4)];
+    assert!(is_failing(&noisy));
+    let min = shrink_with(noisy, |t| is_failing(t));
+    assert_eq!(min, vec![ev(0), ev(2)], "exactly the two load-bearing events survive");
+    for i in 0..min.len() {
+        let mut cand = min.clone();
+        cand.remove(i);
+        assert!(!is_failing(&cand), "result must be 1-minimal");
+    }
+}
+
+#[test]
+fn ldr_scenarios_explore_clean() {
+    // The cheap obligations run under `cargo test`; the full suite
+    // (including the larger expire/rediscover space) runs in the
+    // release binary and the CI smoke job.
+    for entry in [scenarios::LDR_SUITE[0], scenarios::LDR_SUITE[2], scenarios::LDR_SUITE[3]] {
+        let outcome = Checker::new(entry.scenario, entry.budget).run(scenarios::ldr_factory());
+        assert!(
+            outcome.violation.is_none(),
+            "{}: unexpected violation: {:?}",
+            entry.scenario.name,
+            outcome.violation.map(|c| c.violation)
+        );
+        assert!(outcome.exhaustive, "{}: budget too small", entry.scenario.name);
+    }
+}
+
+#[test]
+fn aodv_stale_reply_loop_is_pinned() {
+    let entry = scenarios::AODV_STALE_REPLY;
+    let outcome = Checker::new(entry.scenario, entry.budget).run(scenarios::aodv_factory());
+    let cex = outcome.violation.expect("the checker must find the classic AODV stale-route loop");
+    let rendered = modelcheck::report::render(&entry.scenario, scenarios::aodv_factory(), &cex);
+    let expected = include_str!("fixtures/aodv_stale_reply.txt");
+    assert_eq!(
+        rendered, expected,
+        "minimized counterexample drifted from the pinned regression fixture"
+    );
+}

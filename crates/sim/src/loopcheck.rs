@@ -65,7 +65,10 @@ pub fn find_loops(tables: &[Vec<(NodeId, NodeId)>]) -> Vec<LoopViolation> {
                 match colour.get(&cur).copied().unwrap_or(0) {
                     1 => {
                         // Found a cycle: trim the path to its start.
-                        let pos = path.iter().position(|&n| n == cur).expect("on path");
+                        // Colour 1 is only ever given to nodes pushed
+                        // onto `path`, so the search always succeeds;
+                        // falling back to 0 keeps this panic-free.
+                        let pos = path.iter().position(|&n| n == cur).unwrap_or(0);
                         let mut cycle: Vec<NodeId> = path[pos..].to_vec();
                         cycle.push(cur);
                         violations.push(LoopViolation { destination: dest, cycle });

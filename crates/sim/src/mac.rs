@@ -127,13 +127,12 @@ impl Mac {
     }
 
     /// Registers a failed unicast attempt on the head frame and decides
-    /// whether to retry.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the queue is empty.
+    /// whether to retry. With an empty queue (a stale timeout after the
+    /// frame already completed) there is nothing to retry: the attempt
+    /// is ignored and the verdict is [`RetryVerdict::Retry`], which
+    /// leaves the MAC idle without recording a failure.
     pub fn note_attempt_failed(&mut self, phy: &PhyConfig) -> RetryVerdict {
-        let head = self.queue.front_mut().expect("attempt failed with empty queue");
+        let Some(head) = self.queue.front_mut() else { return RetryVerdict::Retry };
         head.attempts += 1;
         if head.attempts >= phy.retry_limit {
             self.retry_failures += 1;

@@ -3,6 +3,14 @@
 //! The evaluation uses the random waypoint model (speeds uniform in
 //! [1, 20] m/s, configurable pause time). Static and scripted models are
 //! provided for unit tests and worked examples.
+//!
+//! # Determinism contract
+//!
+//! Mobility is a pure function of the trial seed: every model draws
+//! exclusively from the [`SimRng`] it was constructed with and never
+//! consults wall-clock time or OS entropy, so node trajectories — and
+//! therefore connectivity, collisions and every downstream metric — are
+//! bit-for-bit reproducible for a given seed (see [`crate::rng`]).
 
 use crate::geometry::{Position, Terrain};
 use crate::packet::NodeId;
@@ -124,7 +132,10 @@ impl MobilityModel for ScriptedMobility {
                 return p0.lerp(p1, f);
             }
         }
-        tr.last().expect("non-empty track").1
+        // Past the final keyframe the node parks there. The constructor
+        // rejects empty tracks, so `last()` always yields; the fallback
+        // keeps this path panic-free anyway.
+        tr.last().map_or(tr[0].1, |kf| kf.1)
     }
     fn len(&self) -> usize {
         self.tracks.len()

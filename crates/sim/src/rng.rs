@@ -6,6 +6,17 @@
 //! reproducible across machines and independent of external crate version
 //! churn — the generator (xoshiro256**, seeded through splitmix64) is
 //! implemented here.
+//!
+//! # Determinism contract
+//!
+//! All randomness in a simulation run MUST come from a [`SimRng`]
+//! (directly, via [`SimRng::stream`], or via [`SimRng::split`]); OS
+//! entropy (`std::time`, `SystemTime`, `/dev/urandom`, hash-map
+//! iteration order) is forbidden in simulator paths and enforced by
+//! `cargo xtask check`. Given the same seed, the same build produces the
+//! same event sequence, metrics and traces on every machine, which is
+//! what makes counterexample replay (`crates/modelcheck`) and the
+//! forensic audit dumps meaningful.
 
 /// A deterministic pseudo-random number generator (xoshiro256**).
 ///

@@ -304,7 +304,11 @@ impl TraceSink for MemoryTrace {
 
 impl TraceSink for Arc<Mutex<MemoryTrace>> {
     fn record(&mut self, t: SimTime, event: TraceEvent) {
-        self.lock().expect("trace poisoned").record(t, event);
+        // A poisoned lock means a panic elsewhere already ended the
+        // run; silently dropping the event beats a panic-in-panic.
+        if let Ok(mut log) = self.lock() {
+            log.record(t, event);
+        }
     }
 }
 

@@ -311,7 +311,7 @@ impl World {
             if t > until {
                 break;
             }
-            let (t, event) = self.fel.pop().expect("peeked");
+            let Some((t, event)) = self.fel.pop() else { break };
             debug_assert!(t >= self.now, "event from the past");
             self.now = t;
             self.dispatch(event);
@@ -475,7 +475,7 @@ impl World {
             self.nodes.iter().map(|s| s.protocol.route_table_dump()).collect();
         let successors: Vec<Vec<(NodeId, NodeId)>> =
             self.nodes.iter().map(|s| s.protocol.route_successors()).collect();
-        let aud = self.auditor.as_mut().expect("checked above");
+        let Some(aud) = self.auditor.as_mut() else { return };
         let new = aud.check(self.now, self.cfg.seed, &dumps, &successors);
         self.metrics.invariant_checks += 1;
         self.metrics.invariant_breaches += new;
@@ -605,7 +605,7 @@ impl World {
 
         let (frame, dur) = {
             let slot = &mut self.nodes[node.index()];
-            let head = slot.mac.queue.front_mut().expect("transmission with empty queue");
+            let Some(head) = slot.mac.queue.front_mut() else { return };
             let dur = phy.tx_duration(head.packet.wire_size());
             let count_now = !head.counted_tx;
             head.counted_tx = true;
@@ -697,7 +697,7 @@ impl World {
             MacState::Transmitting { tx_id: t, .. } if t == tx_id => {}
             _ => return, // stale
         }
-        let head = slot.mac.queue.front().expect("TxEnd with empty queue");
+        let Some(head) = slot.mac.queue.front() else { return };
         if head.dst.is_none() {
             // Broadcast: one shot, done.
             slot.mac.queue.pop_front();
@@ -732,13 +732,19 @@ impl World {
             RetryVerdict::GiveUp => {
                 let (packet, dst, notify) = {
                     let slot = &mut self.nodes[node.index()];
-                    let frame = slot.mac.queue.pop_front().expect("give-up with empty queue");
                     slot.mac.reset_cw(&phy);
                     slot.mac.state = MacState::Idle;
+                    let Some(frame) = slot.mac.queue.pop_front() else {
+                        self.fel.schedule(now, Event::MacKick(node));
+                        return;
+                    };
                     (frame.packet, frame.dst, frame.notify_failure)
                 };
                 self.fel.schedule(now, Event::MacKick(node));
-                let next_hop = dst.expect("unicast frame has a destination");
+                // AwaitAck only ever arises for unicast frames, so `dst`
+                // is present; a broadcast head here would be a kernel bug
+                // and is simply not reported rather than panicking.
+                let Some(next_hop) = dst else { return };
                 self.emit(TraceEvent::MacGiveUp { node, dst: next_hop, uid: packet.uid });
                 if notify {
                     self.call_protocol(node, |p, ctx| {
