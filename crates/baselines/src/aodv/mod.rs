@@ -596,6 +596,27 @@ impl RoutingProtocol for Aodv {
         }
     }
 
+    fn handle_reboot(&mut self, ctx: &mut Ctx) {
+        // RFC 3561 stores nothing across a power cycle: the routing
+        // table, dedup caches, pending discoveries AND the node's own
+        // sequence number are all gone. Restarting at own_seq = 0 is
+        // exactly the behaviour "Sequence Numbers Do Not Guarantee Loop
+        // Freedom" exploits — neighbours still hold stale routes
+        // *through* this node with higher destination numbers, so a
+        // post-restart discovery can be answered from that stale state
+        // and close a loop. We keep it honest rather than adopting the
+        // (optional, rarely deployed) DELETE_PERIOD quarantine.
+        self.own_seq = 0;
+        self.routes.clear();
+        self.seen.clear();
+        self.forwarded.clear();
+        self.pending.clear();
+        self.neighbors.clear();
+        self.next_rreqid = 0;
+        self.next_generation = 0;
+        self.start(ctx);
+    }
+
     fn handle_data_origination(&mut self, ctx: &mut Ctx, data: DataPacket) {
         self.clock = ctx.now();
         if data.dst == self.id {

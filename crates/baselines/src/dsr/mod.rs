@@ -304,6 +304,17 @@ impl RoutingProtocol for Dsr {
         ctx.set_timer(CLEANUP_INTERVAL, CLEANUP_TOKEN);
     }
 
+    fn handle_reboot(&mut self, ctx: &mut Ctx) {
+        // Everything DSR knows is soft state: the route cache, RREQ
+        // dedup set and pending discoveries vanish with the power.
+        self.cache = RouteCache::new(self.id, self.cfg.cache_cap, self.cfg.cache_timeout);
+        self.seen.clear();
+        self.pending.clear();
+        self.next_id = 0;
+        self.next_generation = 0;
+        self.start(ctx);
+    }
+
     fn handle_data_origination(&mut self, ctx: &mut Ctx, data: DataPacket) {
         self.clock = ctx.now();
         if data.dst == self.id {

@@ -402,6 +402,24 @@ impl RoutingProtocol for Olsr {
         ctx.set_timer(SimDuration::from_secs(30), CLEANUP_TOKEN);
     }
 
+    fn handle_reboot(&mut self, ctx: &mut Ctx) {
+        // Link-state soft state is all volatile; neighbours age the
+        // crashed incarnation's TCs out on their own timers.
+        self.links.clear();
+        self.two_hop.clear();
+        self.mpr_set.clear();
+        self.mpr_selectors.clear();
+        self.topology.clear();
+        self.dup.clear();
+        self.table.clear();
+        self.dirty = false;
+        self.ansn = 0;
+        self.tc_seq = 0;
+        self.outq.clear();
+        self.drain_scheduled = false;
+        self.start(ctx);
+    }
+
     fn handle_data_origination(&mut self, ctx: &mut Ctx, data: DataPacket) {
         self.clock = ctx.now();
         if data.dst == self.id {

@@ -1,0 +1,9 @@
+//! Fault-injection degradation table: delivery/latency/loop-violations
+//! vs fault intensity (node crashes, link churn, partitions, loss and
+//! corruption), LDR vs AODV vs DSR. `--full` for the deeper intensity
+//! ladder at paper scale.
+
+fn main() {
+    let args = ldr_bench::experiments::Args::parse(std::env::args().skip(1));
+    ldr_bench::experiments::fault_table(&args);
+}

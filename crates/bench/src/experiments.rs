@@ -2,7 +2,7 @@
 //! the `table1`, `fig2`–`fig7` and `ablation` binaries.
 
 use crate::report::{print_series, print_table, Summary};
-use crate::runner::run_trials;
+use crate::runner::{run_fault_trials, run_trials};
 use crate::scenario::{Ablation, Protocol, Scenario, SimFlavor};
 
 /// Command-line options shared by all experiment binaries.
@@ -192,6 +192,45 @@ pub fn fig7(args: &Args) {
             &names,
             &cells,
         );
+    }
+}
+
+/// **Fault degradation table**: delivery, latency and loop-audit
+/// violations as the fault intensity ramps from fault-free (level 0)
+/// through heavy crash/churn/partition/impairment schedules, LDR vs
+/// AODV vs DSR. Every protocol faces the *same* per-trial fault plans
+/// (the schedule is a pure function of the scenario, seed and level),
+/// so the rows are directly comparable — and the loop-violation column
+/// is the paper's safety claim under fire: LDR must stay at zero while
+/// AODV's restart unsoundness is allowed to show.
+pub fn fault_table(args: &Args) {
+    let protocols = [Protocol::Ldr, Protocol::Aodv, Protocol::Dsr];
+    let levels: &[u32] = if args.full { &[0, 1, 2, 3, 4] } else { &[0, 1, 2] };
+    let mut sc = args.apply(base_scenario(50, 10, 60));
+    sc.audit = true; // the loop-violation column needs the auditor
+    println!(
+        "\n=== Fault degradation — {} nodes, {} flows, {} trials/cell ===",
+        sc.n_nodes, sc.n_flows, sc.trials
+    );
+    println!(
+        "{:>5} {:<10} {:>16} {:>16} {:>8} {:>9} {:>7}",
+        "level", "protocol", "delivery", "latency(s)", "faults", "restarts", "loops"
+    );
+    for &level in levels {
+        for proto in protocols {
+            let s = run_fault_trials(proto, &sc, level);
+            println!(
+                "{:>5} {:<10} {:>16} {:>16} {:>8} {:>9} {:>7}",
+                level,
+                s.protocol,
+                s.delivery.display(3),
+                s.latency.display(3),
+                s.faults_injected,
+                s.node_restarts,
+                s.loop_violations,
+            );
+        }
+        eprintln!("  [faultbench] level {level} done");
     }
 }
 

@@ -15,5 +15,5 @@ pub mod runner;
 pub mod scenario;
 
 pub use report::Summary;
-pub use runner::{run_once, run_trials};
+pub use runner::{run_fault_trials, run_once, run_once_faulted, run_trials, trial_fault_plan};
 pub use scenario::{Protocol, Scenario, SimFlavor};

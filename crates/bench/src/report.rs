@@ -35,6 +35,10 @@ pub struct Summary {
     /// Total invariant breaches (fd regressions + loops) found across
     /// trials.
     pub invariant_breaches: u64,
+    /// Total fault-plan actions the kernel fired across trials.
+    pub faults_injected: u64,
+    /// Total crash/restart recoveries across trials.
+    pub node_restarts: u64,
 }
 
 impl Summary {
@@ -54,6 +58,8 @@ impl Summary {
             trace_events: 0,
             invariant_checks: 0,
             invariant_breaches: 0,
+            faults_injected: 0,
+            node_restarts: 0,
         }
     }
 
@@ -71,6 +77,8 @@ impl Summary {
         self.trace_events += m.trace_events;
         self.invariant_checks += m.invariant_checks;
         self.invariant_breaches += m.invariant_breaches;
+        self.faults_injected += m.faults_injected;
+        self.node_restarts += m.node_restarts;
     }
 
     /// Merges another summary of the same protocol (e.g. across pause
@@ -96,6 +104,8 @@ impl Summary {
         self.trace_events += other.trace_events;
         self.invariant_checks += other.invariant_checks;
         self.invariant_breaches += other.invariant_breaches;
+        self.faults_injected += other.faults_injected;
+        self.node_restarts += other.node_restarts;
     }
 
     /// Number of trials folded in.

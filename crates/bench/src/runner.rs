@@ -4,6 +4,7 @@
 use crate::report::Summary;
 use crate::scenario::{Protocol, Scenario};
 use manet_sim::config::SimConfig;
+use manet_sim::faults::{FaultIntensity, FaultPlan};
 use manet_sim::metrics::Metrics;
 use manet_sim::mobility::RandomWaypoint;
 use manet_sim::rng::SimRng;
@@ -14,6 +15,17 @@ use manet_sim::world::World;
 /// Runs one trial and returns its metrics. Fully deterministic in
 /// `(protocol, scenario, seed)`.
 pub fn run_once(protocol: Protocol, scenario: &Scenario, seed: u64) -> Metrics {
+    run_once_faulted(protocol, scenario, seed, None)
+}
+
+/// Runs one trial under an optional deterministic fault schedule.
+/// Fully deterministic in `(protocol, scenario, seed, plan)`.
+pub fn run_once_faulted(
+    protocol: Protocol,
+    scenario: &Scenario,
+    seed: u64,
+    plan: Option<FaultPlan>,
+) -> Metrics {
     let cfg = SimConfig {
         phy: scenario.flavor.phy(),
         duration: SimDuration::from_secs(scenario.duration_secs),
@@ -21,6 +33,7 @@ pub fn run_once(protocol: Protocol, scenario: &Scenario, seed: u64) -> Metrics {
         audit_interval: scenario.audit.then(|| SimDuration::from_secs(1)),
         audit_every_event: false,
         invariant_audit: false,
+        fault_plan: plan,
     };
     let mobility = RandomWaypoint::new(
         scenario.n_nodes,
@@ -34,6 +47,41 @@ pub fn run_once(protocol: Protocol, scenario: &Scenario, seed: u64) -> Metrics {
     let mut world = World::new(cfg, Box::new(mobility), |id, n| factory(id, n));
     world.with_cbr(TrafficConfig::paper(scenario.n_flows));
     world.run()
+}
+
+/// The fault schedule trial `seed` runs at intensity `level`: random,
+/// but a pure function of `(scenario, seed, level)`, and shared across
+/// protocols so the comparison is apples-to-apples.
+pub fn trial_fault_plan(scenario: &Scenario, seed: u64, level: u32) -> FaultPlan {
+    let intensity = FaultIntensity::level(
+        scenario.n_nodes as u16,
+        SimDuration::from_secs(scenario.duration_secs),
+        level,
+    );
+    FaultPlan::random(&mut SimRng::stream(seed, "faultbench-plan"), &intensity)
+}
+
+/// Runs all trials of a scenario at a fault-intensity level (in
+/// parallel threads) and aggregates them into a [`Summary`].
+pub fn run_fault_trials(protocol: Protocol, scenario: &Scenario, level: u32) -> Summary {
+    let results: Vec<Metrics> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..scenario.trials)
+            .map(|k| {
+                let sc = scenario.clone();
+                scope.spawn(move || {
+                    let seed = sc.seed_base + u64::from(k);
+                    let plan = trial_fault_plan(&sc, seed, level);
+                    run_once_faulted(protocol, &sc, seed, Some(plan))
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("trial thread panicked")).collect()
+    });
+    let mut summary = Summary::new(protocol.name());
+    for m in &results {
+        summary.add(m);
+    }
+    summary
 }
 
 /// Runs all trials of a scenario (in parallel threads) and aggregates
@@ -122,6 +170,57 @@ mod tests {
         let s = run_trials(Protocol::Aodv, &scenario);
         assert_eq!(s.trials(), 3);
         assert!(s.delivery.mean() > 0.0);
+    }
+
+    #[test]
+    fn fault_level_zero_is_empty_and_matches_fault_free_trials() {
+        let scenario = Scenario {
+            n_nodes: 15,
+            terrain: (700.0, 300.0),
+            n_flows: 3,
+            pause_secs: 0,
+            duration_secs: 40,
+            trials: 2,
+            seed_base: 100,
+            flavor: crate::scenario::SimFlavor::Default,
+            audit: true,
+        };
+        assert!(trial_fault_plan(&scenario, scenario.seed_base, 0).is_empty());
+        let faulted = run_fault_trials(Protocol::Ldr, &scenario, 0);
+        let plain = run_trials(Protocol::Ldr, &scenario);
+        assert_eq!(faulted.faults_injected, 0);
+        assert_eq!(faulted.node_restarts, 0);
+        assert_eq!(faulted.delivery.mean(), plain.delivery.mean());
+        assert_eq!(faulted.latency.mean(), plain.latency.mean());
+        assert_eq!(faulted.loop_violations, plain.loop_violations);
+    }
+
+    #[test]
+    fn fault_trials_are_deterministic_and_protocol_agnostic() {
+        let scenario = Scenario {
+            n_nodes: 15,
+            terrain: (700.0, 300.0),
+            n_flows: 3,
+            pause_secs: 0,
+            duration_secs: 40,
+            trials: 2,
+            seed_base: 100,
+            flavor: crate::scenario::SimFlavor::Default,
+            audit: true,
+        };
+        // The per-trial plan depends only on (scenario, seed, level),
+        // never the protocol, so every row faces the same schedule.
+        let p1 = trial_fault_plan(&scenario, 107, 2);
+        let p2 = trial_fault_plan(&scenario, 107, 2);
+        assert!(!p1.is_empty());
+        assert_eq!(p1.entries(), p2.entries());
+        let a = run_fault_trials(Protocol::Aodv, &scenario, 2);
+        let b = run_fault_trials(Protocol::Aodv, &scenario, 2);
+        assert!(a.faults_injected > 0, "level 2 must actually inject faults");
+        assert_eq!(a.faults_injected, b.faults_injected);
+        assert_eq!(a.node_restarts, b.node_restarts);
+        assert_eq!(a.delivery.mean(), b.delivery.mean());
+        assert_eq!(a.latency.mean(), b.latency.mean());
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! Golden-summary regression: a small fig2-style multi-protocol run
+//! with fixed seeds must render byte-for-byte identically to the pinned
+//! fixture, so any drift in the simulator, the protocols or the
+//! aggregation shows up as a diff instead of silently shifting results.
+//! Plus `Metrics`/`Summary` edge cases: zero-delivery flows, single-
+//! trial variance and NaN-free percentiles.
+//!
+//! Regenerate the fixture (after an *intentional* behaviour change)
+//! with `BLESS=1 cargo test -p ldr-bench --test golden_summary`.
+
+use ldr_bench::runner::run_trials;
+use ldr_bench::scenario::{Protocol, Scenario, SimFlavor};
+use ldr_bench::Summary;
+use manet_sim::metrics::Metrics;
+use manet_sim::stats::{percentile, Accumulator};
+use manet_sim::time::SimDuration;
+
+/// The pinned scenario: 10 nodes, fixed seeds, fig2-shaped but small
+/// enough to run on every `cargo test`.
+fn golden_scenario() -> Scenario {
+    Scenario {
+        n_nodes: 10,
+        terrain: (600.0, 300.0),
+        n_flows: 3,
+        pause_secs: 10,
+        duration_secs: 30,
+        trials: 2,
+        seed_base: 2003,
+        flavor: SimFlavor::Default,
+        audit: true,
+    }
+}
+
+/// Renders the summaries exactly as the fixture stores them: the
+/// Table-1-style row plus the audit counters the fault work added.
+fn render(rows: &[Summary]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>16} {:>16} {:>16} {:>16} {:>14} {:>14} {:>6} {:>7}\n",
+        "protocol",
+        "delivery",
+        "latency(s)",
+        "net load",
+        "RREQ load",
+        "RREP init",
+        "RREP recv",
+        "loops",
+        "trials"
+    ));
+    for r in rows {
+        out.push_str(&format!("{} {:>6} {:>7}\n", r.table_row(), r.loop_violations, r.trials()));
+    }
+    out
+}
+
+const FIXTURE_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden_summary.txt");
+
+#[test]
+fn fig2_style_summary_matches_pinned_fixture() {
+    let sc = golden_scenario();
+    let rows: Vec<Summary> = [Protocol::Ldr, Protocol::Aodv, Protocol::Dsr]
+        .iter()
+        .map(|&p| run_trials(p, &sc))
+        .collect();
+    let actual = render(&rows);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(FIXTURE_PATH, &actual).expect("write fixture");
+        return;
+    }
+    let expected = include_str!("fixtures/golden_summary.txt");
+    assert_eq!(
+        actual, expected,
+        "golden summary drifted; if the change is intentional, regenerate with \
+         BLESS=1 cargo test -p ldr-bench --test golden_summary"
+    );
+}
+
+#[test]
+fn zero_delivery_metrics_and_summary_are_nan_free() {
+    // A flow that originates traffic but delivers nothing: every ratio
+    // must degrade to 0, never NaN or infinity.
+    let mut m = Metrics::new();
+    m.data_originated = 50;
+    assert_eq!(m.delivery_ratio(), 0.0);
+    assert_eq!(m.mean_latency_s(), 0.0);
+    for v in [m.network_load(), m.rreq_load(), m.rrep_init_per_rreq(), m.rrep_recv_per_rreq()] {
+        assert!(v.is_finite(), "zero-delivery ratio must stay finite, got {v}");
+    }
+    let mut s = Summary::new("dead");
+    s.add(&m);
+    let row = s.table_row();
+    assert!(!row.contains("NaN") && !row.contains("inf"), "row must be NaN-free: {row}");
+}
+
+#[test]
+fn single_trial_summary_has_zero_finite_ci() {
+    let mut m = Metrics::new();
+    m.data_originated = 10;
+    for i in 0..8u64 {
+        m.record_delivery(1, i as u32, SimDuration::from_millis(25));
+    }
+    let mut s = Summary::new("solo");
+    s.add(&m);
+    assert_eq!(s.trials(), 1);
+    // Student-t is undefined at zero degrees of freedom; the CI must
+    // collapse to exactly zero rather than NaN or infinity.
+    assert_eq!(s.delivery.ci95_half_width(), 0.0);
+    assert_eq!(s.latency.ci95_half_width(), 0.0);
+    assert_eq!(s.delivery.display(3), "0.800 ± 0.000");
+}
+
+#[test]
+fn percentiles_and_accumulators_stay_nan_free_on_degenerate_data() {
+    assert_eq!(percentile(&[], 95.0), 0.0);
+    let latencies = [0.02, 0.05, 0.03, 0.9];
+    assert!(percentile(&latencies, 95.0).is_finite());
+    let empty = Accumulator::new();
+    assert!(empty.mean().is_finite());
+    assert!(empty.ci95_half_width().is_finite());
+    assert!(!empty.display(3).contains("NaN"));
+}

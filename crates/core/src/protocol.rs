@@ -884,6 +884,10 @@ impl RoutingProtocol for Ldr {
     }
 
     fn handle_reboot(&mut self, ctx: &mut Ctx) {
+        // The explicit restart callback: driven by the simulator's
+        // fault layer (`FaultAction::CrashRestart`) and by the model
+        // checker's `Restart` transition, so destination sequence-number
+        // recovery is exercised honestly rather than assumed.
         self.clock = ctx.now();
         // Volatile state is gone. The real-time clock survives, so the
         // fresh epoch dominates every number we issued before the crash

@@ -984,3 +984,37 @@ fn route_expiry_makes_route_unusable_but_keeps_invariants() {
     assert_eq!(rreqs[0].0.sn_dst, Some(sn(1)), "history survives expiry");
     assert!(rreqs[0].0.fd < INFINITY, "feasible distance survives expiry");
 }
+
+// ----- crash/restart (driven by the simulator's fault layer) ------------------
+
+#[test]
+fn reboot_wipes_volatile_state_and_bumps_the_epoch() {
+    let mut n = Node::new(5);
+    n.install_route(7, sn(3), 2, 3);
+    let before = n.ldr.own_seqno();
+    n.at(SimTime::from_secs(4));
+    let acts = n.call(|l, ctx| l.handle_reboot(ctx));
+    assert!(n.ldr.routes.active(NodeId(7), n.now).is_none(), "routes are volatile");
+    assert_eq!(n.ldr.cache.len(), 0, "computation cache is volatile");
+    assert!(
+        n.ldr.own_seqno() > before,
+        "the post-reboot epoch dominates every pre-crash number (§3: no reboot-hold needed)"
+    );
+    assert!(
+        acts.iter().any(|a| matches!(a, Action::SetTimer { token, .. } if *token == CLEANUP_TOKEN)),
+        "housekeeping restarts with the node"
+    );
+}
+
+#[test]
+fn post_reboot_replies_dominate_pre_crash_advertisements() {
+    // A destination that crashes and recovers must answer with a number
+    // no stale pre-crash advert can beat — this is LDR's destination
+    // sequence-number recovery (epoch counter in stable storage).
+    let mut n = Node::new(7);
+    let pre = n.ldr.own_seqno();
+    n.call(|l, ctx| l.handle_reboot(ctx));
+    let post = n.ldr.own_seqno();
+    assert!(post > pre);
+    assert!(post.epoch > pre.epoch, "recovery is by epoch, not by counter");
+}

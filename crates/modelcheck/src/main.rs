@@ -26,23 +26,24 @@ fn main() {
         }
     }
 
-    let entry = scenarios::AODV_STALE_REPLY;
-    let checker = Checker::new(entry.scenario, entry.budget);
-    let outcome = checker.run(scenarios::aodv_factory());
-    match &outcome.violation {
-        Some(cex) => {
-            println!(
-                "{:<24} {:>8} states {:>9} transitions  loop found (expected)",
-                entry.scenario.name, outcome.states, outcome.transitions
-            );
-            print!("{}", report::render(&entry.scenario, scenarios::aodv_factory(), cex));
-        }
-        None => {
-            failed = true;
-            println!(
-                "{:<24} {:>8} states {:>9} transitions  NO LOOP FOUND (expected one)",
-                entry.scenario.name, outcome.states, outcome.transitions
-            );
+    for entry in [scenarios::AODV_STALE_REPLY, scenarios::AODV_RESTART_AMNESIA] {
+        let checker = Checker::new(entry.scenario, entry.budget);
+        let outcome = checker.run(scenarios::aodv_factory());
+        match &outcome.violation {
+            Some(cex) => {
+                println!(
+                    "{:<24} {:>8} states {:>9} transitions  loop found (expected)",
+                    entry.scenario.name, outcome.states, outcome.transitions
+                );
+                print!("{}", report::render(&entry.scenario, scenarios::aodv_factory(), cex));
+            }
+            None => {
+                failed = true;
+                println!(
+                    "{:<24} {:>8} states {:>9} transitions  NO LOOP FOUND (expected one)",
+                    entry.scenario.name, outcome.states, outcome.transitions
+                );
+            }
         }
     }
 

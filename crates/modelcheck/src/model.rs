@@ -31,6 +31,11 @@ pub trait ProtocolModel: Clone {
     fn on_timer(&mut self, ctx: &mut Ctx, token: u64);
     /// The link layer gave up delivering `packet` to `next_hop`.
     fn on_unicast_failure(&mut self, ctx: &mut Ctx, next_hop: NodeId, packet: Packet);
+    /// Environment transition: the node crashes and restarts with total
+    /// state loss (drives the protocol's reboot recovery honestly —
+    /// same hook [`Event::Restart`](crate::net::Event::Restart) and the
+    /// simulator's `FaultAction::CrashRestart` both exercise).
+    fn on_restart(&mut self, ctx: &mut Ctx);
     /// Environment transition: the route towards `dest` times out
     /// (soft-state only; history survives). Returns whether an entry
     /// existed to expire.
@@ -68,6 +73,9 @@ impl ProtocolModel for Ldr {
     }
     fn on_unicast_failure(&mut self, ctx: &mut Ctx, next_hop: NodeId, packet: Packet) {
         self.handle_unicast_failure(ctx, next_hop, packet);
+    }
+    fn on_restart(&mut self, ctx: &mut Ctx) {
+        RoutingProtocol::handle_reboot(self, ctx);
     }
     fn force_expire(&mut self, dest: NodeId) -> bool {
         Ldr::force_expire(self, dest)
@@ -107,6 +115,9 @@ impl ProtocolModel for Aodv {
     }
     fn on_unicast_failure(&mut self, ctx: &mut Ctx, next_hop: NodeId, packet: Packet) {
         self.handle_unicast_failure(ctx, next_hop, packet);
+    }
+    fn on_restart(&mut self, ctx: &mut Ctx) {
+        RoutingProtocol::handle_reboot(self, ctx);
     }
     fn force_expire(&mut self, dest: NodeId) -> bool {
         Aodv::force_expire(self, dest)

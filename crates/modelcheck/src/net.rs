@@ -59,6 +59,12 @@ pub struct Scenario {
     /// How many in-flight copies may be lost on *live* links (loss on a
     /// downed link is certain, not a choice, and is always free).
     pub max_losses: u32,
+    /// How many crash/restart-with-state-loss transitions
+    /// ([`Event::Restart`]) the environment may inject. Mirrors the
+    /// simulator's `FaultAction::CrashRestart` with zero downtime: the
+    /// node's protocol state and pending timers vanish and its reboot
+    /// callback runs, all at the frozen instant.
+    pub max_restarts: u32,
 }
 
 /// An in-flight message copy (one receiver; broadcasts fan out into one
@@ -166,6 +172,12 @@ pub enum Event {
         /// Index into [`Scenario::toggles`].
         index: usize,
     },
+    /// Crash `node` and restart it with total state loss (protocol
+    /// state and pending timers gone; the reboot callback runs).
+    Restart {
+        /// The node that loses its state.
+        node: u16,
+    },
 }
 
 /// FNV-1a over a byte slice with a caller-chosen offset basis.
@@ -198,6 +210,7 @@ impl fmt::Display for Event {
             Event::Bump { node } => write!(f, "bump own seqno at {node}"),
             Event::Originate { index } => write!(f, "originate #{index}"),
             Event::Toggle { index } => write!(f, "toggle link #{index}"),
+            Event::Restart { node } => write!(f, "restart {node} with state loss"),
         }
     }
 }
@@ -230,6 +243,8 @@ pub struct NetState<M> {
     pub bumps_left: u32,
     /// Remaining live-link loss budget.
     pub losses_left: u32,
+    /// Remaining crash/restart budget.
+    pub restarts_left: u32,
     /// Bitmask of already-fired link toggles.
     pub toggles_done: u32,
 }
@@ -255,6 +270,7 @@ impl<M: ProtocolModel> NetState<M> {
             expires_left: scenario.max_expires,
             bumps_left: scenario.max_bumps,
             losses_left: scenario.max_losses,
+            restarts_left: scenario.max_restarts,
             toggles_done: 0,
         };
         for i in 0..scenario.n {
@@ -391,6 +407,11 @@ impl<M: ProtocolModel> NetState<M> {
                 events.push(Event::Toggle { index });
             }
         }
+        if self.restarts_left > 0 {
+            for i in 0..self.nodes.len() {
+                events.push(Event::Restart { node: i as u16 });
+            }
+        }
         events
     }
 
@@ -488,6 +509,15 @@ impl<M: ProtocolModel> NetState<M> {
                 }
                 Vec::new()
             }
+            Event::Restart { node } => {
+                if next.restarts_left == 0 || *node as usize >= next.nodes.len() {
+                    return None;
+                }
+                next.restarts_left -= 1;
+                // Pending timers belong to the lost incarnation.
+                next.timers.retain(|&(n, _)| n != *node);
+                next.callback(scenario, *node, |m, ctx| m.on_restart(ctx))
+            }
         };
         Some(Step { state: next, traces })
     }
@@ -525,6 +555,7 @@ impl<M: ProtocolModel> NetState<M> {
         bytes.extend_from_slice(&self.expires_left.to_le_bytes());
         bytes.extend_from_slice(&self.bumps_left.to_le_bytes());
         bytes.extend_from_slice(&self.losses_left.to_le_bytes());
+        bytes.extend_from_slice(&self.restarts_left.to_le_bytes());
         bytes.extend_from_slice(&self.toggles_done.to_le_bytes());
         let h1 = fnv1a(&bytes, 0xcbf2_9ce4_8422_2325);
         let h2 = fnv1a(&bytes, 0x6c62_272e_07bb_0142);

@@ -61,6 +61,7 @@ pub const LDR_SUITE: &[SuiteEntry] = &[
             max_expires: 0,
             max_bumps: 0,
             max_losses: 1,
+            max_restarts: 0,
         },
         budget: Budget { max_depth: 40, max_states: 120_000 },
     },
@@ -77,6 +78,7 @@ pub const LDR_SUITE: &[SuiteEntry] = &[
             max_expires: 1,
             max_bumps: 0,
             max_losses: 0,
+            max_restarts: 0,
         },
         budget: Budget { max_depth: 40, max_states: 120_000 },
     },
@@ -92,6 +94,7 @@ pub const LDR_SUITE: &[SuiteEntry] = &[
             max_expires: 0,
             max_bumps: 0,
             max_losses: 0,
+            max_restarts: 0,
         },
         budget: Budget { max_depth: 40, max_states: 150_000 },
     },
@@ -107,8 +110,28 @@ pub const LDR_SUITE: &[SuiteEntry] = &[
             max_expires: 1,
             max_bumps: 1,
             max_losses: 0,
+            max_restarts: 0,
         },
         budget: Budget { max_depth: 40, max_states: 120_000 },
+    },
+    // Crash/restart with total state loss at any node, at any point.
+    // The restarted node re-requests with no history; the neighbour
+    // holding a stale route through it must treat that request as a
+    // route error (the request-as-error rule) instead of answering
+    // from the stale entry — the exact hole AODV's restart leaves open.
+    SuiteEntry {
+        scenario: Scenario {
+            name: "ldr-restart-recover",
+            n: 3,
+            links: &[(0, 1), (1, 2)],
+            originations: &[(2, 0), (1, 0)],
+            toggles: &[],
+            max_expires: 0,
+            max_bumps: 0,
+            max_losses: 0,
+            max_restarts: 1,
+        },
+        budget: Budget { max_depth: 40, max_states: 200_000 },
     },
 ];
 
@@ -124,6 +147,28 @@ pub const AODV_STALE_REPLY: SuiteEntry = SuiteEntry {
         max_expires: 1,
         max_bumps: 0,
         max_losses: 0,
+        max_restarts: 0,
     },
     budget: Budget { max_depth: 40, max_states: 120_000 },
+};
+
+/// The AODV restart witness (van Glabbeek et al.): a node that crashes,
+/// loses its sequence number, and re-requests with an unknown
+/// destination sequence number draws a stale intermediate reply from a
+/// neighbour whose own route points back through it. The checker must
+/// find a routing loop here — no expiry needed, state loss alone does
+/// it — while `ldr-restart-recover` (same shape) explores clean.
+pub const AODV_RESTART_AMNESIA: SuiteEntry = SuiteEntry {
+    scenario: Scenario {
+        name: "aodv-restart-amnesia",
+        n: 3,
+        links: &[(0, 1), (1, 2)],
+        originations: &[(2, 0), (1, 0)],
+        toggles: &[],
+        max_expires: 0,
+        max_bumps: 0,
+        max_losses: 0,
+        max_restarts: 1,
+    },
+    budget: Budget { max_depth: 40, max_states: 200_000 },
 };

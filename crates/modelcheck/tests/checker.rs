@@ -47,6 +47,42 @@ fn fingerprint_tracks_environment_not_just_tables() {
     let mut b = NetState::init(&sc, mk);
     b.expires_left -= 1;
     assert_ne!(a.fingerprint(), b.fingerprint(), "remaining hazard budgets are part of the state");
+
+    let rc = scenarios::LDR_SUITE[4].scenario;
+    assert_eq!(rc.name, "ldr-restart-recover");
+    let c = NetState::init(&rc, mk);
+    let mut d = NetState::init(&rc, mk);
+    d.restarts_left -= 1;
+    assert_ne!(c.fingerprint(), d.fingerprint(), "the restart budget is part of the state");
+}
+
+#[test]
+fn restart_wipes_timers_spends_budget_and_changes_state() {
+    let sc = scenarios::LDR_SUITE[4].scenario;
+    let mk = scenarios::ldr_factory();
+    let init = NetState::init(&sc, mk);
+    assert_eq!(init.restarts_left, 1);
+    assert!(
+        init.enumerate(&sc).contains(&Event::Restart { node: 1 }),
+        "restart transitions must be enabled while budget remains"
+    );
+
+    let step = init.apply(&sc, &Event::Restart { node: 1 }).expect("restart applies");
+    let post = step.state;
+    assert_eq!(post.restarts_left, 0);
+    assert_ne!(
+        init.fingerprint(),
+        post.fingerprint(),
+        "state loss (epoch bump, wiped table) must be observable"
+    );
+    assert!(
+        !post.enumerate(&sc).iter().any(|e| matches!(e, Event::Restart { .. })),
+        "an exhausted restart budget disables further restarts"
+    );
+    assert!(
+        post.apply(&sc, &Event::Restart { node: 0 }).is_none(),
+        "replay skips over-budget restarts"
+    );
 }
 
 #[test]
@@ -104,6 +140,23 @@ fn aodv_stale_reply_loop_is_pinned() {
     let cex = outcome.violation.expect("the checker must find the classic AODV stale-route loop");
     let rendered = modelcheck::report::render(&entry.scenario, scenarios::aodv_factory(), &cex);
     let expected = include_str!("fixtures/aodv_stale_reply.txt");
+    assert_eq!(
+        rendered, expected,
+        "minimized counterexample drifted from the pinned regression fixture"
+    );
+}
+
+#[test]
+fn aodv_restart_amnesia_loop_is_pinned() {
+    // The van Glabbeek restart counterexample: state loss alone (no
+    // expiry) makes AODV assemble a 2-cycle, because the restarted
+    // node's sequence-number-less request draws a stale intermediate
+    // reply from the neighbour that still routes through it.
+    let entry = scenarios::AODV_RESTART_AMNESIA;
+    let outcome = Checker::new(entry.scenario, entry.budget).run(scenarios::aodv_factory());
+    let cex = outcome.violation.expect("the checker must find the AODV restart loop");
+    let rendered = modelcheck::report::render(&entry.scenario, scenarios::aodv_factory(), &cex);
+    let expected = include_str!("fixtures/aodv_restart_amnesia.txt");
     assert_eq!(
         rendered, expected,
         "minimized counterexample drifted from the pinned regression fixture"

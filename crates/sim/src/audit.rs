@@ -147,7 +147,17 @@ impl InvariantAuditor {
     }
 
     /// Feeds one trace event into the forensic ring.
+    ///
+    /// A [`TraceEvent::NodeRestarted`] additionally clears the restarted
+    /// node's fd baselines: a restart loses the table legitimately, so a
+    /// later re-learned route at a higher distance under an old sequence
+    /// number must not be mistaken for an fd-monotonicity breach — only
+    /// mutations *within* one incarnation are bound by Procedure 3.
     pub fn observe(&mut self, t: SimTime, event: &TraceEvent) {
+        if let TraceEvent::NodeRestarted { node } = event {
+            let node = *node;
+            self.baselines.retain(|&(n, _), _| n != node);
+        }
         if self.recent.len() == FORENSIC_WINDOW {
             self.recent.pop_front();
         }

@@ -1,5 +1,6 @@
 //! Simulator configuration.
 
+use crate::faults::FaultPlan;
 use crate::time::SimDuration;
 
 /// Physical- and link-layer parameters (an IEEE 802.11-DCF-style radio,
@@ -124,6 +125,9 @@ pub struct SimConfig {
     /// Much more expensive than `audit_every_event` alone; for tests
     /// and protocol debugging.
     pub invariant_audit: bool,
+    /// Deterministic fault schedule executed by the event kernel
+    /// ([`crate::faults`]). `None` runs fault-free.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for SimConfig {
@@ -135,6 +139,7 @@ impl Default for SimConfig {
             audit_interval: None,
             audit_every_event: false,
             invariant_audit: false,
+            fault_plan: None,
         }
     }
 }

@@ -59,6 +59,18 @@ pub enum Event {
         /// The rebooting node.
         node: NodeId,
     },
+    /// A scheduled fault-plan action fires
+    /// (see [`crate::faults::FaultPlan`]).
+    Fault {
+        /// Index into the plan's entry list.
+        idx: u32,
+    },
+    /// A crashed node comes back up with total state loss (scheduled by
+    /// [`crate::faults::FaultAction::CrashRestart`]).
+    FaultRestart {
+        /// The restarting node.
+        node: NodeId,
+    },
     /// Periodic audit hook (loop checking, sampling).
     Audit,
 }

@@ -20,7 +20,11 @@
 //!   successor graphs at runtime ([`loopcheck`]);
 //! * a routing-decision trace layer ([`trace`]) and an opt-in
 //!   every-mutation invariant auditor with first-violation forensic
-//!   dumps ([`audit`]).
+//!   dumps ([`audit`]);
+//! * a deterministic fault-injection layer — node crash/restart with
+//!   state loss, administrative link churn, regional partitions,
+//!   per-link loss/corruption, stale-advert replay — scheduled on the
+//!   same future event list ([`faults`]).
 //!
 //! Routing protocols implement [`protocol::RoutingProtocol`] and plug
 //! into a [`world::World`].
@@ -56,6 +60,7 @@
 pub mod audit;
 pub mod config;
 pub mod event;
+pub mod faults;
 pub mod geometry;
 pub mod loopcheck;
 pub mod mac;
@@ -72,6 +77,7 @@ pub mod traffic;
 pub mod world;
 
 pub use config::{PhyConfig, SimConfig};
+pub use faults::{FaultAction, FaultIntensity, FaultPlan};
 pub use metrics::Metrics;
 pub use packet::{ControlKind, DataPacket, NodeId, Packet};
 pub use protocol::{Ctx, RoutingProtocol};

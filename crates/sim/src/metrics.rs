@@ -46,6 +46,10 @@ pub struct Metrics {
     /// Invariant breaches (fd regressions + loops) the every-mutation
     /// auditor found.
     pub invariant_breaches: u64,
+    /// Fault-plan actions the kernel fired ([`crate::faults`]).
+    pub faults_injected: u64,
+    /// Crash/restart cycles completed (restart instants).
+    pub node_restarts: u64,
     /// Mean of each node's own destination sequence number at run end.
     pub mean_own_seqno: f64,
     /// Simulated run length, for rate normalisation.

@@ -74,6 +74,20 @@ impl FromIterator<f64> for Accumulator {
     }
 }
 
+/// Nearest-rank percentile of a sample, `p` in `[0, 100]`. Total on
+/// degenerate input: an empty sample yields 0 and NaN samples sort
+/// last, so the result is never NaN for `p < 100` over real data.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
+    let p = p.clamp(0.0, 100.0);
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
 /// Two-sided 97.5% quantile of Student's t distribution for `df`
 /// degrees of freedom (table through 30, then the normal limit).
 pub fn t_quantile_975(df: u64) -> f64 {
@@ -136,6 +150,19 @@ mod tests {
         assert!(t_quantile_975(30) > t_quantile_975(1000));
         assert_eq!(t_quantile_975(1000), 1.96);
         assert!(t_quantile_975(0).is_infinite());
+    }
+
+    #[test]
+    fn percentile_nearest_rank_and_degenerate_inputs() {
+        let xs = [15.0, 20.0, 35.0, 40.0, 50.0];
+        assert_eq!(percentile(&xs, 30.0), 20.0);
+        assert_eq!(percentile(&xs, 50.0), 35.0);
+        assert_eq!(percentile(&xs, 100.0), 50.0);
+        assert_eq!(percentile(&xs, 0.0), 15.0);
+        assert_eq!(percentile(&[], 99.0), 0.0);
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert!(!percentile(&xs, -3.0).is_nan());
+        assert!(!percentile(&xs, 250.0).is_nan());
     }
 
     #[test]

@@ -221,6 +221,44 @@ pub enum TraceEvent {
         /// Destinations named in the error.
         dests: Vec<NodeId>,
     },
+    /// The fault layer applied a scheduled adverse action
+    /// ([`crate::faults::FaultAction`]); recorded so the invariant
+    /// auditor can attribute any subsequent breach to the provoking
+    /// fault.
+    FaultInjected {
+        /// The node the fault centres on (an endpoint for link faults,
+        /// the first group member for partitions, `NodeId(0)` for a
+        /// global heal).
+        node: NodeId,
+        /// Which kind of fault fired.
+        kind: FaultKind,
+    },
+    /// A crashed node came back up with total state loss, immediately
+    /// before its protocol's restart callback runs.
+    NodeRestarted {
+        /// The restarting node.
+        node: NodeId,
+    },
+}
+
+/// The kind of an injected fault (a compact tag mirroring
+/// [`crate::faults::FaultAction`] for trace consumers).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A node crashed (its restart is traced separately).
+    Crash,
+    /// An administrative link cut.
+    LinkDown,
+    /// An administrative link restoration.
+    LinkUp,
+    /// A regional partition was installed.
+    Partition,
+    /// The partition and all link cuts were cleared.
+    Heal,
+    /// Per-link loss/corruption rates changed.
+    Impair,
+    /// A stale control frame was re-emitted.
+    Replay,
 }
 
 impl TraceEvent {
@@ -240,7 +278,9 @@ impl TraceEvent {
             | TraceEvent::RreqStart { node, .. }
             | TraceEvent::RreqRelay { node, .. }
             | TraceEvent::RrepSend { node, .. }
-            | TraceEvent::RerrSend { node, .. } => node,
+            | TraceEvent::RerrSend { node, .. }
+            | TraceEvent::FaultInjected { node, .. }
+            | TraceEvent::NodeRestarted { node } => node,
         }
     }
 

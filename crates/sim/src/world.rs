@@ -9,6 +9,7 @@
 use crate::audit::{ForensicReport, InvariantAuditor};
 use crate::config::SimConfig;
 use crate::event::{Event, EventQueue};
+use crate::faults::{FaultAction, FaultState, RxFate};
 use crate::loopcheck::{find_loops, LoopViolation};
 use crate::mac::{Mac, MacState, OutFrame, RetryVerdict};
 use crate::metrics::Metrics;
@@ -17,7 +18,7 @@ use crate::packet::{DataPacket, NodeId, Packet, PacketBody, DEFAULT_DATA_TTL};
 use crate::protocol::{Action, Ctx, RoutingProtocol};
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
-use crate::trace::{TraceEvent, TraceSink};
+use crate::trace::{FaultKind, TraceEvent, TraceSink};
 use crate::traffic::{FlowState, TrafficConfig};
 use std::collections::{HashSet, VecDeque};
 
@@ -112,6 +113,11 @@ pub struct World {
     next_manual_flow: u32,
     trace: Option<Box<dyn TraceSink>>,
     auditor: Option<InvariantAuditor>,
+    /// Runtime state of the executing fault plan, if one is installed.
+    faults: Option<FaultState>,
+    /// Last control frame each node put on the air (kept only while a
+    /// fault plan is installed, for stale-advert replay injection).
+    last_control: Vec<Option<Frame>>,
     /// First routing loop the auditor found, if any.
     pub first_loop: Option<LoopViolation>,
 }
@@ -145,6 +151,7 @@ impl World {
             })
             .collect();
         let auditor = cfg.invariant_audit.then(InvariantAuditor::new);
+        let last_control = vec![None; n];
         let mut world = World {
             traffic_rng: SimRng::stream(seed, "traffic"),
             cfg,
@@ -162,10 +169,18 @@ impl World {
             next_manual_flow: MANUAL_FLOW_BASE,
             trace: None,
             auditor,
+            faults: None,
+            last_control,
             first_loop: None,
         };
         if let Some(interval) = world.cfg.audit_interval {
             world.fel.schedule(SimTime::ZERO + interval, Event::Audit);
+        }
+        if let Some(plan) = world.cfg.fault_plan.clone() {
+            for (i, (at, _)) in plan.entries().iter().enumerate() {
+                world.fel.schedule(*at, Event::Fault { idx: i as u32 });
+            }
+            world.faults = Some(FaultState::new(plan, n, SimRng::stream(seed, "faults")));
         }
         for i in 0..n {
             world.call_protocol(NodeId(i as u16), |p, ctx| p.start(ctx));
@@ -346,6 +361,24 @@ impl World {
     // ----- event dispatch -------------------------------------------------
 
     fn dispatch(&mut self, event: Event) {
+        // A crashed node is silent: its MAC, reception and timer events
+        // are swallowed until the fault layer restarts it. A protocol
+        // timer firing while the node is down is permanently lost —
+        // honest state loss; `handle_reboot` must re-arm what it needs.
+        if let Some(fs) = self.faults.as_ref() {
+            let gated = match event {
+                Event::MacKick(node)
+                | Event::TxEnd { node, .. }
+                | Event::RxEnd { node, .. }
+                | Event::AckTimeout { node, .. }
+                | Event::ProtocolTimer { node, .. }
+                | Event::Reboot { node } => fs.node_down(node),
+                _ => false,
+            };
+            if gated {
+                return;
+            }
+        }
         match event {
             Event::MacKick(node) => self.mac_kick(node),
             Event::TxEnd { node, tx_id } => self.on_tx_end(node, tx_id),
@@ -368,6 +401,8 @@ impl World {
                 }
                 self.call_protocol(node, |p, ctx| p.handle_reboot(ctx));
             }
+            Event::Fault { idx } => self.on_fault(idx),
+            Event::FaultRestart { node } => self.on_fault_restart(node),
             Event::Audit => {
                 self.audit_now();
                 if let Some(interval) = self.cfg.audit_interval {
@@ -378,6 +413,133 @@ impl World {
                 }
             }
         }
+    }
+
+    // ----- fault injection ------------------------------------------------
+
+    /// Applies the fault plan's entry `idx` (scheduled at world
+    /// construction; see [`crate::faults`]).
+    fn on_fault(&mut self, idx: u32) {
+        let Some(action) = self.faults.as_ref().and_then(|fs| fs.action(idx as usize)).cloned()
+        else {
+            return;
+        };
+        self.metrics.faults_injected += 1;
+        match action {
+            FaultAction::CrashRestart { node, downtime } => {
+                let crashed = self.faults.as_mut().is_some_and(|fs| fs.set_down(node));
+                if !crashed {
+                    return; // already down: a double crash is inert
+                }
+                self.emit(TraceEvent::FaultInjected { node, kind: FaultKind::Crash });
+                self.crash_node(node);
+                self.fel.schedule(self.now + downtime, Event::FaultRestart { node });
+            }
+            FaultAction::LinkDown { a, b } => {
+                if let Some(fs) = self.faults.as_mut() {
+                    fs.sever_link(a, b);
+                }
+                self.emit(TraceEvent::FaultInjected { node: a, kind: FaultKind::LinkDown });
+            }
+            FaultAction::LinkUp { a, b } => {
+                if let Some(fs) = self.faults.as_mut() {
+                    fs.restore_link(a, b);
+                }
+                self.emit(TraceEvent::FaultInjected { node: a, kind: FaultKind::LinkUp });
+            }
+            FaultAction::Partition { group } => {
+                if let Some(fs) = self.faults.as_mut() {
+                    fs.set_partition(&group);
+                }
+                let node = group.first().copied().unwrap_or(NodeId(0));
+                self.emit(TraceEvent::FaultInjected { node, kind: FaultKind::Partition });
+            }
+            FaultAction::Heal => {
+                if let Some(fs) = self.faults.as_mut() {
+                    fs.heal();
+                }
+                self.emit(TraceEvent::FaultInjected { node: NodeId(0), kind: FaultKind::Heal });
+            }
+            FaultAction::LinkImpair { a, b, loss_ppm, corrupt_ppm } => {
+                if let Some(fs) = self.faults.as_mut() {
+                    fs.set_impairment(a, b, loss_ppm, corrupt_ppm);
+                }
+                self.emit(TraceEvent::FaultInjected { node: a, kind: FaultKind::Impair });
+            }
+            FaultAction::ReplayLastControl { node } => {
+                if self.faults.as_ref().is_some_and(|fs| fs.node_down(node)) {
+                    return;
+                }
+                let Some(mut frame) = self.last_control[node.index()].clone() else {
+                    return; // nothing sent yet
+                };
+                // Fresh uid so MAC-level duplicate suppression does not
+                // swallow the replay; protocols must reject the stale
+                // content on their own (LDR: NDC, AODV: seen-cache).
+                if let FramePayload::Packet(p) = &mut frame.payload {
+                    p.uid = self.next_uid;
+                    self.next_uid += 1;
+                }
+                let dur = match &frame.payload {
+                    FramePayload::Packet(p) => self.cfg.phy.tx_duration(p.wire_size()),
+                    FramePayload::Ack { .. } => self.cfg.phy.ack_duration(),
+                };
+                let tx_id = self.next_tx_id;
+                self.next_tx_id += 1;
+                self.emit(TraceEvent::FaultInjected { node, kind: FaultKind::Replay });
+                self.propagate(node, frame, tx_id, dur);
+            }
+        }
+    }
+
+    /// Silences a crashing node: wipes its MAC queue and state, its
+    /// in-progress receptions and its duplicate cache, and truncates
+    /// any frame it was mid-transmission on (receivers see a corrupted
+    /// tail).
+    fn crash_node(&mut self, node: NodeId) {
+        let phy = self.cfg.phy.clone();
+        {
+            let slot = &mut self.nodes[node.index()];
+            slot.mac.queue.clear();
+            slot.mac.state = MacState::Idle;
+            slot.mac.ack_busy_until = SimTime::ZERO;
+            slot.mac.reset_cw(&phy);
+            slot.rx.clear();
+            slot.recent = RecentCache::default();
+        }
+        let now = self.now;
+        for m in 0..self.nodes.len() {
+            if m == node.index() {
+                continue;
+            }
+            for rx in &mut self.nodes[m].rx {
+                if rx.frame.src == node && rx.end > now {
+                    rx.corrupted = true;
+                }
+            }
+        }
+    }
+
+    /// Brings a crashed node back up with total state loss and runs the
+    /// protocol's restart callback.
+    fn on_fault_restart(&mut self, node: NodeId) {
+        let restarted = self.faults.as_mut().is_some_and(|fs| fs.set_up(node));
+        if !restarted {
+            return;
+        }
+        self.metrics.node_restarts += 1;
+        let phy = self.cfg.phy.clone();
+        {
+            let slot = &mut self.nodes[node.index()];
+            slot.mac.state = MacState::Idle;
+            slot.mac.reset_cw(&phy);
+            slot.rx.clear();
+        }
+        // Emit the restart before the callback runs: the invariant
+        // auditor drops the lost incarnation's fd baselines on this
+        // event, so the rebuilt table is judged as a fresh start.
+        self.emit(TraceEvent::NodeRestarted { node });
+        self.call_protocol(node, |p, ctx| p.handle_reboot(ctx));
     }
 
     // ----- traffic --------------------------------------------------------
@@ -446,6 +608,11 @@ impl World {
     where
         F: FnOnce(&mut dyn RoutingProtocol, &mut Ctx),
     {
+        // A crashed node runs no protocol code (this also drops CBR
+        // originations at a down source).
+        if self.faults.as_ref().is_some_and(|fs| fs.node_down(node)) {
+            return;
+        }
         let n = self.nodes.len();
         let now = self.now;
         let trace_on = self.trace.is_some() || self.auditor.is_some();
@@ -624,6 +791,13 @@ impl World {
         };
         self.nodes[node.index()].mac.state = MacState::Transmitting { tx_id, until: now + dur };
         self.fel.schedule(now + dur, Event::TxEnd { node, tx_id });
+        if self.faults.is_some() {
+            if let FramePayload::Packet(p) = &frame.payload {
+                if matches!(p.body, PacketBody::Control(_)) {
+                    self.last_control[node.index()] = Some(frame.clone());
+                }
+            }
+        }
         let (uid, dst) = match &frame.payload {
             FramePayload::Packet(p) => (Some(p.uid), frame.dst),
             FramePayload::Ack { .. } => (None, frame.dst),
@@ -659,10 +833,25 @@ impl World {
             if dist_sq > range_sq {
                 continue;
             }
+            // Fault layer: crashed receivers and administratively
+            // severed links hear nothing; impaired links draw per-frame
+            // loss/corruption from the dedicated "faults" RNG stream.
+            if let Some(fs) = self.faults.as_ref() {
+                if fs.node_down(m) || fs.link_severed(sender, m) {
+                    continue;
+                }
+            }
+            let fate = match self.faults.as_mut() {
+                Some(fs) => fs.rx_draw(sender, m),
+                None => RxFate::Deliver,
+            };
+            if fate == RxFate::Lose {
+                continue;
+            }
             let sender_dist = dist_sq.sqrt();
             let receiver = &mut self.nodes[m.index()];
             // A station that is itself transmitting cannot receive.
-            let mut corrupted = !receiver.mac.radio_free(now);
+            let mut corrupted = fate == RxFate::Corrupt || !receiver.mac.radio_free(now);
             // Overlapping receptions corrupt each other — unless the
             // earlier frame's transmitter is so much closer that the
             // receiver captures it (first-frame capture only).
@@ -856,6 +1045,7 @@ mod tests {
             audit_interval: None,
             audit_every_event: false,
             invariant_audit: false,
+            fault_plan: None,
         };
         let topo = StaticRouting::tables_for_line(n);
         World::new(cfg, Box::new(mobility), move |id, _| {
@@ -1069,6 +1259,120 @@ mod tests {
             without.collisions
         );
         assert!(without.collisions > 0, "hidden terminals must collide at all");
+    }
+
+    fn faulted_world(n: usize, plan: crate::faults::FaultPlan, seed: u64) -> World {
+        let mobility = StaticMobility::line(n, 200.0);
+        let cfg = SimConfig {
+            duration: SimDuration::from_secs(10),
+            seed,
+            fault_plan: Some(plan),
+            ..SimConfig::default()
+        };
+        let topo = StaticRouting::tables_for_line(n);
+        World::new(cfg, Box::new(mobility), move |id, _| {
+            Box::new(StaticRouting::new(id, topo.clone()))
+        })
+    }
+
+    #[test]
+    fn crash_silences_relay_until_restart() {
+        use crate::faults::{FaultAction, FaultPlan};
+        let plan = FaultPlan::new(vec![(
+            SimTime::from_secs(2),
+            FaultAction::CrashRestart { node: NodeId(1), downtime: SimDuration::from_secs(2) },
+        )]);
+        let mut w = faulted_world(3, plan, 21);
+        w.schedule_app_packet(SimTime::from_secs(1), NodeId(0), NodeId(2), 512); // before crash
+        w.schedule_app_packet(SimTime::from_millis(2500), NodeId(0), NodeId(2), 512); // relay down
+        w.schedule_app_packet(SimTime::from_secs(6), NodeId(0), NodeId(2), 512); // after restart
+        let m = w.run();
+        assert_eq!(m.data_delivered, 2, "only the mid-crash packet is lost");
+        assert_eq!(m.faults_injected, 1);
+        assert_eq!(m.node_restarts, 1);
+        assert_eq!(m.mac_retry_failures, 1, "sender gives up on the dead relay");
+    }
+
+    #[test]
+    fn admin_link_cut_blocks_until_restored() {
+        use crate::faults::{FaultAction, FaultPlan};
+        let plan = FaultPlan::new(vec![
+            (SimTime::from_millis(1500), FaultAction::LinkDown { a: NodeId(0), b: NodeId(1) }),
+            (SimTime::from_millis(3500), FaultAction::LinkUp { a: NodeId(1), b: NodeId(0) }),
+        ]);
+        let mut w = faulted_world(2, plan, 22);
+        w.schedule_app_packet(SimTime::from_secs(1), NodeId(0), NodeId(1), 512);
+        w.schedule_app_packet(SimTime::from_secs(2), NodeId(0), NodeId(1), 512);
+        w.schedule_app_packet(SimTime::from_secs(4), NodeId(0), NodeId(1), 512);
+        let m = w.run();
+        assert_eq!(m.data_delivered, 2, "the cut swallows exactly the middle packet");
+        assert_eq!(m.faults_injected, 2);
+        assert_eq!(m.node_restarts, 0);
+    }
+
+    #[test]
+    fn partition_and_heal_gate_cross_traffic() {
+        use crate::faults::{FaultAction, FaultPlan};
+        let plan = FaultPlan::new(vec![
+            (SimTime::from_millis(1500), FaultAction::Partition { group: vec![NodeId(0)] }),
+            (SimTime::from_millis(3500), FaultAction::Heal),
+        ]);
+        let mut w = faulted_world(2, plan, 23);
+        w.schedule_app_packet(SimTime::from_secs(1), NodeId(0), NodeId(1), 512);
+        w.schedule_app_packet(SimTime::from_secs(2), NodeId(0), NodeId(1), 512);
+        w.schedule_app_packet(SimTime::from_secs(4), NodeId(0), NodeId(1), 512);
+        let m = w.run();
+        assert_eq!(m.data_delivered, 2);
+    }
+
+    #[test]
+    fn total_loss_impairment_blocks_a_link() {
+        use crate::faults::{FaultAction, FaultPlan};
+        let plan = FaultPlan::new(vec![(
+            SimTime::from_millis(500),
+            FaultAction::LinkImpair {
+                a: NodeId(0),
+                b: NodeId(1),
+                loss_ppm: 1_000_000,
+                corrupt_ppm: 0,
+            },
+        )]);
+        let mut w = faulted_world(2, plan, 24);
+        w.schedule_app_packet(SimTime::from_secs(1), NodeId(0), NodeId(1), 512);
+        let m = w.run();
+        assert_eq!(m.data_delivered, 0);
+        assert_eq!(m.mac_retry_failures, 1);
+    }
+
+    #[test]
+    fn faulted_runs_replay_identically() {
+        use crate::faults::{FaultIntensity, FaultPlan};
+        let run = || {
+            let plan = FaultPlan::random(
+                &mut SimRng::stream(77, "plan"),
+                &FaultIntensity::level(5, SimDuration::from_secs(10), 2),
+            );
+            let mut w = faulted_world(5, plan, 25);
+            for i in 0..30u64 {
+                w.schedule_app_packet(
+                    SimTime::from_millis(500 + i * 123),
+                    NodeId(0),
+                    NodeId(4),
+                    512,
+                );
+            }
+            let m = w.run();
+            (
+                m.data_delivered,
+                m.data_tx_hops,
+                m.collisions,
+                m.mac_retry_failures,
+                m.faults_injected,
+                m.node_restarts,
+                m.latency_sum_s.to_bits(),
+            )
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -15,6 +15,11 @@
 //!   `seqno`, `next_hop`, `valid`, `expires`) may be assigned only
 //!   inside `crates/core/src/route_table.rs`, whose audited setters
 //!   enforce fd-monotonicity; everywhere else the table is read-only.
+//! * **fault-determinism** — `crates/sim/src/faults.rs` additionally
+//!   bans `HashMap`/`HashSet`: fault plans must replay byte-identically
+//!   from `(plan, seed)`, and hash-map iteration order would leak
+//!   process-level randomness into the injection schedule. Use the
+//!   `BTree` collections there instead.
 //!
 //! The scanner strips comments and string/char literals first (so
 //! documentation may mention the forbidden names) and skips
@@ -86,6 +91,11 @@ const NONDET_PATTERNS: &[&str] = &[
 
 const ROUTE_FIELDS: &[&str] = &["fd", "dist", "seqno", "next_hop", "valid", "expires"];
 
+/// Unordered collections whose iteration order varies per process —
+/// forbidden in the fault-injection module, where any order-dependent
+/// choice would break byte-identical replay.
+const FAULT_ORDER_PATTERNS: &[&str] = &["HashMap", "HashSet"];
+
 /// Runs every rule over its scope. Returns all violations, sorted.
 fn check_repo(root: &Path) -> Vec<Violation> {
     let mut out = Vec::new();
@@ -101,6 +111,9 @@ fn check_repo(root: &Path) -> Vec<Violation> {
             let ctx = FileContext::new(&src);
             scan_substrings(&ctx, &rel, "no-panic", PANIC_PATTERNS, &mut out);
             scan_substrings(&ctx, &rel, "determinism", NONDET_PATTERNS, &mut out);
+            if rel.ends_with("crates/sim/src/faults.rs") {
+                scan_substrings(&ctx, &rel, "fault-determinism", FAULT_ORDER_PATTERNS, &mut out);
+            }
             if rel.starts_with("crates/core/src")
                 && rel.file_name().is_some_and(|n| n != "route_table.rs")
             {
@@ -511,6 +524,40 @@ fn f(e: &mut E) {
         let (a, b) = spans[0];
         assert!(src[a..b].contains("unwrap"));
         assert!(!src[a..b].contains("fn b"));
+    }
+
+    #[test]
+    fn fault_order_patterns_fire_on_unordered_maps() {
+        let src = "use std::collections::HashMap;\nfn f() { let s: HashSet<u8> = Default::default(); }\n// a comment naming HashMap is fine\n";
+        let c = ctx(src);
+        let mut v = Vec::new();
+        scan_substrings(
+            &c,
+            Path::new("crates/sim/src/faults.rs"),
+            "fault-determinism",
+            FAULT_ORDER_PATTERNS,
+            &mut v,
+        );
+        let mut lines: Vec<usize> = v.iter().map(|x| x.line).collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![1, 2], "code hits flagged, comment mention exempt");
+        assert!(v.iter().all(|x| x.rule == "fault-determinism"));
+    }
+
+    #[test]
+    fn fault_lint_scopes_to_the_faults_module_only() {
+        // The in-tree simulator uses HashMap freely elsewhere (e.g.
+        // metrics counters); the determinism ban must bind only to
+        // faults.rs. Guard the scoping, not just the pattern list.
+        let root = workspace_root();
+        let metrics = root.join("crates/sim/src/metrics.rs");
+        let src = fs::read_to_string(metrics).expect("metrics.rs readable");
+        assert!(src.contains("HashMap") || src.contains("HashSet"), "scope fixture went stale");
+        let v = check_repo(&root);
+        assert!(
+            v.iter().all(|x| x.rule != "fault-determinism"),
+            "fault-determinism hits outside faults.rs scope:\n{v:?}"
+        );
     }
 
     #[test]
