@@ -11,11 +11,17 @@
 
 pub mod messages;
 
+use manet_sim::hash::FxBuild;
 use manet_sim::packet::{ControlKind, ControlPacket, DataPacket, NodeId, Packet, PacketBody};
 use manet_sim::protocol::{Ctx, DropReason, ProtoCounter, RouteDump, RoutingProtocol};
 use manet_sim::time::{SimDuration, SimTime};
 use messages::{Rerr, RerrEntry, Rrep, Rreq};
 use std::collections::{HashMap, VecDeque};
+
+/// Protocol state maps use the deterministic Fx hasher: every iteration
+/// over them is sorted or commutative before it can influence behaviour,
+/// and SipHash cost is measurable on the per-packet paths.
+type FxMap<K, V> = HashMap<K, V, FxBuild>;
 
 /// Timer token for the periodic state sweep.
 const CLEANUP_TOKEN: u64 = u64::MAX;
@@ -137,14 +143,14 @@ pub struct Aodv {
     id: NodeId,
     cfg: AodvConfig,
     own_seq: u32,
-    routes: HashMap<NodeId, Route>,
+    routes: FxMap<NodeId, Route>,
     /// RREQ flood dedup: (origin, rreqid) → expiry.
-    seen: HashMap<(NodeId, u32), SimTime>,
+    seen: FxMap<(NodeId, u32), SimTime>,
     /// Strongest RREP forwarded per (orig, dst): (seq, hops, expiry).
-    forwarded: HashMap<(NodeId, NodeId), (u32, u8, SimTime)>,
-    pending: HashMap<NodeId, Discovery>,
+    forwarded: FxMap<(NodeId, NodeId), (u32, u8, SimTime)>,
+    pending: FxMap<NodeId, Discovery>,
     /// Hello-based link sensing: neighbour -> liveness deadline.
-    neighbors: HashMap<NodeId, SimTime>,
+    neighbors: FxMap<NodeId, SimTime>,
     next_rreqid: u32,
     next_generation: u64,
     clock: SimTime,
@@ -157,11 +163,13 @@ impl Aodv {
             id,
             cfg,
             own_seq: 0,
-            routes: HashMap::new(),
-            seen: HashMap::new(),
-            forwarded: HashMap::new(),
-            pending: HashMap::new(),
-            neighbors: HashMap::new(),
+            routes: FxMap::default(),
+            // Pre-sized: one insert per RREQ flood received; retain
+            // keeps capacity, so this removes all growth rehashes.
+            seen: FxMap::with_capacity_and_hasher(256, Default::default()),
+            forwarded: FxMap::default(),
+            pending: FxMap::default(),
+            neighbors: FxMap::default(),
             next_rreqid: 0,
             next_generation: 0,
             clock: SimTime::ZERO,
@@ -716,12 +724,15 @@ impl RoutingProtocol for Aodv {
             let Some(interval) = self.cfg.hello_interval else { return };
             let now = ctx.now();
             // Declare hello-silent neighbours lost.
-            let dead: Vec<NodeId> = self
+            let mut dead: Vec<NodeId> = self
                 .neighbors
                 .iter()
                 .filter(|(_, &deadline)| deadline <= now)
                 .map(|(&n, _)| n)
                 .collect();
+            // Hash-map iteration order must not decide the RERR emission
+            // order (it is observable through FEL sequencing).
+            dead.sort_unstable_by_key(|n| n.0);
             for n in dead {
                 self.neighbors.remove(&n);
                 let mut lost = Vec::new();

@@ -48,8 +48,10 @@ impl RouteCache {
         if path.is_empty() || path.contains(&self.owner) {
             return false;
         }
-        let mut seen = std::collections::HashSet::new();
-        if !path.iter().all(|n| seen.insert(*n)) {
+        // Duplicate-node check: paths are a handful of hops, so a
+        // quadratic scan beats building a hash set (which allocated on
+        // every insert — this is DSR's hottest helper).
+        if path.iter().enumerate().any(|(i, n)| path[..i].contains(n)) {
             return false;
         }
         if let Some(existing) = self.paths.iter_mut().find(|p| p.path == path) {

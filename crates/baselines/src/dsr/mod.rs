@@ -20,11 +20,16 @@ pub mod cache;
 pub mod messages;
 
 use cache::RouteCache;
+use manet_sim::hash::FxBuild;
 use manet_sim::packet::{ControlKind, ControlPacket, DataPacket, NodeId, Packet, PacketBody};
 use manet_sim::protocol::{Ctx, DropReason, ProtoCounter, RouteDump, RoutingProtocol};
 use manet_sim::time::{SimDuration, SimTime};
 use messages::{Rerr, Rrep, Rreq, SourceRoute};
 use std::collections::{HashMap, VecDeque};
+
+/// Deterministic fast-hashed map for protocol state (iterations over
+/// these are order-insensitive: retain-only or sorted afterwards).
+type FxMap<K, V> = HashMap<K, V, FxBuild>;
 
 const CLEANUP_TOKEN: u64 = u64::MAX;
 const CLEANUP_INTERVAL: SimDuration = SimDuration::from_secs(10);
@@ -102,8 +107,8 @@ pub struct Dsr {
     id: NodeId,
     cfg: DsrConfig,
     cache: RouteCache,
-    seen: HashMap<(NodeId, u32), SimTime>,
-    pending: HashMap<NodeId, Discovery>,
+    seen: FxMap<(NodeId, u32), SimTime>,
+    pending: FxMap<NodeId, Discovery>,
     next_id: u32,
     next_generation: u64,
     clock: SimTime,
@@ -117,8 +122,10 @@ impl Dsr {
             id,
             cfg,
             cache,
-            seen: HashMap::new(),
-            pending: HashMap::new(),
+            // Pre-sized: one insert per RREQ flood received; retain
+            // keeps capacity, so this removes all growth rehashes.
+            seen: FxMap::with_capacity_and_hasher(256, Default::default()),
+            pending: FxMap::default(),
             next_id: 0,
             next_generation: 0,
             clock: SimTime::ZERO,

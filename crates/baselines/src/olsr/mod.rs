@@ -15,11 +15,19 @@
 
 pub mod messages;
 
+use manet_sim::hash::FxBuild;
 use manet_sim::packet::{ControlKind, ControlPacket, DataPacket, NodeId, Packet, PacketBody};
 use manet_sim::protocol::{Ctx, DropReason, RouteDump, RoutingProtocol};
 use manet_sim::time::{SimDuration, SimTime};
 use messages::{Hello, Tc};
 use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Protocol state maps use the deterministic Fx hasher: every iteration
+/// over them is order-insensitive (sorted or commutative afterwards),
+/// and SipHash was a measurable slice of OLSR's per-hello and
+/// per-recompute cost at paper scale.
+type FxMap<K, V> = HashMap<K, V, FxBuild>;
+type FxSet<K> = HashSet<K, FxBuild>;
 
 const HELLO_TOKEN: u64 = 1;
 const TC_TOKEN: u64 = 2;
@@ -81,16 +89,16 @@ struct LinkState {
 pub struct Olsr {
     id: NodeId,
     cfg: OlsrConfig,
-    links: HashMap<NodeId, LinkState>,
+    links: FxMap<NodeId, LinkState>,
     /// neighbour → (its symmetric neighbours, expiry).
-    two_hop: HashMap<NodeId, (Vec<NodeId>, SimTime)>,
-    mpr_set: HashSet<NodeId>,
-    mpr_selectors: HashMap<NodeId, SimTime>,
+    two_hop: FxMap<NodeId, (Vec<NodeId>, SimTime)>,
+    mpr_set: FxSet<NodeId>,
+    mpr_selectors: FxMap<NodeId, SimTime>,
     /// (originator, selector) → (ansn, expiry).
-    topology: HashMap<(NodeId, NodeId), (u16, SimTime)>,
+    topology: FxMap<(NodeId, NodeId), (u16, SimTime)>,
     /// TC duplicate set: (originator, seq) → expiry.
-    dup: HashMap<(NodeId, u16), SimTime>,
-    table: HashMap<NodeId, (NodeId, u32)>,
+    dup: FxMap<(NodeId, u16), SimTime>,
+    table: FxMap<NodeId, (NodeId, u32)>,
     dirty: bool,
     ansn: u16,
     tc_seq: u16,
@@ -98,6 +106,18 @@ pub struct Olsr {
     outq: VecDeque<(ControlKind, Vec<u8>, bool)>,
     drain_scheduled: bool,
     clock: SimTime,
+    /// Reusable buffers for [`Olsr::recompute_routes`] (no protocol
+    /// state — purely an allocation cache).
+    scratch: RouteScratch,
+}
+
+/// Scratch space reused across route recomputations.
+#[derive(Debug, Default)]
+struct RouteScratch {
+    edges: Vec<Vec<NodeId>>,
+    dist: Vec<u32>,
+    first_hop: Vec<NodeId>,
+    queue: VecDeque<NodeId>,
 }
 
 impl Olsr {
@@ -106,19 +126,23 @@ impl Olsr {
         Olsr {
             id,
             cfg,
-            links: HashMap::new(),
-            two_hop: HashMap::new(),
-            mpr_set: HashSet::new(),
-            mpr_selectors: HashMap::new(),
-            topology: HashMap::new(),
-            dup: HashMap::new(),
-            table: HashMap::new(),
+            links: FxMap::default(),
+            two_hop: FxMap::default(),
+            mpr_set: FxSet::default(),
+            mpr_selectors: FxMap::default(),
+            topology: FxMap::default(),
+            // Pre-sized: one insert per flooded TC received; the
+            // periodic retain keeps capacity, so reserving once
+            // removes every growth rehash from the hot path.
+            dup: FxMap::with_capacity_and_hasher(256, Default::default()),
+            table: FxMap::default(),
             dirty: false,
             ansn: 0,
             tc_seq: 0,
             outq: VecDeque::new(),
             drain_scheduled: false,
             clock: SimTime::ZERO,
+            scratch: RouteScratch::default(),
         }
     }
 
@@ -128,12 +152,12 @@ impl Olsr {
     }
 
     /// Currently selected multipoint relays.
-    pub fn mprs(&self) -> &HashSet<NodeId> {
+    pub fn mprs(&self) -> &HashSet<NodeId, FxBuild> {
         &self.mpr_set
     }
 
     /// The computed routing table: destination → (next hop, hops).
-    pub fn table(&self) -> &HashMap<NodeId, (NodeId, u32)> {
+    pub fn table(&self) -> &HashMap<NodeId, (NodeId, u32), FxBuild> {
         &self.table
     }
 
@@ -168,7 +192,7 @@ impl Olsr {
                 }
             }
         }
-        let mut mprs: HashSet<NodeId> = HashSet::new();
+        let mut mprs: FxSet<NodeId> = FxSet::default();
         let mut uncovered: HashSet<NodeId> = coverage.keys().copied().collect();
         // Mandatory: sole providers.
         for (t, providers) in &coverage {
@@ -212,54 +236,83 @@ impl Olsr {
     }
 
     /// Breadth-first route computation over links + topology.
+    ///
+    /// Runs once per forwarding decision after a topology change, so it
+    /// is the hottest code in the protocol at paper scale. Node ids are
+    /// compact (`0..n`), so the graph and the BFS bookkeeping live in
+    /// dense arrays indexed by id rather than hash maps; the visit
+    /// order (sorted one-hop set, sorted adjacency lists, FIFO queue)
+    /// and the resulting table are exactly those of the map-based
+    /// formulation.
     fn recompute_routes(&mut self, now: SimTime) {
         self.dirty = false;
-        let mut edges: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
         let n1 = self.sym_neighbors(now);
-        edges.insert(self.id, n1.clone());
+        let mut max_id = self.id.0;
+        for &n in &n1 {
+            max_id = max_id.max(n.0);
+        }
         for (&n, (twos, exp)) in &self.two_hop {
             if *exp > now {
-                edges.entry(n).or_default().extend(twos.iter().copied());
+                max_id = max_id.max(n.0);
+                for &t in twos {
+                    max_id = max_id.max(t.0);
+                }
             }
         }
         for (&(orig, sel), &(_, exp)) in &self.topology {
             if exp > now {
-                edges.entry(orig).or_default().push(sel);
-                edges.entry(sel).or_default().push(orig);
+                max_id = max_id.max(orig.0).max(sel.0);
             }
         }
-        for v in edges.values_mut() {
+        let size = max_id as usize + 1;
+        let mut scr = std::mem::take(&mut self.scratch);
+        scr.edges.iter_mut().for_each(Vec::clear);
+        scr.edges.resize_with(size.max(scr.edges.len()), Vec::new);
+        scr.edges[self.id.index()].extend_from_slice(&n1);
+        for (&n, (twos, exp)) in &self.two_hop {
+            if *exp > now {
+                scr.edges[n.index()].extend(twos.iter().copied());
+            }
+        }
+        for (&(orig, sel), &(_, exp)) in &self.topology {
+            if exp > now {
+                scr.edges[orig.index()].push(sel);
+                scr.edges[sel.index()].push(orig);
+            }
+        }
+        for v in scr.edges.iter_mut().take(size) {
             v.sort_unstable_by_key(|n| n.0);
             v.dedup();
         }
-        let mut table = HashMap::new();
-        let mut first_hop: HashMap<NodeId, NodeId> = HashMap::new();
-        let mut dist: HashMap<NodeId, u32> = HashMap::new();
-        let mut queue = VecDeque::new();
-        dist.insert(self.id, 0);
+        const UNSET: u32 = u32::MAX;
+        scr.dist.clear();
+        scr.dist.resize(size, UNSET);
+        scr.first_hop.clear();
+        scr.first_hop.resize(size, NodeId(0));
+        scr.queue.clear();
+        self.table.clear();
+        scr.dist[self.id.index()] = 0;
         for &n in &n1 {
-            if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(n) {
-                e.insert(1);
-                first_hop.insert(n, n);
-                table.insert(n, (n, 1));
-                queue.push_back(n);
+            if scr.dist[n.index()] == UNSET {
+                scr.dist[n.index()] = 1;
+                scr.first_hop[n.index()] = n;
+                self.table.insert(n, (n, 1));
+                scr.queue.push_back(n);
             }
         }
-        while let Some(u) = queue.pop_front() {
-            let du = dist[&u];
-            let fh = first_hop[&u];
-            if let Some(nexts) = edges.get(&u) {
-                for &v in nexts {
-                    if let std::collections::hash_map::Entry::Vacant(e) = dist.entry(v) {
-                        e.insert(du + 1);
-                        first_hop.insert(v, fh);
-                        table.insert(v, (fh, du + 1));
-                        queue.push_back(v);
-                    }
+        while let Some(u) = scr.queue.pop_front() {
+            let du = scr.dist[u.index()];
+            let fh = scr.first_hop[u.index()];
+            for &v in &scr.edges[u.index()] {
+                if scr.dist[v.index()] == UNSET {
+                    scr.dist[v.index()] = du + 1;
+                    scr.first_hop[v.index()] = fh;
+                    self.table.insert(v, (fh, du + 1));
+                    scr.queue.push_back(v);
                 }
             }
         }
-        self.table = table;
+        self.scratch = scr;
     }
 
     fn enqueue_control(

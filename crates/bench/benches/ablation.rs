@@ -19,6 +19,7 @@ fn scenario(seed: u64) -> Scenario {
         seed_base: seed,
         flavor: SimFlavor::Default,
         audit: false,
+        spatial_grid: true,
     }
 }
 

@@ -20,6 +20,7 @@ fn scaled_scenario(seed: u64) -> Scenario {
         seed_base: seed,
         flavor: SimFlavor::Default,
         audit: false,
+        spatial_grid: true,
     }
 }
 

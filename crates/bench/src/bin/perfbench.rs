@@ -1,0 +1,65 @@
+//! Wall-clock benchmark: spatial neighbor grid vs linear scan on the
+//! paper-scale 50- and 100-node scenarios, all four protocols, fixed
+//! seeds. Writes machine-readable `BENCH_4.json` and a human table.
+//!
+//! ```text
+//! cargo run --release -p ldr-bench --bin perfbench            # full
+//! cargo run --release -p ldr-bench --bin perfbench -- --smoke # CI
+//! ```
+//!
+//! `--smoke` shortens the simulated time and runs one trial per cell so
+//! CI finishes quickly; the full run simulates the paper's 900 s.
+//! Exits non-zero if any grid trial's metrics diverge from its
+//! linear-scan twin (that would falsify the byte-identity contract).
+
+use ldr_bench::perf::{paper_cases, run_perfbench_filtered};
+
+fn main() {
+    let mut smoke = false;
+    let mut out = "BENCH_4.json".to_string();
+    let mut table = "results/perfbench.txt".to_string();
+    let mut trials: Option<u32> = None;
+    let mut duration: Option<u64> = None;
+    let mut only: Option<String> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = it.next().expect("--out needs a path"),
+            "--table" => table = it.next().expect("--table needs a path"),
+            "--trials" => {
+                trials = Some(it.next().expect("--trials needs a value").parse().expect("integer"))
+            }
+            "--duration" => {
+                duration =
+                    Some(it.next().expect("--duration needs a value").parse().expect("seconds"))
+            }
+            "--only" => only = Some(it.next().expect("--only needs a protocol name")),
+            other => {
+                eprintln!(
+                    "unknown flag {other}; supported: --smoke --out PATH --table PATH \
+                     --trials N --duration SECS --only PROTOCOL"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let (mode, default_duration, default_trials) =
+        if smoke { ("smoke", 60, 1) } else { ("full", 900, 3) };
+    let cases = paper_cases(duration.unwrap_or(default_duration), trials.unwrap_or(default_trials));
+    let report = run_perfbench_filtered(&cases, mode, only.as_deref());
+
+    std::fs::write(&out, report.to_json()).expect("write BENCH json");
+    let rendered = report.to_table();
+    if let Some(dir) = std::path::Path::new(&table).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&table, &rendered).expect("write perfbench table");
+    print!("{rendered}");
+    println!("\nwrote {out} and {table}");
+    println!("min speedup across cells: {:.2}x", report.min_speedup());
+    if report.any_mismatch() {
+        eprintln!("FATAL: grid metrics diverged from linear metrics — byte-identity broken");
+        std::process::exit(1);
+    }
+}

@@ -10,10 +10,13 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod scenario;
 
 pub use report::Summary;
-pub use runner::{run_fault_trials, run_once, run_once_faulted, run_trials, trial_fault_plan};
+pub use runner::{
+    build_world, run_fault_trials, run_once, run_once_faulted, run_trials, trial_fault_plan,
+};
 pub use scenario::{Protocol, Scenario, SimFlavor};

@@ -26,6 +26,19 @@ pub fn run_once_faulted(
     seed: u64,
     plan: Option<FaultPlan>,
 ) -> Metrics {
+    build_world(protocol, scenario, seed, plan).run()
+}
+
+/// Builds the fully-configured (but not yet run) world for one trial —
+/// shared by [`run_once_faulted`] and the perfbench timing loop (which
+/// needs the world alive after the run to read
+/// [`World::events_executed`]).
+pub fn build_world(
+    protocol: Protocol,
+    scenario: &Scenario,
+    seed: u64,
+    plan: Option<FaultPlan>,
+) -> World {
     let cfg = SimConfig {
         phy: scenario.flavor.phy(),
         duration: SimDuration::from_secs(scenario.duration_secs),
@@ -34,6 +47,7 @@ pub fn run_once_faulted(
         audit_every_event: false,
         invariant_audit: false,
         fault_plan: plan,
+        spatial_grid: scenario.spatial_grid,
     };
     let mobility = RandomWaypoint::new(
         scenario.n_nodes,
@@ -46,7 +60,7 @@ pub fn run_once_faulted(
     let mut factory = protocol.factory();
     let mut world = World::new(cfg, Box::new(mobility), |id, n| factory(id, n));
     world.with_cbr(TrafficConfig::paper(scenario.n_flows));
-    world.run()
+    world
 }
 
 /// The fault schedule trial `seed` runs at intensity `level`: random,
@@ -118,6 +132,7 @@ mod tests {
             seed_base: 7,
             flavor: crate::scenario::SimFlavor::Default,
             audit: true,
+            spatial_grid: true,
         };
         run_once(protocol, &scenario, 7)
     }
@@ -166,6 +181,7 @@ mod tests {
             seed_base: 100,
             flavor: crate::scenario::SimFlavor::Default,
             audit: false,
+            spatial_grid: true,
         };
         let s = run_trials(Protocol::Aodv, &scenario);
         assert_eq!(s.trials(), 3);
@@ -184,6 +200,7 @@ mod tests {
             seed_base: 100,
             flavor: crate::scenario::SimFlavor::Default,
             audit: true,
+            spatial_grid: true,
         };
         assert!(trial_fault_plan(&scenario, scenario.seed_base, 0).is_empty());
         let faulted = run_fault_trials(Protocol::Ldr, &scenario, 0);
@@ -207,6 +224,7 @@ mod tests {
             seed_base: 100,
             flavor: crate::scenario::SimFlavor::Default,
             audit: true,
+            spatial_grid: true,
         };
         // The per-trial plan depends only on (scenario, seed, level),
         // never the protocol, so every row faces the same schedule.
@@ -235,6 +253,7 @@ mod tests {
             seed_base: 100,
             flavor: crate::scenario::SimFlavor::Default,
             audit: true,
+            spatial_grid: true,
         };
         let threaded = run_trials(Protocol::Ldr, &scenario);
         let mut sequential = Summary::new(Protocol::Ldr.name());

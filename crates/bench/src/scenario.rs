@@ -139,6 +139,11 @@ pub struct Scenario {
     pub flavor: SimFlavor,
     /// Run the loop auditor during the run (records violations).
     pub audit: bool,
+    /// Serve range queries from the spatial neighbor grid
+    /// ([`manet_sim::spatial`]). Byte-identical to the linear scan —
+    /// only faster — so it defaults to on; perfbench flips it off to
+    /// time the reference baseline.
+    pub spatial_grid: bool,
 }
 
 impl Scenario {
@@ -154,6 +159,7 @@ impl Scenario {
             seed_base: 1000,
             flavor: SimFlavor::Default,
             audit: false,
+            spatial_grid: true,
         }
     }
 

@@ -28,6 +28,7 @@ fn golden_scenario() -> Scenario {
         seed_base: 2003,
         flavor: SimFlavor::Default,
         audit: true,
+        spatial_grid: true,
     }
 }
 

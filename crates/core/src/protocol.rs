@@ -32,6 +32,10 @@ use manet_sim::time::{SimDuration, SimTime};
 use manet_sim::trace::{InvalidateCause, InvariantSnapshot, RouteVerdict, TraceEvent};
 use std::collections::{HashMap, VecDeque};
 
+/// Deterministic fast-hashed map for protocol state (iterations over
+/// these are order-insensitive: retain-only or sorted afterwards).
+type FxMap<K, V> = HashMap<K, V, manet_sim::hash::FxBuild>;
+
 /// The `(sn, d, fd)` triple of a table entry, scalarised for tracing.
 fn snap(e: Option<&RouteEntry>) -> Option<InvariantSnapshot> {
     e.map(|e| InvariantSnapshot { sn: Some(e.seqno.to_u64()), d: e.dist, fd: e.fd })
@@ -113,8 +117,8 @@ pub struct Ldr {
     cfg: LdrConfig,
     own_seqno: SeqNo,
     routes: RouteTable,
-    cache: HashMap<(NodeId, u32), CacheEntry>,
-    pending: HashMap<NodeId, Discovery>,
+    cache: FxMap<(NodeId, u32), CacheEntry>,
+    pending: FxMap<NodeId, Discovery>,
     next_rreqid: u32,
     next_generation: u64,
     /// Time of the most recent callback (for the auditor snapshot).
@@ -129,8 +133,10 @@ impl Ldr {
             cfg,
             own_seqno: SeqNo::initial(),
             routes: RouteTable::new(),
-            cache: HashMap::new(),
-            pending: HashMap::new(),
+            // Pre-sized: one entry per RREQ flood engaged; retain
+            // keeps capacity, so this removes all growth rehashes.
+            cache: FxMap::with_capacity_and_hasher(256, Default::default()),
+            pending: FxMap::default(),
             next_rreqid: 0,
             next_generation: 0,
             clock: SimTime::ZERO,

@@ -9,6 +9,7 @@
 
 use crate::invariants::{ndc_accepts, Distance, Invariants, INFINITY};
 use crate::seqno::SeqNo;
+use manet_sim::hash::FxBuild;
 use manet_sim::packet::NodeId;
 use manet_sim::time::SimTime;
 use std::collections::HashMap;
@@ -94,7 +95,10 @@ impl AdvertOutcome {
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct RouteTable {
-    entries: HashMap<NodeId, RouteEntry>,
+    /// Keyed by destination; every iteration is sorted before it can
+    /// influence anything observable, so the deterministic fast hasher
+    /// is sound here.
+    entries: HashMap<NodeId, RouteEntry, FxBuild>,
 }
 
 impl RouteTable {

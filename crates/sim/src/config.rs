@@ -128,6 +128,17 @@ pub struct SimConfig {
     /// Deterministic fault schedule executed by the event kernel
     /// ([`crate::faults`]). `None` runs fault-free.
     pub fault_plan: Option<FaultPlan>,
+    /// Serve radio range queries from the spatial neighbor index
+    /// ([`crate::spatial`]) instead of the O(N) all-nodes scan, and let
+    /// the MAC elide provably no-op wake-up events. Grid-backed runs are
+    /// byte-identical (metrics and trace) to linear-scan runs — the
+    /// toggle only changes how fast the same answer is computed — so it
+    /// defaults to on. Set `false` to force the reference linear scan
+    /// (used by the differential tests and as the perfbench baseline).
+    /// The grid also silently falls back to the linear scan when the
+    /// mobility model cannot promise a finite speed bound
+    /// ([`crate::mobility::MobilityModel::max_speed_mps`]).
+    pub spatial_grid: bool,
 }
 
 impl Default for SimConfig {
@@ -140,6 +151,7 @@ impl Default for SimConfig {
             audit_every_event: false,
             invariant_audit: false,
             fault_plan: None,
+            spatial_grid: true,
         }
     }
 }

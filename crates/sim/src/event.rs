@@ -2,8 +2,6 @@
 
 use crate::packet::NodeId;
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A scheduled occurrence in the simulator.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -22,6 +20,17 @@ pub enum Event {
     RxEnd {
         /// Receiving node.
         node: NodeId,
+        /// Transmission id.
+        tx_id: u64,
+    },
+    /// A frame finishes arriving at *every* receiver of one
+    /// transmission (fast-path form of `RxEnd`; see
+    /// `World::propagate`). All of a transmission's receptions end at
+    /// the same instant and were scheduled back to back, so replacing
+    /// the per-receiver events with one batch — processed in the same
+    /// ascending receiver order — is observation-equivalent and spares
+    /// the event queue its largest event class.
+    RxEndBatch {
         /// Transmission id.
         tx_id: u64,
     },
@@ -84,26 +93,6 @@ struct Scheduled {
     event: Event,
 }
 
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap and we want the earliest first.
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// A time-ordered queue of future events.
 ///
 /// ```
@@ -120,9 +109,19 @@ impl PartialOrd for Scheduled {
 /// ```
 #[derive(Debug, Default)]
 pub struct EventQueue {
-    heap: BinaryHeap<Scheduled>,
+    /// 4-ary min-heap on `(at, seq)`. The FEL's pop order is a unique
+    /// total order (every entry has a distinct `seq`), so any correct
+    /// priority queue yields the identical event sequence; a 4-ary
+    /// layout halves the tree height vs the binary `BinaryHeap` and
+    /// measurably cuts pop cost, the kernel's hottest operation at
+    /// paper scale.
+    heap: Vec<Scheduled>,
     next_seq: u64,
 }
+
+/// Heap arity. Four children per node: shallower sift-downs, and the
+/// children of node `i` (`4i+1 .. 4i+4`) share a cache line.
+const HEAP_ARITY: usize = 4;
 
 impl EventQueue {
     /// Creates an empty queue.
@@ -130,22 +129,69 @@ impl EventQueue {
         Self::default()
     }
 
+    #[inline]
+    fn before(a: &Scheduled, b: &Scheduled) -> bool {
+        (a.at, a.seq) < (b.at, b.seq)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / HEAP_ARITY;
+            if Self::before(&self.heap[i], &self.heap[parent]) {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        loop {
+            let first_child = i * HEAP_ARITY + 1;
+            if first_child >= len {
+                break;
+            }
+            let last_child = (first_child + HEAP_ARITY).min(len);
+            let mut best = first_child;
+            for c in first_child + 1..last_child {
+                if Self::before(&self.heap[c], &self.heap[best]) {
+                    best = c;
+                }
+            }
+            if Self::before(&self.heap[best], &self.heap[i]) {
+                self.heap.swap(i, best);
+                i = best;
+            } else {
+                break;
+            }
+        }
+    }
+
     /// Schedules `event` to occur at absolute time `at`.
     pub fn schedule(&mut self, at: SimTime, event: Event) {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Scheduled { at, seq, event });
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Removes and returns the earliest event, if any. Events scheduled
     /// for the same instant come out in insertion order.
     pub fn pop(&mut self) -> Option<(SimTime, Event)> {
-        self.heap.pop().map(|s| (s.at, s.event))
+        let last = self.heap.len().checked_sub(1)?;
+        self.heap.swap(0, last);
+        let s = self.heap.pop()?;
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        Some((s.at, s.event))
     }
 
     /// The time of the earliest pending event, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        self.heap.first().map(|s| s.at)
     }
 
     /// Number of pending events.
@@ -200,6 +246,47 @@ mod tests {
         q.pop();
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn heap_stress_matches_reference_queue() {
+        // Pseudo-random schedule/pop interleaving; every pop must return
+        // the (time, insertion-order) minimum of what is pending, which
+        // is checked against a naive reference queue step by step.
+        let mut q = EventQueue::new();
+        let mut pending: Vec<(u64, u32)> = Vec::new();
+        let mut lcg: u64 = 0x1234_5678_9abc_def0;
+        let mut next = || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg >> 33
+        };
+        let check_pop = |q: &mut EventQueue, pending: &mut Vec<(u64, u32)>| {
+            let Some((at, ev)) = q.pop() else {
+                assert!(pending.is_empty());
+                return;
+            };
+            let flow = match ev {
+                Event::FlowPacket { flow } => flow,
+                other => panic!("unexpected event {other:?}"),
+            };
+            let min_idx = (0..pending.len())
+                .min_by_key(|&i| pending[i])
+                .expect("reference queue empty but heap was not");
+            assert_eq!((at.as_nanos() / 1_000_000, flow), pending[min_idx]);
+            pending.remove(min_idx);
+        };
+        for i in 0..2000u32 {
+            let t = next() % 50;
+            pending.push((t, i));
+            q.schedule(SimTime::from_millis(t), Event::FlowPacket { flow: i });
+            if next() % 3 == 0 {
+                check_pop(&mut q, &mut pending);
+            }
+        }
+        while !q.is_empty() {
+            check_pop(&mut q, &mut pending);
+        }
+        assert!(pending.is_empty());
     }
 
     #[test]

@@ -24,7 +24,11 @@
 //! * a deterministic fault-injection layer — node crash/restart with
 //!   state loss, administrative link churn, regional partitions,
 //!   per-link loss/corruption, stale-advert replay — scheduled on the
-//!   same future event list ([`faults`]).
+//!   same future event list ([`faults`]);
+//! * a spatial neighbor index (uniform grid + epoch-cached positions)
+//!   that answers radio range queries without scanning all N nodes,
+//!   byte-identical to the linear scan ([`spatial`],
+//!   [`SimConfig::spatial_grid`](config::SimConfig::spatial_grid)).
 //!
 //! Routing protocols implement [`protocol::RoutingProtocol`] and plug
 //! into a [`world::World`].
@@ -62,6 +66,7 @@ pub mod config;
 pub mod event;
 pub mod faults;
 pub mod geometry;
+pub mod hash;
 pub mod loopcheck;
 pub mod mac;
 pub mod metrics;
@@ -69,6 +74,7 @@ pub mod mobility;
 pub mod packet;
 pub mod protocol;
 pub mod rng;
+pub mod spatial;
 pub mod static_routing;
 pub mod stats;
 pub mod time;

@@ -3,6 +3,7 @@
 //! RREP Recv — plus supporting counters (drops, MAC stats, loop-audit
 //! violations, mean destination sequence number for Fig. 7).
 
+use crate::hash::FxBuild;
 use crate::packet::ControlKind;
 use crate::protocol::{DropReason, ProtoCounter};
 use crate::time::SimDuration;
@@ -10,7 +11,11 @@ use std::collections::HashMap;
 use std::collections::HashSet;
 
 /// Everything measured during one simulation run.
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares every field (including float sums bit-for-bit
+/// via `==`), which is what the grid-vs-linear differential tests rely
+/// on: two byte-identical runs compare equal.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Metrics {
     /// CBR packets handed to the routing layer by sources.
     pub data_originated: u64,
@@ -22,14 +27,18 @@ pub struct Metrics {
     pub data_tx_hops: u64,
     /// Sum of end-to-end latencies of delivered packets, seconds.
     pub latency_sum_s: f64,
-    /// Hop-wise control transmissions by kind.
-    pub control_tx: HashMap<ControlKind, u64>,
+    /// Hop-wise control transmissions by kind. (These counter maps use
+    /// the deterministic [`FxBuild`] hasher — they are bumped on every
+    /// control hop / drop / delivery, and every consumer is
+    /// order-insensitive: point lookups, commutative sums and
+    /// whole-map equality.)
+    pub control_tx: HashMap<ControlKind, u64, FxBuild>,
     /// Control packets initiated (first transmission only) by kind.
-    pub control_init: HashMap<ControlKind, u64>,
+    pub control_init: HashMap<ControlKind, u64, FxBuild>,
     /// Routing-layer data drops by reason.
-    pub drops: HashMap<DropReason, u64>,
+    pub drops: HashMap<DropReason, u64, FxBuild>,
     /// Protocol-reported counters.
-    pub proto: HashMap<ProtoCounter, u64>,
+    pub proto: HashMap<ProtoCounter, u64, FxBuild>,
     /// Frames lost to interface-queue overflow.
     pub ifq_drops: u64,
     /// Unicast frames abandoned after the MAC retry limit.
@@ -54,7 +63,7 @@ pub struct Metrics {
     pub mean_own_seqno: f64,
     /// Simulated run length, for rate normalisation.
     pub sim_seconds: f64,
-    delivered_keys: HashSet<(u32, u32)>,
+    delivered_keys: HashSet<(u32, u32), FxBuild>,
 }
 
 impl Metrics {

@@ -11,12 +11,70 @@
 //! consults wall-clock time or OS entropy, so node trajectories — and
 //! therefore connectivity, collisions and every downstream metric — are
 //! bit-for-bit reproducible for a given seed (see [`crate::rng`]).
+//!
+//! [`RandomWaypoint`] additionally splits its seed RNG into one
+//! independent stream *per node* at construction, so each node's
+//! trajectory is a pure function of `(seed, node)` alone. This makes
+//! `position` queries order-independent: skipping or reordering
+//! queries (as the spatial neighbor index in [`crate::spatial`] does)
+//! cannot change any trajectory, which is what lets grid-backed and
+//! linear-scan runs stay byte-identical.
 
 use crate::geometry::{Position, Terrain};
 use crate::packet::NodeId;
 use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 use std::cell::RefCell;
+
+/// One straight-line motion segment plus the promise horizon through
+/// which it describes a node's trajectory exactly.
+///
+/// `pos_at` is **the** canonical position formula: every model whose
+/// `position` can be phrased as a leg evaluates it through this method
+/// (and so does the epoch cache in [`crate::spatial`]), which is what
+/// makes cached and direct lookups bitwise identical.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MotionLeg {
+    /// Where the node sits until `move_start`.
+    pub from: Position,
+    /// Where it sits from `move_end` on.
+    pub to: Position,
+    /// Departure instant.
+    pub move_start: SimTime,
+    /// Arrival instant.
+    pub move_end: SimTime,
+    /// The promise: for every `t ≤ valid_until`, `pos_at(t)` equals
+    /// `position(node, t)` bit for bit. Queries beyond it must fetch a
+    /// fresh leg — the epoch-cache invalidation rule.
+    pub valid_until: SimTime,
+}
+
+impl MotionLeg {
+    /// A node parked at `pos` through `valid_until` (degenerate leg).
+    pub fn parked(pos: Position, valid_until: SimTime) -> Self {
+        MotionLeg {
+            from: pos,
+            to: pos,
+            move_start: SimTime::ZERO,
+            move_end: SimTime::ZERO,
+            valid_until,
+        }
+    }
+
+    /// The leg's position at `t`: `from` before departure, `to` from
+    /// arrival on, linear interpolation in between.
+    pub fn pos_at(&self, t: SimTime) -> Position {
+        if t <= self.move_start {
+            self.from
+        } else if t >= self.move_end {
+            self.to
+        } else {
+            let span = (self.move_end - self.move_start).as_nanos();
+            let f = (t - self.move_start).as_nanos() as f64 / span as f64;
+            self.from.lerp(self.to, f)
+        }
+    }
+}
 
 /// A mobility model answers "where is node `i` at time `t`".
 ///
@@ -35,6 +93,32 @@ pub trait MobilityModel: Send {
     /// Whether the model covers zero nodes.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+    /// Position of `node` at `t` plus a *hold promise*: the node sits
+    /// exactly at the returned position for every `t' ∈ [t, hold]`.
+    /// Position caches (the epoch cache in [`crate::spatial`]) may
+    /// serve queries inside the hold window without consulting the
+    /// model again. The default promises nothing (`hold == t`); models
+    /// with piecewise motion (pauses, static nodes) override it.
+    fn position_hold(&self, node: NodeId, t: SimTime) -> (Position, SimTime) {
+        (self.position(node, t), t)
+    }
+    /// The motion leg covering `node` at `t`
+    /// ([`MotionLeg::pos_at`] equals `position` for every query time up
+    /// to [`MotionLeg::valid_until`]). The default wraps
+    /// `position_hold` in a parked leg — exact, but it promises nothing
+    /// beyond the hold window; models with linear motion override it so
+    /// caches can serve a whole leg from one lookup.
+    fn motion_leg(&self, node: NodeId, t: SimTime) -> MotionLeg {
+        let (pos, hold) = self.position_hold(node, t);
+        MotionLeg::parked(pos, hold)
+    }
+    /// An upper bound on any node's speed in metres per second, if the
+    /// model can promise one. The spatial neighbor index needs a finite
+    /// bound to size its query slack; `None` (the conservative default)
+    /// disables grid-backed queries and falls back to the linear scan.
+    fn max_speed_mps(&self) -> Option<f64> {
+        None
     }
 }
 
@@ -88,6 +172,12 @@ impl MobilityModel for StaticMobility {
     fn len(&self) -> usize {
         self.positions.len()
     }
+    fn position_hold(&self, node: NodeId, _t: SimTime) -> (Position, SimTime) {
+        (self.positions[node.index()], SimTime::MAX)
+    }
+    fn max_speed_mps(&self) -> Option<f64> {
+        Some(0.0)
+    }
 }
 
 /// Piecewise-linear scripted motion: each node follows (time, position)
@@ -140,6 +230,50 @@ impl MobilityModel for ScriptedMobility {
     fn len(&self) -> usize {
         self.tracks.len()
     }
+    fn position_hold(&self, node: NodeId, t: SimTime) -> (Position, SimTime) {
+        let tr = &self.tracks[node.index()];
+        if t <= tr[0].0 {
+            return (tr[0].1, tr[0].0);
+        }
+        for w in tr.windows(2) {
+            let (t0, p0) = w[0];
+            let (t1, p1) = w[1];
+            if t <= t1 {
+                let span = (t1 - t0).as_nanos();
+                if span == 0 {
+                    return (p1, t);
+                }
+                if p0 == p1 {
+                    // Stationary segment: parked at p0 through t1.
+                    return (p0, t1);
+                }
+                let f = (t - t0).as_nanos() as f64 / span as f64;
+                return (p0.lerp(p1, f), t);
+            }
+        }
+        // Parked at the final keyframe forever.
+        (tr.last().map_or(tr[0].1, |kf| kf.1), SimTime::MAX)
+    }
+    fn max_speed_mps(&self) -> Option<f64> {
+        let mut bound = 0.0f64;
+        for tr in &self.tracks {
+            for w in tr.windows(2) {
+                let (t0, p0) = w[0];
+                let (t1, p1) = w[1];
+                let span_s = (t1 - t0).as_nanos() as f64 / 1e9;
+                let dist = p0.distance(p1);
+                if span_s == 0.0 {
+                    if dist > 0.0 {
+                        // Instant teleport: no finite speed bound exists.
+                        return None;
+                    }
+                } else {
+                    bound = bound.max(dist / span_s);
+                }
+            }
+        }
+        Some(bound)
+    }
 }
 
 /// One node's random-waypoint state: pause at `from` until `move_start`,
@@ -152,33 +286,35 @@ struct Leg {
     move_end: SimTime,
 }
 
-/// The lazily advanced part of [`RandomWaypoint`]: the RNG and the
-/// current leg per node. Kept behind a `RefCell` so `position` can take
-/// `&self` (queries are logically read-only; the legs are a cache of
-/// the trajectory the seed determines).
+/// The lazily advanced part of [`RandomWaypoint`], one entry per node:
+/// that node's private RNG stream and its current leg. Kept behind a
+/// `RefCell` so `position` can take `&self` (queries are logically
+/// read-only; the legs are a cache of the trajectory the seed
+/// determines). Because every node draws from its own stream, advancing
+/// one node's legs never perturbs another's — queries are
+/// order-independent, which the spatial grid's byte-identity guarantee
+/// relies on.
 #[derive(Clone, Debug)]
-struct RwpState {
+struct NodeRwp {
     rng: SimRng,
-    legs: Vec<Leg>,
+    leg: Leg,
 }
 
-impl RwpState {
-    fn next_leg(
-        &mut self,
-        terrain: Terrain,
-        pause: SimDuration,
-        min_speed: f64,
-        max_speed: f64,
-        from: Position,
-        pause_from: SimTime,
-    ) -> Leg {
-        let to = terrain.random_position(&mut self.rng);
-        let speed = self.rng.range_f64(min_speed, max_speed);
-        let dist = from.distance(to);
-        let move_start = pause_from + pause;
-        let travel = SimDuration::from_secs_f64(dist / speed);
-        Leg { from, to, move_start, move_end: move_start + travel }
-    }
+fn next_leg(
+    rng: &mut SimRng,
+    terrain: Terrain,
+    pause: SimDuration,
+    min_speed: f64,
+    max_speed: f64,
+    from: Position,
+    pause_from: SimTime,
+) -> Leg {
+    let to = terrain.random_position(rng);
+    let speed = rng.range_f64(min_speed, max_speed);
+    let dist = from.distance(to);
+    let move_start = pause_from + pause;
+    let travel = SimDuration::from_secs_f64(dist / speed);
+    Leg { from, to, move_start, move_end: move_start + travel }
 }
 
 /// The random waypoint model of the evaluation (§4): each node pauses
@@ -190,12 +326,14 @@ pub struct RandomWaypoint {
     pause: SimDuration,
     min_speed: f64,
     max_speed: f64,
-    state: RefCell<RwpState>,
+    state: RefCell<Vec<NodeRwp>>,
 }
 
 impl RandomWaypoint {
     /// Creates the model with `n` nodes at uniform random initial
-    /// positions, initially pausing.
+    /// positions, initially pausing. The seed RNG is split into one
+    /// independent stream per node (in node order), so each trajectory
+    /// depends only on `(seed, node)` — never on query order.
     ///
     /// # Panics
     ///
@@ -212,26 +350,37 @@ impl RandomWaypoint {
             min_speed > 0.0 && min_speed <= max_speed,
             "speeds must satisfy 0 < min <= max (got {min_speed}..{max_speed})"
         );
-        let starts: Vec<Position> = (0..n).map(|_| terrain.random_position(&mut rng)).collect();
-        let mut state = RwpState { rng, legs: Vec::with_capacity(n) };
-        // A real first leg per node (pause at the start, then move).
-        for p in starts {
-            let leg = state.next_leg(terrain, pause, min_speed, max_speed, p, SimTime::ZERO);
-            state.legs.push(leg);
-        }
+        let state = (0..n)
+            .map(|_| {
+                let mut node_rng = rng.split();
+                // A real first leg (pause at the start, then move), all
+                // drawn from this node's private stream.
+                let start = terrain.random_position(&mut node_rng);
+                let leg = next_leg(
+                    &mut node_rng,
+                    terrain,
+                    pause,
+                    min_speed,
+                    max_speed,
+                    start,
+                    SimTime::ZERO,
+                );
+                NodeRwp { rng: node_rng, leg }
+            })
+            .collect();
         RandomWaypoint { terrain, pause, min_speed, max_speed, state: RefCell::new(state) }
     }
-}
 
-impl MobilityModel for RandomWaypoint {
-    fn position(&self, node: NodeId, t: SimTime) -> Position {
-        let i = node.index();
+    /// Advances node `i` past any completed legs and returns its current
+    /// leg at `t` (cloned out of the cache).
+    fn leg_at(&self, i: usize, t: SimTime) -> Leg {
         let mut st = self.state.borrow_mut();
-        // Advance past any completed legs (lazily).
-        while t > st.legs[i].move_end + self.pause {
-            let arrived_at = st.legs[i].move_end;
-            let from = st.legs[i].to;
-            st.legs[i] = st.next_leg(
+        let node = &mut st[i];
+        while t > node.leg.move_end + self.pause {
+            let arrived_at = node.leg.move_end;
+            let from = node.leg.to;
+            node.leg = next_leg(
+                &mut node.rng,
                 self.terrain,
                 self.pause,
                 self.min_speed,
@@ -240,19 +389,45 @@ impl MobilityModel for RandomWaypoint {
                 arrived_at,
             );
         }
-        let leg = &st.legs[i];
-        if t <= leg.move_start {
-            leg.from
-        } else if t >= leg.move_end {
-            leg.to
-        } else {
-            let span = (leg.move_end - leg.move_start).as_nanos();
-            let f = (t - leg.move_start).as_nanos() as f64 / span as f64;
-            leg.from.lerp(leg.to, f)
-        }
+        node.leg.clone()
+    }
+}
+
+impl MobilityModel for RandomWaypoint {
+    fn position(&self, node: NodeId, t: SimTime) -> Position {
+        self.motion_leg(node, t).pos_at(t)
     }
     fn len(&self) -> usize {
-        self.state.borrow().legs.len()
+        self.state.borrow().len()
+    }
+    fn position_hold(&self, node: NodeId, t: SimTime) -> (Position, SimTime) {
+        let leg = self.motion_leg(node, t);
+        if t <= leg.move_start {
+            // Pausing at the leg origin until the move starts.
+            (leg.from, leg.move_start)
+        } else if t >= leg.move_end {
+            // Arrived: pausing at the destination through the departure
+            // of the next leg (at that exact instant the node is still
+            // at `to`, the new leg's own pause origin).
+            (leg.to, leg.valid_until)
+        } else {
+            (leg.pos_at(t), t)
+        }
+    }
+    fn motion_leg(&self, node: NodeId, t: SimTime) -> MotionLeg {
+        let leg = self.leg_at(node.index(), t);
+        MotionLeg {
+            from: leg.from,
+            to: leg.to,
+            move_start: leg.move_start,
+            move_end: leg.move_end,
+            // The leg stays current through the post-arrival pause;
+            // `leg_at` only advances once t passes `move_end + pause`.
+            valid_until: leg.move_end + self.pause,
+        }
+    }
+    fn max_speed_mps(&self) -> Option<f64> {
+        Some(self.max_speed)
     }
 }
 
@@ -354,5 +529,101 @@ mod tests {
     fn rwp_rejects_zero_speed() {
         let terrain = Terrain::new(100.0, 100.0);
         RandomWaypoint::new(1, terrain, SimDuration::ZERO, 0.0, 1.0, SimRng::from_seed(0));
+    }
+
+    /// The per-node RNG streams make trajectories query-order
+    /// independent: a copy that skipped most queries (as the spatial
+    /// grid's epoch cache does) must agree with a copy that queried
+    /// every node at every step. Queries stay non-decreasing per node,
+    /// matching the trait's lazy-advancement contract.
+    #[test]
+    fn rwp_queries_are_order_independent() {
+        let terrain = Terrain::new(1500.0, 300.0);
+        let mk = || {
+            RandomWaypoint::new(
+                6,
+                terrain,
+                SimDuration::from_secs(5),
+                1.0,
+                20.0,
+                SimRng::stream(7, "mobility"),
+            )
+        };
+        let a = mk();
+        let b = mk();
+        // Copy `a` skips everyone but node 3 for the first 600 s...
+        for step in 0..600 {
+            a.position(NodeId(3), SimTime::from_secs(step));
+        }
+        // ...while copy `b` answers every node at every step.
+        for step in 0..600 {
+            for n in 0..6 {
+                b.position(NodeId(n), SimTime::from_secs(step));
+            }
+        }
+        // From 600 s on the two copies must agree exactly, for every
+        // node: the skipped queries perturbed nothing.
+        for step in 600..800 {
+            let t = SimTime::from_secs(step);
+            for n in 0..6 {
+                assert_eq!(
+                    a.position(NodeId(n), t),
+                    b.position(NodeId(n), t),
+                    "node {n} diverged at {t:?}"
+                );
+            }
+        }
+    }
+
+    /// `position_hold` must agree with `position` at the query time and
+    /// the node must actually sit still through the promised hold.
+    #[test]
+    fn rwp_position_hold_promise_is_sound() {
+        let terrain = Terrain::new(1000.0, 1000.0);
+        let rng = SimRng::stream(11, "mobility");
+        let m = RandomWaypoint::new(4, terrain, SimDuration::from_secs(20), 1.0, 10.0, rng);
+        for step in 0..300 {
+            let t = SimTime::from_secs(step);
+            for n in 0..4 {
+                let (p, hold) = m.position_hold(NodeId(n), t);
+                assert_eq!(p, m.position(NodeId(n), t));
+                assert!(hold >= t);
+                if hold > t {
+                    // Sample inside and at the end of the hold window.
+                    let mid = t + SimDuration::from_nanos((hold - t).as_nanos() / 2);
+                    assert_eq!(m.position(NodeId(n), mid), p, "node {n} moved inside hold");
+                    assert_eq!(m.position(NodeId(n), hold), p, "node {n} moved at hold end");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_speed_bounds() {
+        assert_eq!(StaticMobility::line(3, 10.0).max_speed_mps(), Some(0.0));
+        let terrain = Terrain::new(100.0, 100.0);
+        let rwp =
+            RandomWaypoint::new(2, terrain, SimDuration::ZERO, 1.0, 17.5, SimRng::from_seed(9));
+        assert_eq!(rwp.max_speed_mps(), Some(17.5));
+        // Scripted: 100 m in 10 s = 10 m/s.
+        let s = ScriptedMobility::new(vec![vec![
+            (SimTime::ZERO, Position::new(0.0, 0.0)),
+            (SimTime::from_secs(10), Position::new(100.0, 0.0)),
+        ]]);
+        assert_eq!(s.max_speed_mps(), Some(10.0));
+        // A zero-duration teleport has no finite bound.
+        let tele = ScriptedMobility::new(vec![vec![
+            (SimTime::ZERO, Position::new(0.0, 0.0)),
+            (SimTime::ZERO, Position::new(5.0, 0.0)),
+        ]]);
+        assert_eq!(tele.max_speed_mps(), None);
+    }
+
+    #[test]
+    fn static_hold_is_forever() {
+        let m = StaticMobility::line(2, 50.0);
+        let (p, hold) = m.position_hold(NodeId(1), SimTime::from_secs(3));
+        assert_eq!(p.x, 50.0);
+        assert_eq!(hold, SimTime::MAX);
     }
 }

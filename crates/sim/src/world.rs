@@ -17,10 +17,13 @@ use crate::mobility::MobilityModel;
 use crate::packet::{DataPacket, NodeId, Packet, PacketBody, DEFAULT_DATA_TTL};
 use crate::protocol::{Action, Ctx, RoutingProtocol};
 use crate::rng::SimRng;
+use crate::spatial::NeighborGrid;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{FaultKind, TraceEvent, TraceSink};
 use crate::traffic::{FlowState, TrafficConfig};
+use std::cell::RefCell;
 use std::collections::{HashSet, VecDeque};
+use std::rc::Rc;
 
 /// Link-layer frame payload.
 #[derive(Clone, Debug)]
@@ -41,21 +44,57 @@ struct Frame {
 }
 
 /// A reception in progress at one node.
+///
+/// The frame is shared (`Rc`) across every receiver of one
+/// transmission: at 100-node scale a broadcast reaches dozens of
+/// stations, and deep-cloning the packet per receiver dominated
+/// `propagate`'s cost.
 #[derive(Clone, Debug)]
 struct RxInProgress {
     tx_id: u64,
-    frame: Frame,
+    frame: Rc<Frame>,
     end: SimTime,
     corrupted: bool,
     /// Transmitter-to-receiver distance, for the capture model.
     sender_dist: f64,
 }
 
+/// Deterministic avalanche hasher for `u64` keys (splitmix64 finalizer).
+/// The default `HashSet` hasher is SipHash, whose per-insert cost is
+/// measurable at paper scale; uids need no DoS resistance, and the
+/// sets hashed with this are only ever probed, never iterated, so the
+/// swap cannot perturb determinism.
+#[derive(Clone, Copy, Debug, Default)]
+struct U64Hasher {
+    hash: u64,
+}
+
+impl std::hash::Hasher for U64Hasher {
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (FNV-1a); the u64 fast path below is the one
+        // the uid sets actually exercise.
+        for &b in bytes {
+            self.hash = (self.hash ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, x: u64) {
+        let mut h = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.hash = h ^ (h >> 31);
+    }
+}
+
+type U64Build = std::hash::BuildHasherDefault<U64Hasher>;
+
 /// Bounded remember-set for MAC-level duplicate suppression.
 #[derive(Debug, Default)]
 struct RecentCache {
     order: VecDeque<u64>,
-    set: HashSet<u64>,
+    set: HashSet<u64, U64Build>,
 }
 
 impl RecentCache {
@@ -118,6 +157,32 @@ pub struct World {
     /// Last control frame each node put on the air (kept only while a
     /// fault plan is installed, for stale-advert replay injection).
     last_control: Vec<Option<Frame>>,
+    /// Spatial neighbor index ([`crate::spatial`]); present when
+    /// [`SimConfig::spatial_grid`] is on and the mobility model
+    /// promises a finite speed bound. `RefCell` because range queries
+    /// are logically read-only ([`World::neighbors`] takes `&self`)
+    /// but advance the index's cache epoch.
+    grid: Option<RefCell<NeighborGrid>>,
+    /// Events executed so far (perf telemetry; deliberately *not* part
+    /// of [`Metrics`] — the fast path elides provably no-op events, so
+    /// this count may differ between byte-identical runs).
+    events_executed: u64,
+    /// Reusable buffer for [`World::in_range_into`] answers on the hot
+    /// `propagate` path (taken and returned with `mem::take`).
+    range_scratch: Vec<(NodeId, f64)>,
+    /// Fast-path pending receiver lists, indexed by transmission id:
+    /// ring slot `i` holds the in-range receivers of transmission
+    /// `rx_batch_base + i`, in the ascending order their per-receiver
+    /// `RxEnd` events would have been scheduled (consumed by
+    /// [`Event::RxEndBatch`]). An empty slot means nothing pending —
+    /// batches are only ever stored non-empty. Transmission ids are
+    /// issued sequentially and frames are on the air for milliseconds,
+    /// so the ring stays a few dozen slots wide.
+    rx_batches: VecDeque<Vec<NodeId>>,
+    /// Transmission id of ring slot 0.
+    rx_batch_base: u64,
+    /// Spare receiver-list allocations recycled across batches.
+    batch_pool: Vec<Vec<NodeId>>,
     /// First routing loop the auditor found, if any.
     pub first_loop: Option<LoopViolation>,
 }
@@ -152,6 +217,15 @@ impl World {
             .collect();
         let auditor = cfg.invariant_audit.then(InvariantAuditor::new);
         let last_control = vec![None; n];
+        // The spatial index needs a finite speed bound to size its
+        // query slack; models that promise none fall back to the
+        // linear scan (the answers are identical either way).
+        let grid = cfg
+            .spatial_grid
+            .then(|| mobility.max_speed_mps())
+            .flatten()
+            .filter(|v| v.is_finite() && *v >= 0.0)
+            .map(|v_max| RefCell::new(NeighborGrid::new(n, cfg.phy.range_m, v_max)));
         let mut world = World {
             traffic_rng: SimRng::stream(seed, "traffic"),
             cfg,
@@ -171,6 +245,12 @@ impl World {
             auditor,
             faults: None,
             last_control,
+            grid,
+            events_executed: 0,
+            range_scratch: Vec::new(),
+            rx_batches: VecDeque::new(),
+            rx_batch_base: 0,
+            batch_pool: Vec::new(),
             first_loop: None,
         };
         if let Some(interval) = world.cfg.audit_interval {
@@ -189,14 +269,21 @@ impl World {
     }
 
     /// Attaches the CBR workload (call before [`World::run`]).
+    ///
+    /// A world with fewer than two nodes cannot host a two-endpoint
+    /// flow — the `src != dst` rejection sampling in flow setup could
+    /// never terminate — so flow creation is skipped entirely and the
+    /// run carries no traffic.
     pub fn with_cbr(&mut self, tcfg: TrafficConfig) {
-        assert!(self.nodes.len() >= 2, "CBR traffic needs at least two nodes");
+        if self.nodes.len() < 2 {
+            return;
+        }
         for slot in 0..tcfg.n_flows {
             let start = SimTime::ZERO
                 + SimDuration::from_nanos(
                     self.traffic_rng.below(tcfg.start_window.as_nanos().max(1)),
                 );
-            let state = self.fresh_flow(&tcfg, start);
+            let Some(state) = self.fresh_flow(&tcfg, start) else { return };
             self.flows.push(state);
             self.fel.schedule(start, Event::FlowPacket { flow: slot as u32 });
             self.fel.schedule(self.flows[slot].ends_at, Event::FlowEnd { flow: slot as u32 });
@@ -204,8 +291,14 @@ impl World {
         self.traffic_cfg = Some(tcfg);
     }
 
-    fn fresh_flow(&mut self, tcfg: &TrafficConfig, now: SimTime) -> FlowState {
+    /// Draws a new flow's endpoints and lifetime, or `None` when no
+    /// valid `src != dst` pair exists (single-node world) — the guard
+    /// that keeps the rejection-sampling loop below total.
+    fn fresh_flow(&mut self, tcfg: &TrafficConfig, now: SimTime) -> Option<FlowState> {
         let n = self.nodes.len() as u64;
+        if n < 2 {
+            return None;
+        }
         let src = self.traffic_rng.below(n) as u16;
         let mut dst = self.traffic_rng.below(n) as u16;
         while dst == src {
@@ -214,7 +307,7 @@ impl World {
         let life = SimDuration::from_secs_f64(self.traffic_rng.exponential(tcfg.mean_flow_secs));
         let flow_id = self.next_flow_id;
         self.next_flow_id += 1;
-        FlowState { flow_id, src, dst, next_seq: 0, ends_at: now + life }
+        Some(FlowState { flow_id, src, dst, next_seq: 0, ends_at: now + life })
     }
 
     /// Schedules a single application packet from `src` to `dst` at
@@ -286,16 +379,55 @@ impl World {
         self.nodes[node.index()].protocol.as_ref()
     }
 
-    /// Node indices currently within radio range of `node`.
-    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+    /// Whether a frame from `sender` can reach `receiver` as far as the
+    /// fault layer is concerned: the receiver is up and the link is not
+    /// administratively severed. The *single* reachability predicate
+    /// shared by [`World::propagate`] and [`World::neighbors`], so the
+    /// radio model and the neighbor view cannot drift apart.
+    fn link_usable(&self, sender: NodeId, receiver: NodeId) -> bool {
+        match self.faults.as_ref() {
+            Some(fs) => !fs.node_down(receiver) && !fs.link_severed(sender, receiver),
+            None => true,
+        }
+    }
+
+    /// Every node within radio range of `of` at the current time
+    /// (excluding `of`), ascending, with exact squared distances —
+    /// answered by the spatial index when enabled, by the linear scan
+    /// otherwise. The two paths are bitwise identical (same set, same
+    /// order, same distances); faults are *not* applied here.
+    fn in_range_into(&self, of: NodeId, out: &mut Vec<(NodeId, f64)>) {
         let now = self.now;
-        let p = self.mobility.position(node, now);
+        if let Some(grid) = self.grid.as_ref() {
+            grid.borrow_mut().query_into(self.mobility.as_ref(), of, now, out);
+            return;
+        }
+        out.clear();
+        let p = self.mobility.position(of, now);
         let range_sq = self.cfg.phy.range_m * self.cfg.phy.range_m;
-        (0..self.nodes.len() as u16)
-            .map(NodeId)
-            .filter(|&m| m != node)
-            .filter(|&m| self.mobility.position(m, now).distance_sq(p) <= range_sq)
-            .collect()
+        out.extend((0..self.nodes.len() as u16).map(NodeId).filter(|&m| m != of).filter_map(|m| {
+            let d = self.mobility.position(m, now).distance_sq(p);
+            (d <= range_sq).then_some((m, d))
+        }));
+    }
+
+    /// Node indices currently within radio range of `node` *and*
+    /// reachable under the fault layer — crashed nodes and severed
+    /// links are excluded exactly as [`World::propagate`] excludes
+    /// them, and a crashed node sees no neighbors at all.
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        if self.faults.as_ref().is_some_and(|fs| fs.node_down(node)) {
+            return Vec::new();
+        }
+        let mut buf = Vec::new();
+        self.in_range_into(node, &mut buf);
+        buf.into_iter().map(|(m, _)| m).filter(|&m| self.link_usable(node, m)).collect()
+    }
+
+    /// Events the kernel has executed so far (perf telemetry; see the
+    /// field note — intentionally not part of [`Metrics`]).
+    pub fn events_executed(&self) -> u64 {
+        self.events_executed
     }
 
     /// Runs the loop auditor immediately; records and returns any
@@ -329,6 +461,7 @@ impl World {
             let Some((t, event)) = self.fel.pop() else { break };
             debug_assert!(t >= self.now, "event from the past");
             self.now = t;
+            self.events_executed += 1;
             self.dispatch(event);
         }
         self.now = until;
@@ -383,6 +516,7 @@ impl World {
             Event::MacKick(node) => self.mac_kick(node),
             Event::TxEnd { node, tx_id } => self.on_tx_end(node, tx_id),
             Event::RxEnd { node, tx_id } => self.on_rx_end(node, tx_id),
+            Event::RxEndBatch { tx_id } => self.on_rx_end_batch(tx_id),
             Event::AckTimeout { node, tx_id } => self.on_ack_timeout(node, tx_id),
             Event::ProtocolTimer { node, token } => {
                 self.call_protocol(node, |p, ctx| p.handle_timer(ctx, token));
@@ -577,7 +711,7 @@ impl World {
         if self.now >= end {
             return;
         }
-        let state = self.fresh_flow(&tcfg, self.now);
+        let Some(state) = self.fresh_flow(&tcfg, self.now) else { return };
         let ends_at = state.ends_at;
         self.flows[slot as usize] = state;
         self.fel.schedule(self.now, Event::FlowPacket { flow: slot });
@@ -700,13 +834,47 @@ impl World {
         let packet = Packet { uid, origin: node, body };
         let frame = OutFrame { packet, dst, notify_failure, attempts: 0, counted_tx: false };
         let cap = self.cfg.phy.ifq_cap;
-        let slot = &mut self.nodes[node.index()];
-        if slot.mac.enqueue(frame, cap) {
-            self.fel.schedule(self.now, Event::MacKick(node));
+        if self.nodes[node.index()].mac.enqueue(frame, cap) {
+            self.kick_now(node);
         }
     }
 
     // ----- MAC state machine ------------------------------------------------
+
+    /// Schedules an immediate MAC wake-up for `node`.
+    ///
+    /// In fast-path mode ([`SimConfig::spatial_grid`]) wake-ups that
+    /// are provably no-ops *at scheduling time* are elided instead —
+    /// they make up the majority of all events at paper scale. A
+    /// wake-up at `now` is a no-op when the MAC is
+    ///
+    /// * `Idle` with an empty queue (the handler returns immediately;
+    ///   any later enqueue schedules its own kick),
+    /// * in `Backoff` with `until > now` (early kicks return without
+    ///   drawing randomness, and entering `Backoff` always scheduled a
+    ///   kick at `until`),
+    /// * `Transmitting` or awaiting an ACK (dead match arms; every
+    ///   transition out of these states — `TxEnd`, `AckTimeout`, ACK
+    ///   reception — issues its own kick afterwards).
+    ///
+    /// Elided events execute no code, mutate no state and draw no RNG,
+    /// and the relative FIFO order of the remaining same-timestamp
+    /// events is unchanged, so elision is observation-equivalent: runs
+    /// with and without it are byte-identical in metrics and trace.
+    fn kick_now(&mut self, node: NodeId) {
+        if self.cfg.spatial_grid {
+            let mac = &self.nodes[node.index()].mac;
+            let noop = match mac.state {
+                MacState::Idle => mac.queue.is_empty(),
+                MacState::Backoff { until } => until > self.now,
+                MacState::Transmitting { .. } | MacState::AwaitAck { .. } => true,
+            };
+            if noop {
+                return;
+            }
+        }
+        self.fel.schedule(self.now, Event::MacKick(node));
+    }
 
     /// A node's medium is busy while any reception is in progress or its
     /// own radio is occupied.
@@ -807,13 +975,20 @@ impl World {
     }
 
     /// Emits a frame onto the medium: marks collisions and schedules
-    /// receptions at every node in range.
+    /// receptions at every node in range (per [`World::in_range_into`],
+    /// grid-indexed or linearly scanned — identical either way).
+    ///
+    /// All of a transmission's receptions end at the same instant
+    /// `now + prop + dur` and their per-receiver `RxEnd` events are
+    /// scheduled back to back (consecutive sequence numbers), so no
+    /// other event can pop between them. In fast-path mode
+    /// ([`SimConfig::spatial_grid`]) they are therefore replaced by a
+    /// single [`Event::RxEndBatch`] that walks the same receivers in
+    /// the same ascending order — observation-equivalent, and it
+    /// removes the event queue's largest event class.
     fn propagate(&mut self, sender: NodeId, frame: Frame, tx_id: u64, dur: SimDuration) {
         let now = self.now;
-        let phy = &self.cfg.phy;
-        let prop = phy.prop_delay;
-        let range_sq = phy.range_m * phy.range_m;
-        let sender_pos = self.mobility.position(sender, now);
+        let prop = self.cfg.phy.prop_delay;
 
         // A station transmitting cannot hear; corrupt its receptions.
         for rx in &mut self.nodes[sender.index()].rx {
@@ -822,24 +997,20 @@ impl World {
             }
         }
 
-        let capture = phy.capture_distance_ratio;
-        let n = self.nodes.len() as u16;
+        let mut in_range = std::mem::take(&mut self.range_scratch);
+        self.in_range_into(sender, &mut in_range);
+        let frame = Rc::new(frame);
+        let capture = self.cfg.phy.capture_distance_ratio;
         let end = now + prop + dur;
-        for m in (0..n).map(NodeId) {
-            if m == sender {
-                continue;
-            }
-            let dist_sq = self.mobility.position(m, now).distance_sq(sender_pos);
-            if dist_sq > range_sq {
-                continue;
-            }
+        let batching = self.cfg.spatial_grid;
+        let mut receivers =
+            if batching { self.batch_pool.pop().unwrap_or_default() } else { Vec::new() };
+        for &(m, dist_sq) in &in_range {
             // Fault layer: crashed receivers and administratively
             // severed links hear nothing; impaired links draw per-frame
             // loss/corruption from the dedicated "faults" RNG stream.
-            if let Some(fs) = self.faults.as_ref() {
-                if fs.node_down(m) || fs.link_severed(sender, m) {
-                    continue;
-                }
+            if !self.link_usable(sender, m) {
+                continue;
             }
             let fate = match self.faults.as_mut() {
                 Some(fs) => fs.rx_draw(sender, m),
@@ -869,13 +1040,63 @@ impl World {
             }
             receiver.rx.push(RxInProgress {
                 tx_id,
-                frame: frame.clone(),
+                frame: Rc::clone(&frame),
                 end,
                 corrupted,
                 sender_dist,
             });
-            self.fel.schedule(end, Event::RxEnd { node: m, tx_id });
+            if batching {
+                receivers.push(m);
+            } else {
+                self.fel.schedule(end, Event::RxEnd { node: m, tx_id });
+            }
         }
+        self.range_scratch = in_range;
+        if batching {
+            if receivers.is_empty() {
+                self.batch_pool.push(receivers);
+            } else {
+                if self.rx_batches.is_empty() {
+                    self.rx_batch_base = tx_id;
+                }
+                // Transmission ids are issued in increasing order, so
+                // the slot index never underflows.
+                let idx = (tx_id - self.rx_batch_base) as usize;
+                while self.rx_batches.len() <= idx {
+                    self.rx_batches.push_back(self.batch_pool.pop().unwrap_or_default());
+                }
+                self.rx_batches[idx] = receivers;
+                self.fel.schedule(end, Event::RxEndBatch { tx_id });
+            }
+        }
+    }
+
+    /// Fast-path form of `RxEnd`: finish every reception of `tx_id`, in
+    /// the same ascending receiver order the per-receiver events would
+    /// have popped. The per-receiver crash gate of [`World::dispatch`]
+    /// is applied per receiver here, and nothing that runs during the
+    /// batch can crash a node or cancel a sibling reception mid-batch
+    /// (faults only fire from their own scheduled events), so the two
+    /// forms are observation-equivalent.
+    fn on_rx_end_batch(&mut self, tx_id: u64) {
+        let Some(idx) = tx_id.checked_sub(self.rx_batch_base).map(|i| i as usize) else { return };
+        let Some(slot) = self.rx_batches.get_mut(idx) else { return };
+        let mut receivers = std::mem::take(slot);
+        // Trim consumed slots off the ring front so it stays narrow.
+        while self.rx_batches.front().is_some_and(Vec::is_empty) {
+            if let Some(spare) = self.rx_batches.pop_front() {
+                self.batch_pool.push(spare);
+            }
+            self.rx_batch_base += 1;
+        }
+        for &m in &receivers {
+            if self.faults.as_ref().is_some_and(|fs| fs.node_down(m)) {
+                continue;
+            }
+            self.on_rx_end(m, tx_id);
+        }
+        receivers.clear();
+        self.batch_pool.push(receivers);
     }
 
     fn on_tx_end(&mut self, node: NodeId, tx_id: u64) {
@@ -892,7 +1113,7 @@ impl World {
             slot.mac.queue.pop_front();
             slot.mac.reset_cw(&phy);
             slot.mac.state = MacState::Idle;
-            self.fel.schedule(now, Event::MacKick(node));
+            self.kick_now(node);
         } else {
             let until = now + phy.ack_timeout();
             slot.mac.state = MacState::AwaitAck { tx_id, until };
@@ -902,7 +1123,6 @@ impl World {
 
     fn on_ack_timeout(&mut self, node: NodeId, tx_id: u64) {
         let phy = self.cfg.phy.clone();
-        let now = self.now;
         let verdict = {
             let slot = &mut self.nodes[node.index()];
             match slot.mac.state {
@@ -916,7 +1136,7 @@ impl World {
                 let slot = &mut self.nodes[node.index()];
                 slot.mac.grow_cw(&phy);
                 slot.mac.state = MacState::Idle;
-                self.fel.schedule(now, Event::MacKick(node));
+                self.kick_now(node);
             }
             RetryVerdict::GiveUp => {
                 let (packet, dst, notify) = {
@@ -924,12 +1144,12 @@ impl World {
                     slot.mac.reset_cw(&phy);
                     slot.mac.state = MacState::Idle;
                     let Some(frame) = slot.mac.queue.pop_front() else {
-                        self.fel.schedule(now, Event::MacKick(node));
+                        self.kick_now(node);
                         return;
                     };
                     (frame.packet, frame.dst, frame.notify_failure)
                 };
-                self.fel.schedule(now, Event::MacKick(node));
+                self.kick_now(node);
                 // AwaitAck only ever arises for unicast frames, so `dst`
                 // is present; a broadcast head here would be a kernel bug
                 // and is simply not reported rather than panicking.
@@ -946,7 +1166,6 @@ impl World {
 
     fn on_rx_end(&mut self, node: NodeId, tx_id: u64) {
         let phy = self.cfg.phy.clone();
-        let now = self.now;
         let rx = {
             let slot = &mut self.nodes[node.index()];
             let Some(pos) = slot.rx.iter().position(|r| r.tx_id == tx_id) else {
@@ -957,55 +1176,72 @@ impl World {
         if rx.corrupted {
             self.metrics.collisions += 1;
             self.emit(TraceEvent::RxCollision { node });
-            self.fel.schedule(now, Event::MacKick(node));
+            self.kick_now(node);
             return;
         }
-        match rx.frame.payload {
-            FramePayload::Ack { acked_tx } => {
-                if rx.frame.dst == Some(node) {
-                    let slot = &mut self.nodes[node.index()];
-                    if let MacState::AwaitAck { tx_id: t, .. } = slot.mac.state {
-                        if t == acked_tx {
-                            slot.mac.queue.pop_front();
-                            slot.mac.reset_cw(&phy);
-                            slot.mac.state = MacState::Idle;
-                        }
+        let frame = rx.frame;
+        let src = frame.src;
+        let for_me = frame.dst == Some(node);
+        let broadcast = frame.dst.is_none();
+        if let FramePayload::Ack { acked_tx } = frame.payload {
+            if for_me {
+                let slot = &mut self.nodes[node.index()];
+                if let MacState::AwaitAck { tx_id: t, .. } = slot.mac.state {
+                    if t == acked_tx {
+                        slot.mac.queue.pop_front();
+                        slot.mac.reset_cw(&phy);
+                        slot.mac.state = MacState::Idle;
                     }
                 }
             }
-            FramePayload::Packet(ref packet) => {
-                let for_me = rx.frame.dst == Some(node);
-                let broadcast = rx.frame.dst.is_none();
-                if for_me || broadcast {
-                    self.emit(TraceEvent::RxOk { node, uid: Some(packet.uid) });
-                }
-                if for_me {
-                    self.send_ack(node, rx.frame.src, tx_id);
-                }
-                if for_me || broadcast {
-                    let fresh = self.nodes[node.index()].recent.insert(packet.uid);
-                    if fresh {
-                        let prev_hop = rx.frame.src;
-                        let pkt = packet.clone();
-                        match pkt.body {
-                            PacketBody::Data(data) => {
-                                self.call_protocol(node, |p, ctx| {
-                                    p.handle_data_packet(ctx, prev_hop, data)
-                                });
-                            }
-                            PacketBody::Control(ctrl) => {
-                                self.call_protocol(node, |p, ctx| {
-                                    p.handle_control(ctx, prev_hop, ctrl, broadcast)
-                                });
-                            }
-                        }
+            self.kick_now(node);
+            return;
+        }
+        let FramePayload::Packet(ref packet) = frame.payload else {
+            return; // cannot occur: the ACK arm returned above
+        };
+        let uid = packet.uid;
+        if for_me || broadcast {
+            self.emit(TraceEvent::RxOk { node, uid: Some(uid) });
+        }
+        if for_me {
+            self.send_ack(node, src, tx_id);
+        }
+        if for_me || broadcast {
+            let fresh = self.nodes[node.index()].recent.insert(uid);
+            if fresh {
+                let prev_hop = src;
+                // The last receiver to process this transmission holds the
+                // only remaining `Rc` and can take the packet by value;
+                // earlier receivers deep-clone (route vectors make that
+                // clone expensive).
+                let pkt = match Rc::try_unwrap(frame) {
+                    Ok(owned) => match owned.payload {
+                        FramePayload::Packet(p) => p,
+                        FramePayload::Ack { .. } => return, // cannot occur (ACK handled above)
+                    },
+                    Err(shared) => match &shared.payload {
+                        FramePayload::Packet(p) => p.clone(),
+                        FramePayload::Ack { .. } => return, // cannot occur (ACK handled above)
+                    },
+                };
+                match pkt.body {
+                    PacketBody::Data(data) => {
+                        self.call_protocol(node, |p, ctx| {
+                            p.handle_data_packet(ctx, prev_hop, data)
+                        });
+                    }
+                    PacketBody::Control(ctrl) => {
+                        self.call_protocol(node, |p, ctx| {
+                            p.handle_control(ctx, prev_hop, ctrl, broadcast)
+                        });
                     }
                 }
-                // Overheard unicast for someone else: ignored (no
-                // promiscuous mode).
             }
         }
-        self.fel.schedule(now, Event::MacKick(node));
+        // Overheard unicast for someone else: ignored (no promiscuous
+        // mode).
+        self.kick_now(node);
     }
 
     /// Transmits a link-layer ACK SIFS after a successful reception.
@@ -1046,6 +1282,7 @@ mod tests {
             audit_every_event: false,
             invariant_audit: false,
             fault_plan: None,
+            spatial_grid: true,
         };
         let topo = StaticRouting::tables_for_line(n);
         World::new(cfg, Box::new(mobility), move |id, _| {
@@ -1373,6 +1610,90 @@ mod tests {
             )
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn neighbors_exclude_crashed_nodes_and_severed_links() {
+        use crate::faults::{FaultAction, FaultPlan};
+        // line(4, 200): with 275 m range only adjacent nodes are
+        // neighbors. Crash node 1 and sever 2–3 at t=2.
+        let plan = FaultPlan::new(vec![
+            (
+                SimTime::from_secs(2),
+                FaultAction::CrashRestart {
+                    node: NodeId(1),
+                    downtime: SimDuration::from_secs(100),
+                },
+            ),
+            (SimTime::from_secs(2), FaultAction::LinkDown { a: NodeId(2), b: NodeId(3) }),
+        ]);
+        let mut w = faulted_world(4, plan, 31);
+        assert_eq!(w.neighbors(NodeId(0)), vec![NodeId(1)], "pre-fault view intact");
+        w.run_until(SimTime::from_secs(3));
+        // The crashed node vanishes from every neighbor's view — the
+        // radio model (`propagate`) has always dropped frames to it;
+        // `neighbors` must agree.
+        assert_eq!(w.neighbors(NodeId(0)), vec![], "crashed node still visible");
+        // A crashed node sees no one either.
+        assert_eq!(w.neighbors(NodeId(1)), vec![]);
+        // The severed link is gone from both endpoints' views (and
+        // node 2's other neighbor, 1, is down).
+        assert_eq!(w.neighbors(NodeId(2)), vec![]);
+        assert_eq!(w.neighbors(NodeId(3)), vec![]);
+    }
+
+    #[test]
+    fn single_node_cbr_is_skipped_not_hung() {
+        // A 1-node world has no valid (src, dst) pair: flow setup must
+        // skip rather than rejection-sample forever.
+        let mut w = small_world(1, 100.0, 41);
+        w.with_cbr(TrafficConfig::paper(3));
+        let m = w.run();
+        assert_eq!(m.data_originated, 0);
+        assert_eq!(m.data_delivered, 0);
+        assert_eq!(m.sim_seconds, 30.0);
+    }
+
+    #[test]
+    fn grid_and_linear_worlds_are_byte_identical() {
+        use crate::geometry::Terrain;
+        use crate::mobility::RandomWaypoint;
+        use crate::trace::MemoryTrace;
+        let run = |spatial_grid: bool| {
+            let mobility = RandomWaypoint::new(
+                20,
+                Terrain::new(800.0, 300.0),
+                SimDuration::from_secs(5),
+                1.0,
+                20.0,
+                SimRng::stream(9, "mobility"),
+            );
+            let cfg = SimConfig {
+                duration: SimDuration::from_secs(20),
+                seed: 9,
+                spatial_grid,
+                ..SimConfig::default()
+            };
+            let topo = StaticRouting::tables_for_line(20);
+            let mut w = World::new(cfg, Box::new(mobility), move |id, _| {
+                Box::new(StaticRouting::new(id, topo.clone()))
+            });
+            let shared = MemoryTrace::shared();
+            w.set_trace(Box::new(shared.clone()));
+            w.with_cbr(TrafficConfig::paper(4));
+            let end = SimTime::ZERO + SimDuration::from_secs(20);
+            w.run_until(end);
+            w.finalize();
+            let metrics = w.metrics().clone();
+            let events = w.events_executed();
+            let trace: Vec<_> = shared.lock().map(|t| t.events().to_vec()).unwrap_or_default();
+            (metrics, trace, events)
+        };
+        let (gm, gt, ge) = run(true);
+        let (lm, lt, le) = run(false);
+        assert_eq!(gm, lm, "metrics must be byte-identical");
+        assert_eq!(gt, lt, "traces must be byte-identical");
+        assert!(ge < le, "fast path should execute fewer events ({ge} !< {le})");
     }
 
     #[test]

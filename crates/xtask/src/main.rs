@@ -15,11 +15,13 @@
 //!   `seqno`, `next_hop`, `valid`, `expires`) may be assigned only
 //!   inside `crates/core/src/route_table.rs`, whose audited setters
 //!   enforce fd-monotonicity; everywhere else the table is read-only.
-//! * **fault-determinism** — `crates/sim/src/faults.rs` additionally
-//!   bans `HashMap`/`HashSet`: fault plans must replay byte-identically
-//!   from `(plan, seed)`, and hash-map iteration order would leak
-//!   process-level randomness into the injection schedule. Use the
-//!   `BTree` collections there instead.
+//! * **fault-determinism** — `crates/sim/src/faults.rs` and
+//!   `crates/sim/src/spatial.rs` additionally ban `HashMap`/`HashSet`:
+//!   fault plans must replay byte-identically from `(plan, seed)`, and
+//!   the spatial index must answer range queries bit-identically to
+//!   the linear scan — in both, hash-map iteration order would leak
+//!   process-level randomness into observable behavior. Use `BTree`
+//!   collections or index-ordered `Vec`s there instead.
 //!
 //! The scanner strips comments and string/char literals first (so
 //! documentation may mention the forbidden names) and skips
@@ -92,8 +94,9 @@ const NONDET_PATTERNS: &[&str] = &[
 const ROUTE_FIELDS: &[&str] = &["fd", "dist", "seqno", "next_hop", "valid", "expires"];
 
 /// Unordered collections whose iteration order varies per process —
-/// forbidden in the fault-injection module, where any order-dependent
-/// choice would break byte-identical replay.
+/// forbidden in the fault-injection module and the spatial neighbor
+/// index, where any order-dependent choice would break byte-identical
+/// replay (resp. grid-vs-linear byte-identity).
 const FAULT_ORDER_PATTERNS: &[&str] = &["HashMap", "HashSet"];
 
 /// Runs every rule over its scope. Returns all violations, sorted.
@@ -111,7 +114,9 @@ fn check_repo(root: &Path) -> Vec<Violation> {
             let ctx = FileContext::new(&src);
             scan_substrings(&ctx, &rel, "no-panic", PANIC_PATTERNS, &mut out);
             scan_substrings(&ctx, &rel, "determinism", NONDET_PATTERNS, &mut out);
-            if rel.ends_with("crates/sim/src/faults.rs") {
+            if rel.ends_with("crates/sim/src/faults.rs")
+                || rel.ends_with("crates/sim/src/spatial.rs")
+            {
                 scan_substrings(&ctx, &rel, "fault-determinism", FAULT_ORDER_PATTERNS, &mut out);
             }
             if rel.starts_with("crates/core/src")
@@ -545,10 +550,11 @@ fn f(e: &mut E) {
     }
 
     #[test]
-    fn fault_lint_scopes_to_the_faults_module_only() {
+    fn fault_lint_scopes_to_the_faults_and_spatial_modules_only() {
         // The in-tree simulator uses HashMap freely elsewhere (e.g.
         // metrics counters); the determinism ban must bind only to
-        // faults.rs. Guard the scoping, not just the pattern list.
+        // faults.rs and spatial.rs. Guard the scoping, not just the
+        // pattern list.
         let root = workspace_root();
         let metrics = root.join("crates/sim/src/metrics.rs");
         let src = fs::read_to_string(metrics).expect("metrics.rs readable");
@@ -556,8 +562,27 @@ fn f(e: &mut E) {
         let v = check_repo(&root);
         assert!(
             v.iter().all(|x| x.rule != "fault-determinism"),
-            "fault-determinism hits outside faults.rs scope:\n{v:?}"
+            "fault-determinism hits outside faults.rs/spatial.rs scope:\n{v:?}"
         );
+    }
+
+    #[test]
+    fn fault_lint_covers_the_spatial_index() {
+        // spatial.rs is inside the fault-determinism scope: an
+        // unordered map smuggled into the neighbor index would be
+        // flagged exactly like one in faults.rs.
+        let src = "fn f() { let s: std::collections::HashMap<u8, u8> = Default::default(); }\n";
+        let c = ctx(src);
+        let mut v = Vec::new();
+        scan_substrings(
+            &c,
+            Path::new("crates/sim/src/spatial.rs"),
+            "fault-determinism",
+            FAULT_ORDER_PATTERNS,
+            &mut v,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 1);
     }
 
     #[test]
