@@ -13,7 +13,9 @@ pub mod messages;
 
 use manet_sim::hash::FxBuild;
 use manet_sim::packet::{ControlKind, ControlPacket, DataPacket, NodeId, Packet, PacketBody};
-use manet_sim::protocol::{Ctx, DropReason, ProtoCounter, RouteDump, RoutingProtocol};
+use manet_sim::protocol::{
+    Ctx, DropReason, ProtoCounter, RouteDump, RouteTelemetry, RoutingProtocol,
+};
 use manet_sim::time::{SimDuration, SimTime};
 use messages::{Rerr, RerrEntry, Rrep, Rreq};
 use std::collections::{HashMap, VecDeque};
@@ -847,6 +849,19 @@ impl RoutingProtocol for Aodv {
 
     fn own_seqno_value(&self) -> Option<f64> {
         Some(f64::from(self.own_seq))
+    }
+
+    fn telemetry_snapshot(&self) -> RouteTelemetry {
+        // Avoids the dump's allocation + sort; called per node on every
+        // sampler tick.
+        let mut t = RouteTelemetry::default();
+        for r in self.routes.values() {
+            t.entries += 1;
+            if r.is_active(self.clock) {
+                t.valid += 1;
+            }
+        }
+        t
     }
 }
 

@@ -114,6 +114,12 @@ impl RouteCache {
     pub fn is_empty(&self) -> bool {
         self.paths.is_empty()
     }
+
+    /// Number of cached paths still alive at `now` (all of them under
+    /// draft-03's no-timeout behaviour).
+    pub fn live_paths(&self, now: SimTime) -> usize {
+        self.paths.iter().filter(|p| self.alive(p, now)).count()
+    }
 }
 
 /// Whether the path (owned by `owner`, implicitly prefixed with it)

@@ -22,8 +22,11 @@ pub mod messages;
 use cache::RouteCache;
 use manet_sim::hash::FxBuild;
 use manet_sim::packet::{ControlKind, ControlPacket, DataPacket, NodeId, Packet, PacketBody};
-use manet_sim::protocol::{Ctx, DropReason, ProtoCounter, RouteDump, RoutingProtocol};
+use manet_sim::protocol::{
+    Ctx, DropReason, ProtoCounter, RouteDump, RouteTelemetry, RoutingProtocol,
+};
 use manet_sim::time::{SimDuration, SimTime};
+use manet_sim::trace::{InvalidateCause, InvariantSnapshot, TraceEvent};
 use messages::{Rerr, Rrep, Rreq, SourceRoute};
 use std::collections::{HashMap, VecDeque};
 
@@ -201,6 +204,46 @@ impl Dsr {
         }
     }
 
+    // ----- cache mutation (traced) ---------------------------------------------
+
+    /// Inserts a path into the route cache, emitting a
+    /// [`TraceEvent::RouteInstall`] when a path is actually stored. DSR
+    /// has no `(sn, d, fd)` triple, so the snapshot scalarises the
+    /// path: `d = fd =` hop count, no sequence number.
+    fn cache_insert(&mut self, ctx: &mut Ctx, path: &[NodeId], now: SimTime) {
+        if !self.cache.insert(path, now) {
+            return;
+        }
+        let (Some(&next), Some(&dest)) = (path.first(), path.last()) else { return };
+        let hops = path.len() as u32;
+        let node = self.id;
+        ctx.trace(|| TraceEvent::RouteInstall {
+            node,
+            dest,
+            next,
+            before: None,
+            after: InvariantSnapshot { sn: None, d: hops, fd: hops },
+        });
+    }
+
+    /// Removes every cached path over `from → to`, emitting one
+    /// [`TraceEvent::RouteInvalidate`] (dest = the link's head, DSR's
+    /// closest analogue of an invalidated table entry) when at least
+    /// one path was actually dropped.
+    fn cache_remove_link(
+        &mut self,
+        ctx: &mut Ctx,
+        from: NodeId,
+        to: NodeId,
+        cause: InvalidateCause,
+    ) {
+        if self.cache.remove_link(from, to) == 0 {
+            return;
+        }
+        let node = self.id;
+        ctx.trace(|| TraceEvent::RouteInvalidate { node, dest: to, seqno: None, cause });
+    }
+
     // ----- control ------------------------------------------------------------
 
     fn handle_rreq(&mut self, ctx: &mut Ctx, _prev: NodeId, m: Rreq) {
@@ -211,7 +254,7 @@ impl Dsr {
         // Learn the reverse path to the originator.
         let mut back: Vec<NodeId> = m.route.iter().rev().copied().collect();
         back.push(m.src);
-        self.cache.insert(&back, now);
+        self.cache_insert(ctx, &back, now);
 
         let key = (m.src, m.id);
         if self.seen.get(&key).is_some_and(|&e| e > now) {
@@ -270,11 +313,12 @@ impl Dsr {
         }
         // Learn both directions.
         if idx + 1 < m.path.len() {
-            self.cache.insert(&m.path[idx + 1..], now);
+            let fwd: Vec<NodeId> = m.path[idx + 1..].to_vec();
+            self.cache_insert(ctx, &fwd, now);
         }
         if idx > 0 {
             let back: Vec<NodeId> = m.path[..idx].iter().rev().copied().collect();
-            self.cache.insert(&back, now);
+            self.cache_insert(ctx, &back, now);
         }
         ctx.count(ProtoCounter::RrepUsableRecv);
         if idx == 0 {
@@ -291,7 +335,7 @@ impl Dsr {
     }
 
     fn handle_rerr(&mut self, ctx: &mut Ctx, _prev: NodeId, m: Rerr) {
-        self.cache.remove_link(m.from, m.to);
+        self.cache_remove_link(ctx, m.from, m.to, InvalidateCause::RouteError);
         if m.target == self.id || m.path.is_empty() {
             return;
         }
@@ -348,11 +392,12 @@ impl RoutingProtocol for Dsr {
         }
         // Learn from the carried route.
         if idx + 1 < sr.path.len() {
-            self.cache.insert(&sr.path[idx + 1..], now);
+            let fwd: Vec<NodeId> = sr.path[idx + 1..].to_vec();
+            self.cache_insert(ctx, &fwd, now);
         }
         if idx > 0 {
             let back: Vec<NodeId> = sr.path[..idx].iter().rev().copied().collect();
-            self.cache.insert(&back, now);
+            self.cache_insert(ctx, &back, now);
         }
         if data.dst == self.id {
             ctx.deliver(data);
@@ -435,7 +480,7 @@ impl RoutingProtocol for Dsr {
     fn handle_unicast_failure(&mut self, ctx: &mut Ctx, next_hop: NodeId, packet: Packet) {
         self.clock = ctx.now();
         let now = ctx.now();
-        self.cache.remove_link(self.id, next_hop);
+        self.cache_remove_link(ctx, self.id, next_hop, InvalidateCause::LinkFailure);
         let PacketBody::Data(mut data) = packet.body else { return };
         let Some(sr) = SourceRoute::decode(&data.ext) else {
             ctx.drop_data(data, DropReason::BrokenSourceRoute);
@@ -481,6 +526,16 @@ impl RoutingProtocol for Dsr {
 
     fn route_table_dump(&self) -> Vec<RouteDump> {
         Vec::new()
+    }
+
+    fn telemetry_snapshot(&self) -> RouteTelemetry {
+        // DSR's "table" is the path cache: entries = cached paths,
+        // valid = paths still alive under the draft-07 timeout (all of
+        // them under draft-03's never-expiring caches).
+        RouteTelemetry {
+            entries: self.cache.len() as u64,
+            valid: self.cache.live_paths(self.clock) as u64,
+        }
     }
 }
 

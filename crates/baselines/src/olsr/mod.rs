@@ -17,8 +17,9 @@ pub mod messages;
 
 use manet_sim::hash::FxBuild;
 use manet_sim::packet::{ControlKind, ControlPacket, DataPacket, NodeId, Packet, PacketBody};
-use manet_sim::protocol::{Ctx, DropReason, RouteDump, RoutingProtocol};
+use manet_sim::protocol::{Ctx, DropReason, RouteDump, RouteTelemetry, RoutingProtocol};
 use manet_sim::time::{SimDuration, SimTime};
+use manet_sim::trace::{InvalidateCause, InvariantSnapshot, TraceEvent};
 use messages::{Hello, Tc};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -315,6 +316,56 @@ impl Olsr {
         self.scratch = scr;
     }
 
+    /// Recomputes routes if the topology is dirty, emitting
+    /// [`TraceEvent::RouteInstall`] / [`TraceEvent::RouteInvalidate`]
+    /// diffs against the previous table when tracing is on. OLSR has no
+    /// `(sn, d, fd)` machinery, so installs scalarise as `d = fd =`
+    /// hop count with no sequence number.
+    fn recompute_traced(&mut self, ctx: &mut Ctx) {
+        if !self.dirty {
+            return;
+        }
+        if !ctx.trace_enabled() {
+            self.recompute_routes(ctx.now());
+            return;
+        }
+        let snapshot = |table: &FxMap<NodeId, (NodeId, u32)>| {
+            let mut v: Vec<(NodeId, (NodeId, u32))> = table.iter().map(|(&d, &e)| (d, e)).collect();
+            v.sort_unstable_by_key(|(d, _)| d.0);
+            v
+        };
+        let before = snapshot(&self.table);
+        self.recompute_routes(ctx.now());
+        let after = snapshot(&self.table);
+        let node = self.id;
+        // Destinations that dropped out of the shortest-path tree.
+        for &(dest, _) in &before {
+            if after.binary_search_by_key(&dest.0, |&(d, _)| d.0).is_err() {
+                ctx.trace(|| TraceEvent::RouteInvalidate {
+                    node,
+                    dest,
+                    seqno: None,
+                    cause: InvalidateCause::LinkFailure,
+                });
+            }
+        }
+        // New or changed entries.
+        for &(dest, (next, hops)) in &after {
+            let prev =
+                before.binary_search_by_key(&dest.0, |&(d, _)| d.0).ok().map(|i| before[i].1);
+            if prev != Some((next, hops)) {
+                let before_snap = prev.map(|(_, h)| InvariantSnapshot { sn: None, d: h, fd: h });
+                ctx.trace(|| TraceEvent::RouteInstall {
+                    node,
+                    dest,
+                    next,
+                    before: before_snap,
+                    after: InvariantSnapshot { sn: None, d: hops, fd: hops },
+                });
+            }
+        }
+    }
+
     fn enqueue_control(
         &mut self,
         ctx: &mut Ctx,
@@ -479,9 +530,7 @@ impl RoutingProtocol for Olsr {
             ctx.deliver(data);
             return;
         }
-        if self.dirty {
-            self.recompute_routes(ctx.now());
-        }
+        self.recompute_traced(ctx);
         match self.table.get(&data.dst) {
             Some(&(next, _)) => ctx.send_data(next, data),
             None => ctx.drop_data(data, DropReason::NoRoute),
@@ -499,9 +548,7 @@ impl RoutingProtocol for Olsr {
             return;
         }
         data.ttl -= 1;
-        if self.dirty {
-            self.recompute_routes(ctx.now());
-        }
+        self.recompute_traced(ctx);
         match self.table.get(&data.dst) {
             Some(&(next, _)) => ctx.send_data(next, data),
             None => ctx.drop_data(data, DropReason::NoRoute),
@@ -565,9 +612,7 @@ impl RoutingProtocol for Olsr {
         }
         if let PacketBody::Data(data) = packet.body {
             // Try once more over the recomputed topology.
-            if self.dirty {
-                self.recompute_routes(ctx.now());
-            }
+            self.recompute_traced(ctx);
             match self.table.get(&data.dst) {
                 Some(&(next, _)) if next != next_hop => ctx.send_data(next, data),
                 _ => ctx.drop_data(data, DropReason::NoRoute),
@@ -596,6 +641,13 @@ impl RoutingProtocol for Olsr {
             .collect();
         v.sort_unstable_by_key(|r| r.dest.0);
         v
+    }
+
+    fn telemetry_snapshot(&self) -> RouteTelemetry {
+        // Every BFS-computed entry is usable until the next recompute,
+        // so entries and valid coincide.
+        let n = self.table.len() as u64;
+        RouteTelemetry { entries: n, valid: n }
     }
 }
 

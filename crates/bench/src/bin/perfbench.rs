@@ -21,6 +21,7 @@ fn main() {
     let mut trials: Option<u32> = None;
     let mut duration: Option<u64> = None;
     let mut only: Option<String> = None;
+    let mut telemetry_dir: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -35,10 +36,13 @@ fn main() {
                     Some(it.next().expect("--duration needs a value").parse().expect("seconds"))
             }
             "--only" => only = Some(it.next().expect("--only needs a protocol name")),
+            "--telemetry-dir" => {
+                telemetry_dir = Some(it.next().expect("--telemetry-dir needs a directory"))
+            }
             other => {
                 eprintln!(
                     "unknown flag {other}; supported: --smoke --out PATH --table PATH \
-                     --trials N --duration SECS --only PROTOCOL"
+                     --trials N --duration SECS --only PROTOCOL --telemetry-dir DIR"
                 );
                 std::process::exit(2);
             }
@@ -48,6 +52,27 @@ fn main() {
         if smoke { ("smoke", 60, 1) } else { ("full", 900, 3) };
     let cases = paper_cases(duration.unwrap_or(default_duration), trials.unwrap_or(default_trials));
     let report = run_perfbench_filtered(&cases, mode, only.as_deref());
+
+    // Optional: export one telemetry-attached LDR run per benchmark
+    // scenario so the wall-clock numbers ship with a forensic trace.
+    if let Some(dir) = &telemetry_dir {
+        use ldr_bench::scenario::Protocol;
+        use ldr_bench::telemetry_export::export_run;
+        for (name, scenario) in &cases {
+            let prefix = format!("perf-{name}");
+            match export_run(
+                Protocol::Ldr,
+                scenario,
+                scenario.seed_base,
+                None,
+                std::path::Path::new(dir),
+                &prefix,
+            ) {
+                Ok((_, paths)) => eprintln!("telemetry → {}", paths.trace.display()),
+                Err(e) => eprintln!("telemetry export failed for {name}: {e}"),
+            }
+        }
+    }
 
     std::fs::write(&out, report.to_json()).expect("write BENCH json");
     let rendered = report.to_table();

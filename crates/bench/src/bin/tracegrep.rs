@@ -1,0 +1,122 @@
+//! Trace forensics CLI: query an exported `manet-trace` JSONL file.
+//!
+//! ```text
+//! tracegrep --trace FILE [QUERY...]
+//!   --explain-packet FLOW,SEQ   hop-by-hop lifecycle of one data packet
+//!   --route-lifetimes DST       install→invalidate spans + churn histogram
+//!   --drops                     drop-reason breakdown over time
+//!   --loops                     successor-cycle check replayed from the
+//!                               route-mutation stream (independent of the
+//!                               simulator's own audit)
+//! ```
+//!
+//! Without a trace on disk, export one first:
+//! `faultbench --telemetry-dir DIR` or
+//! [`ldr_bench::telemetry_export::export_run`].
+
+use ldr_bench::forensics::{self, TraceFile};
+use std::io::Write;
+use std::process::ExitCode;
+
+enum Query {
+    Explain { flow: u64, seq: u64 },
+    RouteLifetimes { dst: u64 },
+    Drops,
+    Loops,
+}
+
+struct Args {
+    trace: String,
+    queries: Vec<Query>,
+}
+
+const USAGE: &str = "usage: tracegrep --trace FILE \
+[--explain-packet FLOW,SEQ] [--route-lifetimes DST] [--drops] [--loops]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut trace = None;
+    let mut queries = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => {
+                trace = Some(it.next().ok_or("--trace needs a file path")?);
+            }
+            "--explain-packet" => {
+                let spec = it.next().ok_or("--explain-packet needs FLOW,SEQ")?;
+                let (f, s) = spec
+                    .split_once(',')
+                    .ok_or_else(|| format!("bad packet spec {spec:?}, want FLOW,SEQ"))?;
+                let flow = f.trim().parse().map_err(|_| format!("bad flow id {f:?}"))?;
+                let seq = s.trim().parse().map_err(|_| format!("bad seq {s:?}"))?;
+                queries.push(Query::Explain { flow, seq });
+            }
+            "--route-lifetimes" => {
+                let spec = it.next().ok_or("--route-lifetimes needs a destination id")?;
+                let dst = spec.trim().parse().map_err(|_| format!("bad node id {spec:?}"))?;
+                queries.push(Query::RouteLifetimes { dst });
+            }
+            "--drops" => queries.push(Query::Drops),
+            "--loops" => queries.push(Query::Loops),
+            "--help" | "-h" => return Err(USAGE.into()),
+            other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
+        }
+    }
+    let trace = trace.ok_or(USAGE)?;
+    if queries.is_empty() {
+        return Err(format!("no query given\n{USAGE}"));
+    }
+    Ok(Args { trace, queries })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&args.trace) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tracegrep: cannot read {}: {e}", args.trace);
+            return ExitCode::from(2);
+        }
+    };
+    let trace = match TraceFile::parse(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("tracegrep: {}: {e}", args.trace);
+            return ExitCode::from(2);
+        }
+    };
+    // Write through a fallible handle: a closed pipe (`tracegrep … |
+    // head`) must end the program quietly, not panic mid-report.
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    if writeln!(
+        out,
+        "{}: {} events (seed {}, {} nodes)",
+        args.trace,
+        trace.events.len(),
+        trace.header.u64_field("seed").unwrap_or(0),
+        trace.header.u64_field("nodes").unwrap_or(0)
+    )
+    .is_err()
+    {
+        return ExitCode::SUCCESS;
+    }
+    for q in &args.queries {
+        let report = match q {
+            Query::Explain { flow, seq } => forensics::explain_packet(&trace, *flow, *seq),
+            Query::RouteLifetimes { dst } => forensics::route_lifetimes(&trace, *dst),
+            Query::Drops => forensics::drops_report(&trace),
+            Query::Loops => forensics::loops_check(&trace),
+        };
+        if write!(out, "{report}").is_err() {
+            return ExitCode::SUCCESS;
+        }
+    }
+    ExitCode::SUCCESS
+}

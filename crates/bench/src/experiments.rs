@@ -19,6 +19,9 @@ pub struct Args {
     pub pauses: Option<Vec<u64>>,
     /// Run the loop auditor during every run.
     pub audit: bool,
+    /// Export telemetry (JSONL trace + time series) for one
+    /// representative trial per experiment cell into this directory.
+    pub telemetry_dir: Option<String>,
 }
 
 impl Args {
@@ -48,10 +51,14 @@ impl Args {
                             .collect(),
                     );
                 }
+                "--telemetry-dir" => {
+                    args.telemetry_dir =
+                        Some(it.next().expect("--telemetry-dir needs a directory"));
+                }
                 other => {
                     eprintln!(
                         "unknown flag {other}; supported: --quick --full --audit \
-                         --trials N --duration SECS --pauses a,b,c"
+                         --trials N --duration SECS --pauses a,b,c --telemetry-dir DIR"
                     );
                     std::process::exit(2);
                 }
@@ -229,6 +236,26 @@ pub fn fault_table(args: &Args) {
                 s.node_restarts,
                 s.loop_violations,
             );
+            // One representative trial (the first seed, same fault
+            // plan) re-run with the telemetry layer for forensics.
+            if let Some(dir) = &args.telemetry_dir {
+                let seed = sc.seed_base;
+                let plan = crate::runner::trial_fault_plan(&sc, seed, level);
+                let prefix = format!("fault-l{level}-{}", proto.name().to_lowercase());
+                match crate::telemetry_export::export_run(
+                    proto,
+                    &sc,
+                    seed,
+                    Some(plan),
+                    std::path::Path::new(dir),
+                    &prefix,
+                ) {
+                    Ok((_, paths)) => {
+                        eprintln!("  [faultbench] telemetry → {}", paths.trace.display());
+                    }
+                    Err(e) => eprintln!("  [faultbench] telemetry export failed: {e}"),
+                }
+            }
         }
         eprintln!("  [faultbench] level {level} done");
     }

@@ -10,13 +10,16 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod forensics;
 pub mod perf;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod telemetry_export;
 
 pub use report::Summary;
 pub use runner::{
-    build_world, run_fault_trials, run_once, run_once_faulted, run_trials, trial_fault_plan,
+    build_world, build_world_telemetry, run_fault_trials, run_once, run_once_faulted, run_trials,
+    trial_fault_plan,
 };
 pub use scenario::{Protocol, Scenario, SimFlavor};

@@ -27,9 +27,6 @@ pub struct Summary {
     pub rreq_tx: Accumulator,
     /// Total routing-loop audit violations across trials.
     pub loop_violations: u64,
-    /// Total routing-decision trace events emitted across trials
-    /// (0 unless a sink or the invariant auditor was attached).
-    pub trace_events: u64,
     /// Total every-mutation invariant checks performed across trials.
     pub invariant_checks: u64,
     /// Total invariant breaches (fd regressions + loops) found across
@@ -55,7 +52,6 @@ impl Summary {
             mean_seqno: Accumulator::new(),
             rreq_tx: Accumulator::new(),
             loop_violations: 0,
-            trace_events: 0,
             invariant_checks: 0,
             invariant_breaches: 0,
             faults_injected: 0,
@@ -74,7 +70,6 @@ impl Summary {
         self.mean_seqno.push(m.mean_own_seqno);
         self.rreq_tx.push(m.rreq_tx() as f64);
         self.loop_violations += m.loop_violations;
-        self.trace_events += m.trace_events;
         self.invariant_checks += m.invariant_checks;
         self.invariant_breaches += m.invariant_breaches;
         self.faults_injected += m.faults_injected;
@@ -101,7 +96,6 @@ impl Summary {
         fold(&mut self.mean_seqno, &other.mean_seqno);
         fold(&mut self.rreq_tx, &other.rreq_tx);
         self.loop_violations += other.loop_violations;
-        self.trace_events += other.trace_events;
         self.invariant_checks += other.invariant_checks;
         self.invariant_breaches += other.invariant_breaches;
         self.faults_injected += other.faults_injected;
@@ -204,19 +198,16 @@ mod tests {
     #[test]
     fn audit_counters_accumulate_and_merge() {
         let mut m = metrics(10, 10);
-        m.trace_events = 7;
         m.invariant_checks = 5;
         m.invariant_breaches = 1;
         let mut a = Summary::new("X");
         a.add(&m);
         a.add(&m);
-        assert_eq!(a.trace_events, 14);
         assert_eq!(a.invariant_checks, 10);
         assert_eq!(a.invariant_breaches, 2);
         let mut b = Summary::new("X");
         b.add(&m);
         a.merge(&b);
-        assert_eq!(a.trace_events, 21);
         assert_eq!(a.invariant_checks, 15);
         assert_eq!(a.invariant_breaches, 3);
     }

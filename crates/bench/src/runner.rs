@@ -8,6 +8,7 @@ use manet_sim::faults::{FaultIntensity, FaultPlan};
 use manet_sim::metrics::Metrics;
 use manet_sim::mobility::RandomWaypoint;
 use manet_sim::rng::SimRng;
+use manet_sim::telemetry::TelemetryConfig;
 use manet_sim::time::SimDuration;
 use manet_sim::traffic::TrafficConfig;
 use manet_sim::world::World;
@@ -39,6 +40,21 @@ pub fn build_world(
     seed: u64,
     plan: Option<FaultPlan>,
 ) -> World {
+    build_world_telemetry(protocol, scenario, seed, plan, None)
+}
+
+/// Like [`build_world`], with the observation-pure telemetry layer
+/// (flight recorder + time-series sampler) configured. Attaching a
+/// trace sink is the caller's job ([`World::set_trace`]).
+///
+/// [`World::set_trace`]: manet_sim::world::World::set_trace
+pub fn build_world_telemetry(
+    protocol: Protocol,
+    scenario: &Scenario,
+    seed: u64,
+    plan: Option<FaultPlan>,
+    telemetry: Option<TelemetryConfig>,
+) -> World {
     let cfg = SimConfig {
         phy: scenario.flavor.phy(),
         duration: SimDuration::from_secs(scenario.duration_secs),
@@ -48,6 +64,7 @@ pub fn build_world(
         invariant_audit: false,
         fault_plan: plan,
         spatial_grid: scenario.spatial_grid,
+        telemetry,
     };
     let mobility = RandomWaypoint::new(
         scenario.n_nodes,
@@ -267,6 +284,5 @@ mod tests {
         assert_eq!(threaded.net_load.mean(), sequential.net_load.mean());
         assert_eq!(threaded.rreq_tx.mean(), sequential.rreq_tx.mean());
         assert_eq!(threaded.loop_violations, sequential.loop_violations);
-        assert_eq!(threaded.trace_events, sequential.trace_events);
     }
 }

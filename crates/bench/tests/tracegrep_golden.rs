@@ -1,0 +1,55 @@
+//! Pins the tracegrep forensics output against a hand-authored trace
+//! fixture. The fixture is written in the exact wire format the
+//! exporter produces (`manet_sim::telemetry::event_to_jsonl`), so this
+//! doubles as a reader/writer compatibility check: if the schema
+//! drifts, bump `version` and regenerate both fixtures.
+
+use ldr_bench::forensics::{self, TraceFile};
+
+const FIXTURE: &str = include_str!("fixtures/tracegrep_trace.jsonl");
+const EXPLAIN_GOLDEN: &str = include_str!("fixtures/tracegrep_explain.golden.txt");
+
+fn fixture() -> TraceFile {
+    TraceFile::parse(FIXTURE).expect("fixture must parse")
+}
+
+#[test]
+fn explain_packet_matches_golden_byte_for_byte() {
+    let trace = fixture();
+    assert_eq!(forensics::explain_packet(&trace, 0, 0), EXPLAIN_GOLDEN);
+}
+
+#[test]
+fn fixture_header_carries_schema_and_version() {
+    let trace = fixture();
+    assert_eq!(trace.header.str_field("schema"), Some("manet-trace"));
+    assert_eq!(trace.header.u64_field("version"), Some(1));
+    assert_eq!(trace.header.u64_field("seed"), Some(7));
+    assert_eq!(trace.header.u64_field("nodes"), Some(5));
+    assert_eq!(trace.events.len(), 12);
+}
+
+#[test]
+fn dropped_packet_gets_a_dropped_verdict() {
+    let report = forensics::explain_packet(&fixture(), 0, 1);
+    assert!(report.contains("verdict: DROPPED at node 1 (0.005100s, reason no_route)"), "{report}");
+}
+
+#[test]
+fn unknown_packet_reports_no_events() {
+    let report = forensics::explain_packet(&fixture(), 9, 9);
+    assert_eq!(report, "packet flow=9 seq=9: no events in trace\n");
+}
+
+#[test]
+fn fixture_route_stream_is_loop_free() {
+    let report = forensics::loops_check(&fixture());
+    assert!(report.contains("3 route mutations replayed, 0 loop(s) found"), "{report}");
+}
+
+#[test]
+fn drops_report_counts_the_single_no_route_drop() {
+    let report = forensics::drops_report(&fixture());
+    assert!(report.starts_with("drops: 1 total"), "{report}");
+    assert!(report.contains("no_route"), "{report}");
+}

@@ -27,7 +27,9 @@ use crate::messages::{Rerr, RerrEntry, Rrep, Rreq};
 use crate::route_table::{AdvertOutcome, RouteEntry, RouteTable};
 use crate::seqno::SeqNo;
 use manet_sim::packet::{ControlKind, ControlPacket, DataPacket, NodeId, Packet, PacketBody};
-use manet_sim::protocol::{Ctx, DropReason, ProtoCounter, RouteDump, RoutingProtocol};
+use manet_sim::protocol::{
+    Ctx, DropReason, ProtoCounter, RouteDump, RouteTelemetry, RoutingProtocol,
+};
 use manet_sim::time::{SimDuration, SimTime};
 use manet_sim::trace::{InvalidateCause, InvariantSnapshot, RouteVerdict, TraceEvent};
 use std::collections::{HashMap, VecDeque};
@@ -931,6 +933,20 @@ impl RoutingProtocol for Ldr {
         Some(
             f64::from(self.own_seqno.epoch - 1) * 2f64.powi(32) + f64::from(self.own_seqno.counter),
         )
+    }
+
+    fn telemetry_snapshot(&self) -> RouteTelemetry {
+        // Counted directly off the table — the sampler calls this every
+        // interval on every node, so skip the `route_table_dump`
+        // allocation and sort.
+        let (mut entries, mut valid) = (0, 0);
+        for (_, e) in self.routes.iter() {
+            entries += 1;
+            if e.is_active(self.clock) {
+                valid += 1;
+            }
+        }
+        RouteTelemetry { entries, valid }
     }
 }
 

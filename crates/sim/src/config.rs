@@ -1,6 +1,7 @@
 //! Simulator configuration.
 
 use crate::faults::FaultPlan;
+use crate::telemetry::TelemetryConfig;
 use crate::time::SimDuration;
 
 /// Physical- and link-layer parameters (an IEEE 802.11-DCF-style radio,
@@ -139,6 +140,12 @@ pub struct SimConfig {
     /// mobility model cannot promise a finite speed bound
     /// ([`crate::mobility::MobilityModel::max_speed_mps`]).
     pub spatial_grid: bool,
+    /// Observability layer ([`crate::telemetry`]): flight recorder and
+    /// time-series sampler. `None` runs with telemetry fully off.
+    /// Telemetry is observation-pure — enabling it may not change one
+    /// observable bit of the run (metrics and trace are byte-identical
+    /// either way; enforced by test).
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for SimConfig {
@@ -152,6 +159,7 @@ impl Default for SimConfig {
             invariant_audit: false,
             fault_plan: None,
             spatial_grid: true,
+            telemetry: None,
         }
     }
 }

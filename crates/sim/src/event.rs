@@ -82,6 +82,57 @@ pub enum Event {
     },
     /// Periodic audit hook (loop checking, sampling).
     Audit,
+    /// Periodic time-series telemetry sample
+    /// (see [`crate::telemetry`]). The handler only snapshots kernel
+    /// state and schedules its own successor — it draws no randomness
+    /// and mutates nothing observable, so attaching the sampler cannot
+    /// change a run's metrics or trace.
+    TelemetrySample,
+}
+
+impl Event {
+    /// Number of event kinds (for fixed-size per-kind counters).
+    pub const KIND_COUNT: usize = 14;
+
+    /// Stable wire names of the event kinds, indexed by
+    /// [`Event::kind_index`]. Order is the enum's declaration order;
+    /// appending a variant appends a name (telemetry schema stability).
+    pub const KIND_NAMES: [&'static str; Self::KIND_COUNT] = [
+        "mac_kick",
+        "tx_end",
+        "rx_end",
+        "rx_end_batch",
+        "ack_timeout",
+        "protocol_timer",
+        "flow_packet",
+        "flow_end",
+        "app_send",
+        "reboot",
+        "fault",
+        "fault_restart",
+        "audit",
+        "telemetry_sample",
+    ];
+
+    /// Index of this event's kind into [`Event::KIND_NAMES`].
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Event::MacKick(_) => 0,
+            Event::TxEnd { .. } => 1,
+            Event::RxEnd { .. } => 2,
+            Event::RxEndBatch { .. } => 3,
+            Event::AckTimeout { .. } => 4,
+            Event::ProtocolTimer { .. } => 5,
+            Event::FlowPacket { .. } => 6,
+            Event::FlowEnd { .. } => 7,
+            Event::AppSend { .. } => 8,
+            Event::Reboot { .. } => 9,
+            Event::Fault { .. } => 10,
+            Event::FaultRestart { .. } => 11,
+            Event::Audit => 12,
+            Event::TelemetrySample => 13,
+        }
+    }
 }
 
 /// FEL entry: ordered by time, then by insertion sequence (FIFO among

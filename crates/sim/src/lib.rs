@@ -28,7 +28,11 @@
 //! * a spatial neighbor index (uniform grid + epoch-cached positions)
 //!   that answers radio range queries without scanning all N nodes,
 //!   byte-identical to the linear scan ([`spatial`],
-//!   [`SimConfig::spatial_grid`](config::SimConfig::spatial_grid)).
+//!   [`SimConfig::spatial_grid`](config::SimConfig::spatial_grid));
+//! * an observation-pure telemetry layer — bounded per-node flight
+//!   recorder, sim-time time-series sampler, hand-rolled JSONL export —
+//!   that never changes a run's observable behaviour ([`telemetry`],
+//!   [`SimConfig::telemetry`](config::SimConfig::telemetry)).
 //!
 //! Routing protocols implement [`protocol::RoutingProtocol`] and plug
 //! into a [`world::World`].
@@ -77,6 +81,7 @@ pub mod rng;
 pub mod spatial;
 pub mod static_routing;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 pub mod traffic;

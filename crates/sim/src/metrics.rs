@@ -47,8 +47,6 @@ pub struct Metrics {
     pub collisions: u64,
     /// Routing-table loops observed by the auditor (0 required for LDR).
     pub loop_violations: u64,
-    /// Routing-decision trace events emitted by protocols.
-    pub trace_events: u64,
     /// Every-mutation invariant checks performed (0 unless
     /// `SimConfig::invariant_audit` is set).
     pub invariant_checks: u64,

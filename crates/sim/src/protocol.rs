@@ -28,6 +28,18 @@ pub enum DropReason {
     Other,
 }
 
+impl DropReason {
+    /// Every reason, in a fixed order — telemetry iterates this instead
+    /// of the metrics hash maps so exported field order is stable.
+    pub const ALL: [DropReason; 5] = [
+        DropReason::NoRoute,
+        DropReason::TtlExpired,
+        DropReason::BufferOverflow,
+        DropReason::BrokenSourceRoute,
+        DropReason::Other,
+    ];
+}
+
 /// Protocol-level statistics the simulator cannot infer from packets.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ProtoCounter {
@@ -249,6 +261,16 @@ pub struct RouteDump {
     pub valid: bool,
 }
 
+/// Aggregate route-table occupancy, sampled by the telemetry layer
+/// ([`crate::telemetry`]) at every `TelemetrySample` kernel event.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RouteTelemetry {
+    /// Route-table entries held (valid or not); for DSR, cached paths.
+    pub entries: u64,
+    /// Entries currently usable for forwarding.
+    pub valid: u64,
+}
+
 /// A per-node routing protocol instance.
 ///
 /// Implementations must be deterministic given the callback sequence and
@@ -304,6 +326,18 @@ pub trait RoutingProtocol: Send {
     /// protocol has one (Fig. 7 metric).
     fn own_seqno_value(&self) -> Option<f64> {
         None
+    }
+
+    /// Route-table occupancy for the time-series sampler. Must be
+    /// read-only and cheap; the default derives it from
+    /// [`RoutingProtocol::route_table_dump`], which is correct but
+    /// allocates — protocols override it with a direct count.
+    fn telemetry_snapshot(&self) -> RouteTelemetry {
+        let dump = self.route_table_dump();
+        RouteTelemetry {
+            entries: dump.len() as u64,
+            valid: dump.iter().filter(|r| r.valid).count() as u64,
+        }
     }
 }
 

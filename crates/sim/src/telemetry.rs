@@ -1,0 +1,711 @@
+//! Observability: flight recorder, time-series sampler and JSONL export.
+//!
+//! Three pieces, all strictly *observation-pure* — attaching or
+//! detaching any of them may not change one observable bit of the
+//! simulation (enforced by the metrics-equality and byte-determinism
+//! tests in `crates/bench/tests/`):
+//!
+//! * a bounded **[`FlightRecorder`]**: per-node ring buffers of the
+//!   last N [`TraceEvent`]s, stamped with a global sequence number, fed
+//!   from the kernel's single emission point. When the every-mutation
+//!   invariant auditor captures its first breach, the recorder's merged
+//!   dump is attached to the [`crate::audit::ForensicReport`], so
+//!   failures always come with context;
+//! * a **time-series sampler** driven by the kernel's
+//!   [`crate::event::Event::TelemetrySample`] event (sim-time only —
+//!   wall clocks are banned in this crate by `cargo xtask check`):
+//!   each [`SeriesSample`] snapshots rolling delivery ratio,
+//!   per-[`ControlKind`] transmission rates, per-protocol route-table
+//!   occupancy ([`crate::protocol::RoutingProtocol::telemetry_snapshot`]),
+//!   drop-reason counters, FEL depth and per-event-kind kernel counts;
+//! * a hand-rolled **JSONL** layer (no serde — the build is offline):
+//!   schema-versioned trace and series files with a fixed field order,
+//!   byte-identical across reruns of the same `(scenario, seed)`.
+//!   [`JsonlTrace`] is a [`TraceSink`]; [`series_to_jsonl`] renders the
+//!   sampler output. `crates/bench`'s `tracegrep` binary consumes both.
+
+use crate::event::Event;
+use crate::packet::{ControlKind, NodeId};
+use crate::protocol::DropReason;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{
+    FaultKind, InvalidateCause, InvariantSnapshot, RouteVerdict, TraceEvent, TraceSink,
+};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::{Arc, Mutex};
+
+/// Schema identifier of the per-event trace file.
+pub const TRACE_SCHEMA: &str = "manet-trace";
+/// Schema identifier of the time-series file.
+pub const SERIES_SCHEMA: &str = "manet-series";
+/// Version stamped into both file headers; bump on any field change.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Telemetry knobs, carried by [`crate::config::SimConfig::telemetry`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Per-node flight-recorder ring capacity (events). `0` disables
+    /// the recorder.
+    pub flight_recorder_depth: usize,
+    /// Sampling interval of the time-series sampler. `None` disables
+    /// sampling.
+    pub sample_interval: Option<SimDuration>,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig {
+            flight_recorder_depth: 64,
+            sample_interval: Some(SimDuration::from_secs(1)),
+        }
+    }
+}
+
+/// One entry of a flight-recorder ring: a trace event with its global
+/// emission sequence number (total order across all nodes).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlightEntry {
+    /// Global emission sequence number (0-based, gap-free at emission;
+    /// rings evict oldest-first, so retained entries show gaps).
+    pub seq: u64,
+    /// Simulated time of the event.
+    pub at: SimTime,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// Bounded per-node rings of recent trace events.
+///
+/// Sized `nodes × depth`; recording is O(1). The merged [`dump`]
+/// interleaves all rings back into global emission order by sequence
+/// number.
+///
+/// [`dump`]: FlightRecorder::dump
+#[derive(Debug)]
+pub struct FlightRecorder {
+    depth: usize,
+    next_seq: u64,
+    rings: Vec<VecDeque<FlightEntry>>,
+}
+
+impl FlightRecorder {
+    /// A recorder with one `depth`-deep ring per node.
+    pub fn new(n_nodes: usize, depth: usize) -> Self {
+        FlightRecorder { depth, next_seq: 0, rings: vec![VecDeque::new(); n_nodes] }
+    }
+
+    /// Records one event into the ring of the node it happened at.
+    pub fn record(&mut self, at: SimTime, event: &TraceEvent) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.depth == 0 {
+            return;
+        }
+        let idx = event.node().index();
+        let Some(ring) = self.rings.get_mut(idx) else { return };
+        if ring.len() == self.depth {
+            ring.pop_front();
+        }
+        ring.push_back(FlightEntry { seq, at, event: event.clone() });
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The retained tail of one node's ring, oldest first.
+    pub fn node_tail(&self, node: NodeId) -> Vec<FlightEntry> {
+        self.rings.get(node.index()).map(|r| r.iter().cloned().collect()).unwrap_or_default()
+    }
+
+    /// All retained entries across all nodes, merged back into global
+    /// emission order (ascending sequence number).
+    pub fn dump(&self) -> Vec<FlightEntry> {
+        let mut all: Vec<FlightEntry> = self.rings.iter().flat_map(|r| r.iter().cloned()).collect();
+        all.sort_by_key(|e| e.seq);
+        all
+    }
+}
+
+/// Cumulative-counter baseline the sampler diffs against to turn
+/// monotone totals into per-interval rates.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SampleBaseline {
+    /// Packets delivered as of the previous sample.
+    pub delivered: u64,
+    /// Packets originated as of the previous sample.
+    pub originated: u64,
+    /// Hop-wise control transmissions per kind ([`ControlKind::ALL`]
+    /// order) as of the previous sample.
+    pub control_tx: [u64; ControlKind::ALL.len()],
+}
+
+/// One time-series sample, taken at a `TelemetrySample` kernel event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesSample {
+    /// Simulated time of the sample.
+    pub at: SimTime,
+    /// Cumulative packets delivered.
+    pub delivered: u64,
+    /// Cumulative packets originated.
+    pub originated: u64,
+    /// Packets delivered during the last interval.
+    pub delivered_w: u64,
+    /// Packets originated during the last interval.
+    pub originated_w: u64,
+    /// Control transmissions during the last interval, per kind in
+    /// [`ControlKind::ALL`] order.
+    pub control_tx_w: [u64; ControlKind::ALL.len()],
+    /// Cumulative routing-layer drops per reason in
+    /// [`DropReason::ALL`] order.
+    pub drops: [u64; DropReason::ALL.len()],
+    /// Route-table entries summed over all nodes.
+    pub route_entries: u64,
+    /// Currently usable routes summed over all nodes.
+    pub route_valid: u64,
+    /// Future-event-list depth at sample time.
+    pub fel_depth: u64,
+    /// Cumulative kernel events dispatched, per kind in
+    /// [`Event::KIND_NAMES`] order.
+    pub events_by_kind: [u64; Event::KIND_COUNT],
+}
+
+impl SeriesSample {
+    /// Cumulative delivery ratio (0 when nothing originated yet).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.originated == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.originated as f64
+        }
+    }
+
+    /// Delivery ratio of the last interval alone.
+    pub fn delivery_ratio_w(&self) -> f64 {
+        if self.originated_w == 0 {
+            0.0
+        } else {
+            self.delivered_w as f64 / self.originated_w as f64
+        }
+    }
+}
+
+// ----- JSONL encoding ---------------------------------------------------
+
+/// Appends `s` JSON-escaped (quotes, backslashes, control characters).
+fn esc_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// JSON-escapes a string (without surrounding quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    esc_into(&mut out, s);
+    out
+}
+
+fn push_opt_u64(out: &mut String, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            let _ = write!(out, "{v}");
+        }
+        None => out.push_str("null"),
+    }
+}
+
+fn push_snapshot(out: &mut String, s: &InvariantSnapshot) {
+    out.push_str("{\"sn\":");
+    push_opt_u64(out, s.sn);
+    let _ = write!(out, ",\"d\":{},\"fd\":{}}}", s.d, s.fd);
+}
+
+fn push_opt_snapshot(out: &mut String, s: &Option<InvariantSnapshot>) {
+    match s {
+        Some(s) => push_snapshot(out, s),
+        None => out.push_str("null"),
+    }
+}
+
+/// Stable wire name of a control kind.
+pub fn control_kind_name(k: ControlKind) -> &'static str {
+    match k {
+        ControlKind::Rreq => "rreq",
+        ControlKind::Rrep => "rrep",
+        ControlKind::Rerr => "rerr",
+        ControlKind::Hello => "hello",
+        ControlKind::Tc => "tc",
+        ControlKind::Other => "other",
+    }
+}
+
+/// Stable wire name of a drop reason.
+pub fn drop_reason_name(r: DropReason) -> &'static str {
+    match r {
+        DropReason::NoRoute => "no_route",
+        DropReason::TtlExpired => "ttl_expired",
+        DropReason::BufferOverflow => "buffer_overflow",
+        DropReason::BrokenSourceRoute => "broken_source_route",
+        DropReason::Other => "other",
+    }
+}
+
+fn verdict_name(v: RouteVerdict) -> &'static str {
+    match v {
+        RouteVerdict::Installed => "installed",
+        RouteVerdict::Refreshed => "refreshed",
+        RouteVerdict::NotBetter => "not_better",
+        RouteVerdict::Infeasible => "infeasible",
+    }
+}
+
+fn cause_name(c: InvalidateCause) -> &'static str {
+    match c {
+        InvalidateCause::LinkFailure => "link_failure",
+        InvalidateCause::RouteError => "route_error",
+        InvalidateCause::RequestAsError => "request_as_error",
+        InvalidateCause::SeqnoAdopted => "seqno_adopted",
+    }
+}
+
+fn fault_kind_name(k: FaultKind) -> &'static str {
+    match k {
+        FaultKind::Crash => "crash",
+        FaultKind::LinkDown => "link_down",
+        FaultKind::LinkUp => "link_up",
+        FaultKind::Partition => "partition",
+        FaultKind::Heal => "heal",
+        FaultKind::Impair => "impair",
+        FaultKind::Replay => "replay",
+    }
+}
+
+/// The trace file's header line (first line of the file).
+pub fn trace_header(seed: u64, nodes: usize) -> String {
+    format!(
+        "{{\"schema\":\"{TRACE_SCHEMA}\",\"version\":{SCHEMA_VERSION},\"seed\":{seed},\"nodes\":{nodes}}}"
+    )
+}
+
+/// Renders one trace event as a single JSONL line (no trailing
+/// newline). Field order is fixed per event type: `i` (record index),
+/// `t_ns`, `type`, then the variant's own fields in declaration order.
+pub fn event_to_jsonl(i: u64, t: SimTime, e: &TraceEvent) -> String {
+    let mut out = String::with_capacity(96);
+    let _ = write!(out, "{{\"i\":{i},\"t_ns\":{},\"type\":\"", t.as_nanos());
+    match e {
+        TraceEvent::TxStart { node, uid, dst } => {
+            let _ = write!(out, "tx_start\",\"node\":{},\"uid\":", node.0);
+            push_opt_u64(&mut out, *uid);
+            out.push_str(",\"dst\":");
+            push_opt_u64(&mut out, dst.map(|d| u64::from(d.0)));
+        }
+        TraceEvent::RxOk { node, uid } => {
+            let _ = write!(out, "rx_ok\",\"node\":{},\"uid\":", node.0);
+            push_opt_u64(&mut out, *uid);
+        }
+        TraceEvent::RxCollision { node } => {
+            let _ = write!(out, "rx_collision\",\"node\":{}", node.0);
+        }
+        TraceEvent::MacGiveUp { node, dst, uid } => {
+            let _ =
+                write!(out, "mac_give_up\",\"node\":{},\"dst\":{},\"uid\":{}", node.0, dst.0, uid);
+        }
+        TraceEvent::Delivered { node, flow, seq } => {
+            let _ = write!(out, "delivered\",\"node\":{},\"flow\":{flow},\"seq\":{seq}", node.0);
+        }
+        TraceEvent::DataSend { node, next, dst, flow, seq } => {
+            let _ = write!(
+                out,
+                "data_send\",\"node\":{},\"next\":{},\"dst\":{},\"flow\":{flow},\"seq\":{seq}",
+                node.0, next.0, dst.0
+            );
+        }
+        TraceEvent::DataDrop { node, flow, seq, reason } => {
+            let _ = write!(
+                out,
+                "data_drop\",\"node\":{},\"flow\":{flow},\"seq\":{seq},\"reason\":\"{}\"",
+                node.0,
+                drop_reason_name(*reason)
+            );
+        }
+        TraceEvent::RouteInstall { node, dest, next, before, after } => {
+            let _ = write!(
+                out,
+                "route_install\",\"node\":{},\"dest\":{},\"next\":{},\"before\":",
+                node.0, dest.0, next.0
+            );
+            push_opt_snapshot(&mut out, before);
+            out.push_str(",\"after\":");
+            push_snapshot(&mut out, after);
+        }
+        TraceEvent::RouteInvalidate { node, dest, seqno, cause } => {
+            let _ =
+                write!(out, "route_invalidate\",\"node\":{},\"dest\":{},\"sn\":", node.0, dest.0);
+            push_opt_u64(&mut out, *seqno);
+            let _ = write!(out, ",\"cause\":\"{}\"", cause_name(*cause));
+        }
+        TraceEvent::SeqnoReset { node, old, new } => {
+            let _ = write!(out, "seqno_reset\",\"node\":{},\"old\":{old},\"new\":{new}", node.0);
+        }
+        TraceEvent::AdvertConsidered {
+            node,
+            dest,
+            from,
+            adv_sn,
+            adv_d,
+            before,
+            after,
+            verdict,
+        } => {
+            let _ = write!(
+                out,
+                "advert_considered\",\"node\":{},\"dest\":{},\"from\":{},\"adv_sn\":{adv_sn},\"adv_d\":{adv_d},\"before\":",
+                node.0, dest.0, from.0
+            );
+            push_opt_snapshot(&mut out, before);
+            out.push_str(",\"after\":");
+            push_opt_snapshot(&mut out, after);
+            let _ = write!(out, ",\"verdict\":\"{}\"", verdict_name(*verdict));
+        }
+        TraceEvent::SolicitVerdict { node, dest, t_bit, allowed } => {
+            let _ = write!(
+                out,
+                "solicit_verdict\",\"node\":{},\"dest\":{},\"t_bit\":{t_bit},\"allowed\":{allowed}",
+                node.0, dest.0
+            );
+        }
+        TraceEvent::RreqStart { node, dest, rreqid, ttl } => {
+            let _ = write!(
+                out,
+                "rreq_start\",\"node\":{},\"dest\":{},\"rreqid\":{rreqid},\"ttl\":{ttl}",
+                node.0, dest.0
+            );
+        }
+        TraceEvent::RreqRelay { node, dest, origin } => {
+            let _ = write!(
+                out,
+                "rreq_relay\",\"node\":{},\"dest\":{},\"origin\":{}",
+                node.0, dest.0, origin.0
+            );
+        }
+        TraceEvent::RrepSend { node, dest, to, dist } => {
+            let _ = write!(
+                out,
+                "rrep_send\",\"node\":{},\"dest\":{},\"to\":{},\"dist\":{dist}",
+                node.0, dest.0, to.0
+            );
+        }
+        TraceEvent::RerrSend { node, dests } => {
+            let _ = write!(out, "rerr_send\",\"node\":{},\"dests\":[", node.0);
+            for (k, d) in dests.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}", d.0);
+            }
+            out.push(']');
+        }
+        TraceEvent::FaultInjected { node, kind } => {
+            let _ = write!(
+                out,
+                "fault_injected\",\"node\":{},\"kind\":\"{}\"",
+                node.0,
+                fault_kind_name(*kind)
+            );
+        }
+        TraceEvent::NodeRestarted { node } => {
+            let _ = write!(out, "node_restarted\",\"node\":{}", node.0);
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// The series file's header line.
+pub fn series_header(seed: u64, interval: SimDuration) -> String {
+    format!(
+        "{{\"schema\":\"{SERIES_SCHEMA}\",\"version\":{SCHEMA_VERSION},\"seed\":{seed},\"interval_ns\":{}}}",
+        interval.as_nanos()
+    )
+}
+
+/// Renders one sample as a single JSONL line (no trailing newline),
+/// with a fixed field order.
+pub fn sample_to_jsonl(i: u64, s: &SeriesSample) -> String {
+    let mut out = String::with_capacity(256);
+    let _ = write!(
+        out,
+        "{{\"i\":{i},\"t_ns\":{},\"delivery_ratio\":{},\"delivery_ratio_w\":{},\"delivered\":{},\"originated\":{},\"delivered_w\":{},\"originated_w\":{}",
+        s.at.as_nanos(),
+        s.delivery_ratio(),
+        s.delivery_ratio_w(),
+        s.delivered,
+        s.originated,
+        s.delivered_w,
+        s.originated_w
+    );
+    for (k, kind) in ControlKind::ALL.iter().enumerate() {
+        let _ = write!(out, ",\"ctl_{}_w\":{}", control_kind_name(*kind), s.control_tx_w[k]);
+    }
+    for (k, reason) in DropReason::ALL.iter().enumerate() {
+        let _ = write!(out, ",\"drop_{}\":{}", drop_reason_name(*reason), s.drops[k]);
+    }
+    let _ = write!(
+        out,
+        ",\"route_entries\":{},\"route_valid\":{},\"fel_depth\":{}",
+        s.route_entries, s.route_valid, s.fel_depth
+    );
+    for (k, name) in Event::KIND_NAMES.iter().enumerate() {
+        let _ = write!(out, ",\"ev_{name}\":{}", s.events_by_kind[k]);
+    }
+    out.push('}');
+    out
+}
+
+/// Renders a whole sampler series as a JSONL document (header line plus
+/// one line per sample, each newline-terminated).
+pub fn series_to_jsonl(seed: u64, interval: SimDuration, samples: &[SeriesSample]) -> String {
+    let mut out = series_header(seed, interval);
+    out.push('\n');
+    for (i, s) in samples.iter().enumerate() {
+        out.push_str(&sample_to_jsonl(i as u64, s));
+        out.push('\n');
+    }
+    out
+}
+
+/// A [`TraceSink`] that renders every event straight into an in-memory
+/// JSONL document (header line first). Share it with the world via
+/// [`JsonlTrace::shared`], then write [`JsonlTrace::contents`] to disk.
+#[derive(Debug)]
+pub struct JsonlTrace {
+    doc: String,
+    next: u64,
+}
+
+impl JsonlTrace {
+    /// An empty document with its header line already written.
+    pub fn new(seed: u64, nodes: usize) -> Self {
+        let mut doc = trace_header(seed, nodes);
+        doc.push('\n');
+        JsonlTrace { doc, next: 0 }
+    }
+
+    /// A shareable handle usable both as the world's sink and for
+    /// retrieving the document afterwards.
+    pub fn shared(seed: u64, nodes: usize) -> Arc<Mutex<JsonlTrace>> {
+        Arc::new(Mutex::new(JsonlTrace::new(seed, nodes)))
+    }
+
+    /// The JSONL document rendered so far.
+    pub fn contents(&self) -> &str {
+        &self.doc
+    }
+
+    /// Number of event lines written (excluding the header).
+    pub fn lines(&self) -> u64 {
+        self.next
+    }
+}
+
+impl TraceSink for JsonlTrace {
+    fn record(&mut self, t: SimTime, event: TraceEvent) {
+        let i = self.next;
+        self.next += 1;
+        self.doc.push_str(&event_to_jsonl(i, t, &event));
+        self.doc.push('\n');
+    }
+}
+
+impl TraceSink for Arc<Mutex<JsonlTrace>> {
+    fn record(&mut self, t: SimTime, event: TraceEvent) {
+        // A poisoned lock means a panic elsewhere already ended the
+        // run; silently dropping the event beats a panic-in-panic.
+        if let Ok(mut w) = self.lock() {
+            w.record(t, event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn every_variant() -> Vec<TraceEvent> {
+        let snap = InvariantSnapshot { sn: Some(7), d: 2, fd: 2 };
+        vec![
+            TraceEvent::TxStart { node: NodeId(1), uid: Some(9), dst: None },
+            TraceEvent::RxOk { node: NodeId(2), uid: None },
+            TraceEvent::RxCollision { node: NodeId(3) },
+            TraceEvent::MacGiveUp { node: NodeId(1), dst: NodeId(2), uid: 4 },
+            TraceEvent::Delivered { node: NodeId(2), flow: 5, seq: 6 },
+            TraceEvent::DataSend {
+                node: NodeId(0),
+                next: NodeId(1),
+                dst: NodeId(2),
+                flow: 5,
+                seq: 6,
+            },
+            TraceEvent::DataDrop { node: NodeId(1), flow: 5, seq: 7, reason: DropReason::NoRoute },
+            TraceEvent::RouteInstall {
+                node: NodeId(0),
+                dest: NodeId(2),
+                next: NodeId(1),
+                before: None,
+                after: snap,
+            },
+            TraceEvent::RouteInvalidate {
+                node: NodeId(0),
+                dest: NodeId(2),
+                seqno: Some(7),
+                cause: InvalidateCause::LinkFailure,
+            },
+            TraceEvent::SeqnoReset { node: NodeId(0), old: 1, new: 2 },
+            TraceEvent::AdvertConsidered {
+                node: NodeId(0),
+                dest: NodeId(2),
+                from: NodeId(1),
+                adv_sn: 7,
+                adv_d: 3,
+                before: Some(snap),
+                after: Some(snap),
+                verdict: RouteVerdict::NotBetter,
+            },
+            TraceEvent::SolicitVerdict {
+                node: NodeId(1),
+                dest: NodeId(2),
+                t_bit: true,
+                allowed: false,
+            },
+            TraceEvent::RreqStart { node: NodeId(0), dest: NodeId(2), rreqid: 1, ttl: 3 },
+            TraceEvent::RreqRelay { node: NodeId(1), dest: NodeId(2), origin: NodeId(0) },
+            TraceEvent::RrepSend { node: NodeId(2), dest: NodeId(2), to: NodeId(1), dist: 0 },
+            TraceEvent::RerrSend { node: NodeId(1), dests: vec![NodeId(2), NodeId(3)] },
+            TraceEvent::FaultInjected { node: NodeId(1), kind: FaultKind::Crash },
+            TraceEvent::NodeRestarted { node: NodeId(1) },
+        ]
+    }
+
+    #[test]
+    fn every_trace_variant_encodes_to_one_wellformed_line() {
+        for (i, e) in every_variant().iter().enumerate() {
+            let line = event_to_jsonl(i as u64, SimTime::from_millis(i as u64), e);
+            assert!(line.starts_with(&format!("{{\"i\":{i},")), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+            assert!(!line.contains('\n'), "one line per event: {line}");
+            assert!(line.contains("\"type\":\""), "{line}");
+            // Balanced braces and brackets (no string in our encoding
+            // contains either, so raw counting is sound).
+            let open = line.matches('{').count();
+            let close = line.matches('}').count();
+            assert_eq!(open, close, "{line}");
+            assert_eq!(line.matches('[').count(), line.matches(']').count(), "{line}");
+        }
+    }
+
+    #[test]
+    fn escape_covers_quotes_backslashes_and_controls() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b"), "a\\\"b");
+        assert_eq!(json_escape("a\\b"), "a\\\\b");
+        assert_eq!(json_escape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn trace_and_series_headers_are_schema_versioned() {
+        let h = trace_header(42, 50);
+        assert_eq!(h, "{\"schema\":\"manet-trace\",\"version\":1,\"seed\":42,\"nodes\":50}");
+        let s = series_header(42, SimDuration::from_secs(1));
+        assert_eq!(
+            s,
+            "{\"schema\":\"manet-series\",\"version\":1,\"seed\":42,\"interval_ns\":1000000000}"
+        );
+    }
+
+    #[test]
+    fn flight_recorder_rings_are_bounded_and_merge_in_seq_order() {
+        let mut fr = FlightRecorder::new(2, 3);
+        for k in 0..5u64 {
+            fr.record(SimTime::from_millis(k), &TraceEvent::RxCollision { node: NodeId(0) });
+            fr.record(
+                SimTime::from_millis(k),
+                &TraceEvent::Delivered { node: NodeId(1), flow: 0, seq: k as u32 },
+            );
+        }
+        assert_eq!(fr.recorded(), 10);
+        assert_eq!(fr.node_tail(NodeId(0)).len(), 3, "ring bounded at depth");
+        assert_eq!(fr.node_tail(NodeId(1)).len(), 3);
+        let dump = fr.dump();
+        assert_eq!(dump.len(), 6);
+        assert!(dump.windows(2).all(|w| w[0].seq < w[1].seq), "global order restored");
+        // The oldest retained entries are the last 3 rounds.
+        assert_eq!(dump[0].seq, 4);
+    }
+
+    #[test]
+    fn zero_depth_recorder_retains_nothing_but_still_counts() {
+        let mut fr = FlightRecorder::new(1, 0);
+        fr.record(SimTime::ZERO, &TraceEvent::RxCollision { node: NodeId(0) });
+        assert_eq!(fr.recorded(), 1);
+        assert!(fr.dump().is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_renders_header_then_events() {
+        let shared = JsonlTrace::shared(7, 3);
+        let mut sink: Box<dyn TraceSink> = Box::new(shared.clone());
+        sink.record(SimTime::from_secs(1), TraceEvent::RxCollision { node: NodeId(0) });
+        sink.record(
+            SimTime::from_secs(2),
+            TraceEvent::Delivered { node: NodeId(1), flow: 0, seq: 0 },
+        );
+        let doc = shared.lock().map(|t| t.contents().to_string()).unwrap_or_default();
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"schema\":\"manet-trace\""));
+        assert!(lines[1].contains("\"type\":\"rx_collision\""));
+        assert!(lines[2].contains("\"type\":\"delivered\""));
+    }
+
+    #[test]
+    fn sample_line_has_fixed_field_order() {
+        let s = SeriesSample {
+            at: SimTime::from_secs(1),
+            delivered: 4,
+            originated: 8,
+            delivered_w: 2,
+            originated_w: 4,
+            control_tx_w: [1, 2, 3, 4, 5, 6],
+            drops: [1, 0, 0, 0, 2],
+            route_entries: 9,
+            route_valid: 7,
+            fel_depth: 33,
+            events_by_kind: [0; Event::KIND_COUNT],
+        };
+        let line = sample_to_jsonl(0, &s);
+        assert!(line.starts_with("{\"i\":0,\"t_ns\":1000000000,\"delivery_ratio\":0.5,"));
+        assert!(line.contains("\"ctl_rreq_w\":1"));
+        assert!(line.contains("\"drop_no_route\":1"));
+        assert!(line.contains("\"drop_other\":2"));
+        assert!(line.contains("\"route_entries\":9,\"route_valid\":7,\"fel_depth\":33"));
+        assert!(line.contains("\"ev_mac_kick\":0"));
+        let idx_ratio = line.find("delivery_ratio").unwrap();
+        let idx_fel = line.find("fel_depth").unwrap();
+        assert!(idx_ratio < idx_fel, "fixed field order");
+    }
+}

@@ -4,7 +4,10 @@
 //! receives one event per interesting occurrence on two layers:
 //!
 //! * **link layer** — transmissions, clean receptions, collision
-//!   losses, MAC give-ups and application deliveries;
+//!   losses, MAC give-ups, per-hop data forwarding and drops
+//!   ([`TraceEvent::DataSend`], [`TraceEvent::DataDrop`] — emitted by
+//!   the kernel itself, so they cover every protocol) and application
+//!   deliveries;
 //! * **routing layer** — route-table mutations ([`RouteInstall`],
 //!   [`RouteInvalidate`], [`SeqnoReset`]), per-advertisement
 //!   feasibility verdicts with the full `(sn, d, fd)` invariant triple
@@ -29,6 +32,7 @@
 //! [`RerrSend`]: TraceEvent::RerrSend
 
 use crate::packet::NodeId;
+use crate::protocol::DropReason;
 use crate::time::SimTime;
 use std::sync::{Arc, Mutex};
 
@@ -116,6 +120,37 @@ pub enum TraceEvent {
         flow: u32,
         /// Sequence within the flow.
         seq: u32,
+    },
+    /// A node handed a data packet to its MAC for one forwarding hop
+    /// (origination or relay). Emitted by the kernel for every
+    /// protocol, so per-packet lifecycles (`tracegrep
+    /// --explain-packet`) cover DSR/OLSR too, which never touch
+    /// `Ctx::trace` on the data path.
+    DataSend {
+        /// Forwarding node.
+        node: NodeId,
+        /// Chosen next hop.
+        next: NodeId,
+        /// Final destination of the packet.
+        dst: NodeId,
+        /// Flow id.
+        flow: u32,
+        /// Sequence within the flow.
+        seq: u32,
+    },
+    /// The routing layer dropped a data packet (kernel-emitted, like
+    /// [`DataSend`]).
+    ///
+    /// [`DataSend`]: TraceEvent::DataSend
+    DataDrop {
+        /// Dropping node.
+        node: NodeId,
+        /// Flow id.
+        flow: u32,
+        /// Sequence within the flow.
+        seq: u32,
+        /// Why the packet was dropped.
+        reason: DropReason,
     },
     /// A route was installed or its successor replaced.
     RouteInstall {
@@ -270,6 +305,8 @@ impl TraceEvent {
             | TraceEvent::RxCollision { node }
             | TraceEvent::MacGiveUp { node, .. }
             | TraceEvent::Delivered { node, .. }
+            | TraceEvent::DataSend { node, .. }
+            | TraceEvent::DataDrop { node, .. }
             | TraceEvent::RouteInstall { node, .. }
             | TraceEvent::RouteInvalidate { node, .. }
             | TraceEvent::SeqnoReset { node, .. }

@@ -14,10 +14,11 @@ use crate::loopcheck::{find_loops, LoopViolation};
 use crate::mac::{Mac, MacState, OutFrame, RetryVerdict};
 use crate::metrics::Metrics;
 use crate::mobility::MobilityModel;
-use crate::packet::{DataPacket, NodeId, Packet, PacketBody, DEFAULT_DATA_TTL};
-use crate::protocol::{Action, Ctx, RoutingProtocol};
+use crate::packet::{ControlKind, DataPacket, NodeId, Packet, PacketBody, DEFAULT_DATA_TTL};
+use crate::protocol::{Action, Ctx, DropReason, RoutingProtocol};
 use crate::rng::SimRng;
 use crate::spatial::NeighborGrid;
+use crate::telemetry::{FlightEntry, FlightRecorder, SampleBaseline, SeriesSample};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{FaultKind, TraceEvent, TraceSink};
 use crate::traffic::{FlowState, TrafficConfig};
@@ -167,6 +168,24 @@ pub struct World {
     /// of [`Metrics`] — the fast path elides provably no-op events, so
     /// this count may differ between byte-identical runs).
     events_executed: u64,
+    /// Events executed so far, by kind ([`Event::KIND_NAMES`] order) —
+    /// snapshotted into every telemetry sample. Like
+    /// `events_executed`, not part of [`Metrics`].
+    dispatch_counts: [u64; Event::KIND_COUNT],
+    /// Routing-decision trace events emitted by protocols. A *World*
+    /// field, deliberately not part of [`Metrics`]: protocols only
+    /// emit when a sink, auditor or flight recorder is attached, so a
+    /// metrics-resident count would break the rule that attaching
+    /// telemetry changes nothing observable.
+    trace_events: u64,
+    /// Bounded per-node rings of recent trace events
+    /// ([`SimConfig::telemetry`]); dumped into the forensic report at
+    /// the first invariant breach.
+    recorder: Option<FlightRecorder>,
+    /// Time-series samples taken at `TelemetrySample` events.
+    series: Vec<SeriesSample>,
+    /// Cumulative-counter baseline of the previous sample.
+    sample_base: SampleBaseline,
     /// Reusable buffer for [`World::in_range_into`] answers on the hot
     /// `propagate` path (taken and returned with `mem::take`).
     range_scratch: Vec<(NodeId, f64)>,
@@ -216,6 +235,11 @@ impl World {
             })
             .collect();
         let auditor = cfg.invariant_audit.then(InvariantAuditor::new);
+        let recorder = cfg
+            .telemetry
+            .as_ref()
+            .filter(|t| t.flight_recorder_depth > 0)
+            .map(|t| FlightRecorder::new(n, t.flight_recorder_depth));
         let last_control = vec![None; n];
         // The spatial index needs a finite speed bound to size its
         // query slack; models that promise none fall back to the
@@ -247,6 +271,11 @@ impl World {
             last_control,
             grid,
             events_executed: 0,
+            dispatch_counts: [0; Event::KIND_COUNT],
+            trace_events: 0,
+            recorder,
+            series: Vec::new(),
+            sample_base: SampleBaseline::default(),
             range_scratch: Vec::new(),
             rx_batches: VecDeque::new(),
             rx_batch_base: 0,
@@ -255,6 +284,13 @@ impl World {
         };
         if let Some(interval) = world.cfg.audit_interval {
             world.fel.schedule(SimTime::ZERO + interval, Event::Audit);
+        }
+        // The sampler's events consume FEL sequence numbers, but seq
+        // allocation is monotone, so the relative order of all *other*
+        // events is unchanged — sampling cannot perturb the run (its
+        // handler draws no randomness and schedules only its successor).
+        if let Some(interval) = world.cfg.telemetry.as_ref().and_then(|t| t.sample_interval) {
+            world.fel.schedule(SimTime::ZERO + interval, Event::TelemetrySample);
         }
         if let Some(plan) = world.cfg.fault_plan.clone() {
             for (i, (at, _)) in plan.entries().iter().enumerate() {
@@ -336,6 +372,9 @@ impl World {
     }
 
     fn emit(&mut self, event: TraceEvent) {
+        if let Some(r) = self.recorder.as_mut() {
+            r.record(self.now, &event);
+        }
         if let Some(a) = self.auditor.as_mut() {
             a.observe(self.now, &event);
         }
@@ -430,6 +469,32 @@ impl World {
         self.events_executed
     }
 
+    /// Routing-decision trace events emitted by protocols so far.
+    /// Intentionally not part of [`Metrics`]: protocols emit only when
+    /// a sink, auditor or flight recorder is attached.
+    pub fn trace_events(&self) -> u64 {
+        self.trace_events
+    }
+
+    /// The flight recorder's merged dump (all nodes' retained rings in
+    /// global emission order); empty when no recorder is configured.
+    pub fn flight_dump(&self) -> Vec<FlightEntry> {
+        self.recorder.as_ref().map(|r| r.dump()).unwrap_or_default()
+    }
+
+    /// Time-series samples collected so far (one per elapsed
+    /// [`crate::telemetry::TelemetryConfig::sample_interval`]).
+    /// Retrieve after [`World::run_until`]; the consuming
+    /// [`World::run`] drops the world.
+    pub fn telemetry_series(&self) -> &[SeriesSample] {
+        &self.series
+    }
+
+    /// The configured sampling interval, if the sampler is on.
+    pub fn sample_interval(&self) -> Option<SimDuration> {
+        self.cfg.telemetry.as_ref().and_then(|t| t.sample_interval)
+    }
+
     /// Runs the loop auditor immediately; records and returns any
     /// violations.
     pub fn audit_now(&mut self) -> Vec<LoopViolation> {
@@ -462,6 +527,7 @@ impl World {
             debug_assert!(t >= self.now, "event from the past");
             self.now = t;
             self.events_executed += 1;
+            self.dispatch_counts[event.kind_index()] += 1;
             self.dispatch(event);
         }
         self.now = until;
@@ -546,7 +612,63 @@ impl World {
                     }
                 }
             }
+            Event::TelemetrySample => {
+                self.take_sample();
+                if let Some(interval) = self.cfg.telemetry.as_ref().and_then(|t| t.sample_interval)
+                {
+                    let next = self.now + interval;
+                    if next <= SimTime::ZERO + self.cfg.duration {
+                        self.fel.schedule(next, Event::TelemetrySample);
+                    }
+                }
+            }
         }
+    }
+
+    /// Snapshots one time-series sample. Strictly read-only with
+    /// respect to simulation state: it touches metrics, route tables
+    /// and queue depths, draws no randomness and mutates only the
+    /// telemetry side (series, baseline).
+    fn take_sample(&mut self) {
+        let m = &self.metrics;
+        let delivered = m.data_delivered;
+        let originated = m.data_originated;
+        let mut control_tx = [0u64; ControlKind::ALL.len()];
+        for (i, k) in ControlKind::ALL.iter().enumerate() {
+            control_tx[i] = m.control_tx.get(k).copied().unwrap_or(0);
+        }
+        let mut drops = [0u64; DropReason::ALL.len()];
+        for (i, r) in DropReason::ALL.iter().enumerate() {
+            drops[i] = m.drops.get(r).copied().unwrap_or(0);
+        }
+        let mut route_entries = 0u64;
+        let mut route_valid = 0u64;
+        for s in &self.nodes {
+            let t = s.protocol.telemetry_snapshot();
+            route_entries += t.entries;
+            route_valid += t.valid;
+        }
+        let base = self.sample_base;
+        let mut control_tx_w = [0u64; ControlKind::ALL.len()];
+        for (w, (cur, prev)) in
+            control_tx_w.iter_mut().zip(control_tx.iter().zip(base.control_tx.iter()))
+        {
+            *w = cur.saturating_sub(*prev);
+        }
+        self.sample_base = SampleBaseline { delivered, originated, control_tx };
+        self.series.push(SeriesSample {
+            at: self.now,
+            delivered,
+            originated,
+            delivered_w: delivered.saturating_sub(base.delivered),
+            originated_w: originated.saturating_sub(base.originated),
+            control_tx_w,
+            drops,
+            route_entries,
+            route_valid,
+            fel_depth: self.fel.len() as u64,
+            events_by_kind: self.dispatch_counts,
+        });
     }
 
     // ----- fault injection ------------------------------------------------
@@ -749,7 +871,7 @@ impl World {
         }
         let n = self.nodes.len();
         let now = self.now;
-        let trace_on = self.trace.is_some() || self.auditor.is_some();
+        let trace_on = self.trace.is_some() || self.auditor.is_some() || self.recorder.is_some();
         let mut actions = Vec::new();
         {
             let slot = &mut self.nodes[node.index()];
@@ -776,10 +898,21 @@ impl World {
             self.nodes.iter().map(|s| s.protocol.route_table_dump()).collect();
         let successors: Vec<Vec<(NodeId, NodeId)>> =
             self.nodes.iter().map(|s| s.protocol.route_successors()).collect();
+        let had_report = self.auditor.as_ref().is_some_and(|a| a.report().is_some());
         let Some(aud) = self.auditor.as_mut() else { return };
         let new = aud.check(self.now, self.cfg.seed, &dumps, &successors);
         self.metrics.invariant_checks += 1;
         self.metrics.invariant_breaches += new;
+        // First breach of the run: attach the flight recorder's dump to
+        // the forensic report, so the failure ships with per-node
+        // context beyond the auditor's own trace ring.
+        if !had_report && new > 0 {
+            if let Some(flight) = self.recorder.as_ref().map(|r| r.dump()) {
+                if let Some(aud) = self.auditor.as_mut() {
+                    aud.attach_flight(flight);
+                }
+            }
+        }
     }
 
     fn apply_actions(&mut self, node: NodeId, actions: Vec<Action>) {
@@ -798,6 +931,13 @@ impl World {
                     self.enqueue_frame(node, Some(next), PacketBody::Control(ctrl), notify_failure);
                 }
                 Action::SendData { next, data } => {
+                    self.emit(TraceEvent::DataSend {
+                        node,
+                        next,
+                        dst: data.dst,
+                        flow: data.flow,
+                        seq: data.seq,
+                    });
                     self.enqueue_frame(node, Some(next), PacketBody::Data(data), true);
                 }
                 Action::Deliver { data } => {
@@ -805,8 +945,14 @@ impl World {
                     self.metrics.record_delivery(data.flow, data.seq, latency);
                     self.emit(TraceEvent::Delivered { node, flow: data.flow, seq: data.seq });
                 }
-                Action::DropData { data: _, reason } => {
+                Action::DropData { data, reason } => {
                     self.metrics.record_drop(reason);
+                    self.emit(TraceEvent::DataDrop {
+                        node,
+                        flow: data.flow,
+                        seq: data.seq,
+                        reason,
+                    });
                 }
                 Action::SetTimer { delay, token } => {
                     self.fel.schedule(self.now + delay, Event::ProtocolTimer { node, token });
@@ -815,7 +961,7 @@ impl World {
                     self.metrics.record_proto(which, amount);
                 }
                 Action::Trace(event) => {
-                    self.metrics.trace_events += 1;
+                    self.trace_events += 1;
                     self.emit(event);
                 }
             }
@@ -1271,6 +1417,7 @@ mod tests {
     use crate::mobility::StaticMobility;
     use crate::protocol::DropReason;
     use crate::static_routing::StaticRouting;
+    use crate::telemetry::TelemetryConfig;
 
     fn small_world(n: usize, spacing: f64, seed: u64) -> World {
         let mobility = StaticMobility::line(n, spacing);
@@ -1283,6 +1430,7 @@ mod tests {
             invariant_audit: false,
             fault_plan: None,
             spatial_grid: true,
+            telemetry: None,
         };
         let topo = StaticRouting::tables_for_line(n);
         World::new(cfg, Box::new(mobility), move |id, _| {
@@ -1712,5 +1860,87 @@ mod tests {
         w.schedule_app_packet(SimTime::from_secs(1), NodeId(0), NodeId(3), 512);
         let m = w.run();
         assert_eq!(m.loop_violations, 0);
+    }
+
+    fn telemetry_world(n: usize, seed: u64, telemetry: Option<TelemetryConfig>) -> World {
+        let mobility = StaticMobility::line(n, 150.0);
+        let cfg = SimConfig {
+            duration: SimDuration::from_secs(10),
+            seed,
+            telemetry,
+            ..SimConfig::default()
+        };
+        let topo = StaticRouting::tables_for_line(n);
+        let mut w = World::new(cfg, Box::new(mobility), move |id, _| {
+            Box::new(StaticRouting::new(id, topo.clone()))
+        });
+        w.with_cbr(crate::traffic::TrafficConfig::paper(2));
+        w
+    }
+
+    #[test]
+    fn telemetry_is_observation_pure() {
+        // Attaching the flight recorder and the sampler must not change
+        // one bit of the run's metrics.
+        let plain = {
+            let mut w = telemetry_world(4, 21, None);
+            w.run_until(SimTime::from_secs(10));
+            w.finalize();
+            w.metrics().clone()
+        };
+        let telemetered = {
+            let mut w = telemetry_world(4, 21, Some(TelemetryConfig::default()));
+            w.run_until(SimTime::from_secs(10));
+            w.finalize();
+            assert!(!w.telemetry_series().is_empty(), "sampler took no samples");
+            assert!(!w.flight_dump().is_empty(), "flight recorder stayed empty");
+            w.metrics().clone()
+        };
+        assert_eq!(plain, telemetered, "telemetry changed observable behaviour");
+    }
+
+    #[test]
+    fn sampler_fires_on_the_configured_cadence() {
+        let interval = SimDuration::from_millis(2500);
+        let mut w = telemetry_world(
+            4,
+            3,
+            Some(TelemetryConfig { flight_recorder_depth: 8, sample_interval: Some(interval) }),
+        );
+        w.run_until(SimTime::from_secs(10));
+        w.finalize();
+        let series = w.telemetry_series();
+        // 10 s at 2.5 s: samples at 2.5, 5, 7.5, 10.
+        assert_eq!(series.len(), 4, "{series:?}");
+        for (i, s) in series.iter().enumerate() {
+            assert_eq!(s.at, SimTime::ZERO + SimDuration::from_millis(2500 * (i as u64 + 1)));
+            assert!(s.delivered >= s.delivered_w);
+        }
+        let last = series.last().expect("non-empty");
+        assert!(last.originated > 0, "CBR traffic should have originated packets");
+        assert!(
+            last.events_by_kind.iter().sum::<u64>() > 0,
+            "kernel dispatch counts should be snapshotted"
+        );
+        assert_eq!(w.sample_interval(), Some(interval));
+    }
+
+    #[test]
+    fn flight_recorder_keeps_a_bounded_global_tail() {
+        let mut w = telemetry_world(
+            4,
+            9,
+            Some(TelemetryConfig { flight_recorder_depth: 4, sample_interval: None }),
+        );
+        w.run_until(SimTime::from_secs(10));
+        w.finalize();
+        let dump = w.flight_dump();
+        assert!(!dump.is_empty());
+        assert!(dump.len() <= 4 * 4, "per-node rings must bound the dump");
+        assert!(dump.windows(2).all(|p| p[0].seq < p[1].seq), "dump must be seq-ordered");
+        // Static routing emits no routing-decision events; the recorder
+        // filled from kernel link-layer events alone.
+        assert_eq!(w.trace_events(), 0);
+        assert!(dump.iter().all(|e| !e.event.is_routing()));
     }
 }

@@ -15,13 +15,16 @@
 //!   `seqno`, `next_hop`, `valid`, `expires`) may be assigned only
 //!   inside `crates/core/src/route_table.rs`, whose audited setters
 //!   enforce fd-monotonicity; everywhere else the table is read-only.
-//! * **fault-determinism** — `crates/sim/src/faults.rs` and
-//!   `crates/sim/src/spatial.rs` additionally ban `HashMap`/`HashSet`:
-//!   fault plans must replay byte-identically from `(plan, seed)`, and
-//!   the spatial index must answer range queries bit-identically to
-//!   the linear scan — in both, hash-map iteration order would leak
-//!   process-level randomness into observable behavior. Use `BTree`
-//!   collections or index-ordered `Vec`s there instead.
+//! * **fault-determinism** — `crates/sim/src/faults.rs`,
+//!   `crates/sim/src/spatial.rs` and `crates/sim/src/telemetry.rs`
+//!   additionally ban `HashMap`/`HashSet`: fault plans must replay
+//!   byte-identically from `(plan, seed)`, the spatial index must
+//!   answer range queries bit-identically to the linear scan, and an
+//!   exported telemetry document must be byte-identical across reruns
+//!   of the same `(scenario, seed)` — in all three, hash-map iteration
+//!   order would leak process-level randomness into observable
+//!   behavior. Use `BTree` collections or index-ordered `Vec`s there
+//!   instead.
 //!
 //! The scanner strips comments and string/char literals first (so
 //! documentation may mention the forbidden names) and skips
@@ -116,6 +119,7 @@ fn check_repo(root: &Path) -> Vec<Violation> {
             scan_substrings(&ctx, &rel, "determinism", NONDET_PATTERNS, &mut out);
             if rel.ends_with("crates/sim/src/faults.rs")
                 || rel.ends_with("crates/sim/src/spatial.rs")
+                || rel.ends_with("crates/sim/src/telemetry.rs")
             {
                 scan_substrings(&ctx, &rel, "fault-determinism", FAULT_ORDER_PATTERNS, &mut out);
             }
@@ -550,11 +554,13 @@ fn f(e: &mut E) {
     }
 
     #[test]
-    fn fault_lint_scopes_to_the_faults_and_spatial_modules_only() {
+    fn fault_lint_scopes_to_the_deterministic_replay_modules_only() {
         // The in-tree simulator uses HashMap freely elsewhere (e.g.
         // metrics counters); the determinism ban must bind only to
-        // faults.rs and spatial.rs. Guard the scoping, not just the
-        // pattern list.
+        // faults.rs, spatial.rs and telemetry.rs. Guard the scoping,
+        // not just the pattern list. This also proves the real
+        // telemetry module is HashMap/HashSet-free, since check_repo
+        // scans it here.
         let root = workspace_root();
         let metrics = root.join("crates/sim/src/metrics.rs");
         let src = fs::read_to_string(metrics).expect("metrics.rs readable");
@@ -577,6 +583,25 @@ fn f(e: &mut E) {
         scan_substrings(
             &c,
             Path::new("crates/sim/src/spatial.rs"),
+            "fault-determinism",
+            FAULT_ORDER_PATTERNS,
+            &mut v,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn fault_lint_covers_the_telemetry_exporter() {
+        // telemetry.rs promises byte-identical JSONL across reruns of
+        // the same (scenario, seed); an unordered map in the sampler
+        // or the exporter would silently break that.
+        let src = "fn f() { let s: std::collections::HashSet<u8> = Default::default(); }\n";
+        let c = ctx(src);
+        let mut v = Vec::new();
+        scan_substrings(
+            &c,
+            Path::new("crates/sim/src/telemetry.rs"),
             "fault-determinism",
             FAULT_ORDER_PATTERNS,
             &mut v,
