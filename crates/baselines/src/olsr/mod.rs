@@ -564,16 +564,14 @@ impl RoutingProtocol for Olsr {
     ) {
         self.clock = ctx.now();
         match ctrl.kind {
-            ControlKind::Hello => {
-                if let Some(h) = Hello::decode(&ctrl.bytes) {
-                    self.handle_hello(ctx, prev_hop, h);
-                }
-            }
-            ControlKind::Tc => {
-                if let Some(t) = Tc::decode(&ctrl.bytes) {
-                    self.handle_tc(ctx, prev_hop, t);
-                }
-            }
+            ControlKind::Hello => match Hello::decode(&ctrl.bytes) {
+                Some(h) => self.handle_hello(ctx, prev_hop, h),
+                None => ctx.drop_malformed(ControlKind::Hello),
+            },
+            ControlKind::Tc => match Tc::decode(&ctrl.bytes) {
+                Some(t) => self.handle_tc(ctx, prev_hop, t),
+                None => ctx.drop_malformed(ControlKind::Tc),
+            },
             _ => {}
         }
     }

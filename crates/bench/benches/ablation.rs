@@ -20,6 +20,7 @@ fn scenario(seed: u64) -> Scenario {
         flavor: SimFlavor::Default,
         audit: false,
         spatial_grid: true,
+        workers: 1,
     }
 }
 

@@ -21,6 +21,7 @@ fn scaled_scenario(seed: u64) -> Scenario {
         flavor: SimFlavor::Default,
         audit: false,
         spatial_grid: true,
+        workers: 1,
     }
 }
 

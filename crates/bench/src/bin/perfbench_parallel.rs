@@ -1,0 +1,84 @@
+//! Wall-clock benchmark: the deterministic parallel event kernel vs
+//! the sequential kernel on the paper-scale scenarios (plus a wide
+//! sparse variant), all four protocols, fixed seeds. Writes
+//! machine-readable `BENCH_5.json` and a human table.
+//!
+//! ```text
+//! cargo run --release -p ldr-bench --bin perfbench_parallel            # full
+//! cargo run --release -p ldr-bench --bin perfbench_parallel -- --smoke # CI
+//! ```
+//!
+//! `--smoke` shortens the simulated time, runs one trial per cell and
+//! benchmarks only 2 workers so CI finishes quickly; the full run
+//! benchmarks 2, 4 and 8 workers. Exits non-zero if any parallel
+//! trial's metrics diverge from its sequential twin (that would
+//! falsify the byte-identity contract). Speedup is *recorded*, not
+//! gated: the report carries `host_cores`, and on a single-core host
+//! the honest numbers show overhead, not speedup.
+
+use ldr_bench::perf_parallel::{parallel_cases, run_parallel_perfbench};
+
+fn main() {
+    let mut smoke = false;
+    let mut out = "BENCH_5.json".to_string();
+    let mut table = "results/perfbench-parallel.txt".to_string();
+    let mut trials: Option<u32> = None;
+    let mut duration: Option<u64> = None;
+    let mut workers: Option<Vec<usize>> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = it.next().expect("--out needs a path"),
+            "--table" => table = it.next().expect("--table needs a path"),
+            "--trials" => {
+                trials = Some(it.next().expect("--trials needs a value").parse().expect("integer"))
+            }
+            "--duration" => {
+                duration =
+                    Some(it.next().expect("--duration needs a value").parse().expect("seconds"))
+            }
+            "--workers" => {
+                let list = it.next().expect("--workers needs a comma-separated list");
+                workers = Some(
+                    list.split(',').map(|w| w.trim().parse().expect("worker count")).collect(),
+                );
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other}; supported: --smoke --out PATH --table PATH \
+                     --trials N --duration SECS --workers LIST"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let (mode, default_duration, default_trials, default_workers): (_, _, _, &[usize]) =
+        if smoke { ("smoke", 60, 1, &[2]) } else { ("full", 900, 3, &[2, 4, 8]) };
+    let cases =
+        parallel_cases(duration.unwrap_or(default_duration), trials.unwrap_or(default_trials));
+    let worker_counts = workers.unwrap_or_else(|| default_workers.to_vec());
+    let report = run_parallel_perfbench(&cases, &worker_counts, mode);
+
+    std::fs::write(&out, report.to_json()).expect("write BENCH json");
+    let rendered = report.to_table();
+    if let Some(dir) = std::path::Path::new(&table).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&table, &rendered).expect("write perfbench-parallel table");
+    print!("{rendered}");
+    println!("\nwrote {out} and {table}");
+    println!(
+        "host cores: {}, max speedup across cells: {:.2}x, parallel windows: {}",
+        report.host_cores,
+        report.max_speedup(),
+        report.total_parallel_windows()
+    );
+    if report.any_mismatch() {
+        eprintln!("FATAL: parallel metrics diverged from sequential — byte-identity broken");
+        std::process::exit(1);
+    }
+    if report.total_parallel_windows() == 0 {
+        eprintln!("warning: the parallel path never engaged on any cell");
+    }
+}

@@ -12,6 +12,7 @@
 pub mod experiments;
 pub mod forensics;
 pub mod perf;
+pub mod perf_parallel;
 pub mod report;
 pub mod runner;
 pub mod scenario;

@@ -1,0 +1,440 @@
+//! Wall-clock benchmark for the deterministic parallel event kernel
+//! ("perfbench-parallel"): times the paper-scale scenarios — plus a
+//! wide sparse variant where the spatial partitioner actually finds
+//! disjoint components — at several worker counts against the
+//! sequential kernel, on identical fixed seeds.
+//!
+//! Because parallel runs are byte-identical to sequential runs, each
+//! cell measures exactly one thing — how fast the same answer is
+//! computed — and the benchmark enforces that premise by comparing
+//! every parallel trial's [`Metrics`] with `==` against its sequential
+//! twin (a mismatch is a fatal determinism bug, not a perf artefact).
+//!
+//! Results go to a machine-readable `BENCH_5.json` (schema documented
+//! in `DESIGN.md` §14) and a human-readable table
+//! (`results/perfbench-parallel.txt`). The report records
+//! `host_cores` ([`std::thread::available_parallelism`]) because the
+//! speedups are only meaningful relative to it: on a single-core host
+//! every worker count can only add overhead, and the honest numbers
+//! say so.
+
+use crate::perf::run_timed;
+use crate::scenario::{Protocol, Scenario};
+use std::fmt::Write as _;
+
+/// One `(scenario, protocol, workers)` cell: trials at that worker
+/// count, with the identity cross-check against the sequential twin.
+#[derive(Clone, Debug)]
+pub struct WorkerCell {
+    /// Worker threads the kernel was configured with (≥ 2).
+    pub workers: usize,
+    /// Per-trial wall-clock seconds.
+    pub wall_s: Vec<f64>,
+    /// Per-trial windows the kernel fanned out.
+    pub parallel_windows: Vec<u64>,
+    /// Whether every trial's metrics equalled its sequential twin.
+    pub metrics_identical: bool,
+}
+
+impl WorkerCell {
+    /// Mean wall-clock seconds per trial.
+    pub fn mean_s(&self) -> f64 {
+        mean(&self.wall_s)
+    }
+}
+
+/// One protocol's row: the sequential baseline plus one cell per
+/// worker count.
+#[derive(Clone, Debug)]
+pub struct ParallelRow {
+    /// Protocol display name.
+    pub protocol: String,
+    /// Per-trial sequential (workers = 1) wall-clock seconds.
+    pub seq_wall_s: Vec<f64>,
+    /// Kernel events per sequential trial (identical in every cell —
+    /// the differential tests enforce it; recorded once).
+    pub seq_events: Vec<u64>,
+    /// One cell per benchmarked worker count.
+    pub cells: Vec<WorkerCell>,
+}
+
+impl ParallelRow {
+    /// Mean sequential wall-clock seconds per trial.
+    pub fn seq_mean_s(&self) -> f64 {
+        mean(&self.seq_wall_s)
+    }
+    /// Sequential over parallel wall-clock at `workers` (higher =
+    /// parallel faster), if that cell was benchmarked.
+    pub fn speedup_at(&self, workers: usize) -> Option<f64> {
+        let cell = self.cells.iter().find(|c| c.workers == workers)?;
+        let p = cell.mean_s();
+        Some(if p > 0.0 { self.seq_mean_s() / p } else { f64::INFINITY })
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// One benchmark scenario's results across protocols.
+#[derive(Clone, Debug)]
+pub struct ParallelScenarioReport {
+    /// Short scenario label (e.g. `n100-f30-p0`).
+    pub name: String,
+    /// The scenario timed.
+    pub scenario: Scenario,
+    /// One row per protocol.
+    pub rows: Vec<ParallelRow>,
+}
+
+/// The full perfbench-parallel report.
+#[derive(Clone, Debug)]
+pub struct ParallelPerfReport {
+    /// `"smoke"` or `"full"`.
+    pub mode: String,
+    /// CPU cores the host exposed to this process (the denominator any
+    /// speedup must be read against).
+    pub host_cores: usize,
+    /// Worker counts benchmarked.
+    pub worker_counts: Vec<usize>,
+    /// All scenario blocks.
+    pub scenarios: Vec<ParallelScenarioReport>,
+}
+
+/// The benchmark scenarios: the two paper-scale cases (dense — most
+/// windows collapse to one spatial component, so these measure the
+/// window driver's overhead honestly) and a wide sparse 100-node case
+/// whose clusters sit far enough apart for the partitioner to fan out.
+pub fn parallel_cases(duration_secs: u64, trials: u32) -> Vec<(String, Scenario)> {
+    let mut n50 = Scenario::n50(10, 0);
+    n50.duration_secs = duration_secs;
+    n50.trials = trials;
+    let mut n100 = Scenario::n100(30, 0);
+    n100.duration_secs = duration_secs;
+    n100.trials = trials;
+    let mut wide = Scenario::n100(30, 0);
+    wide.terrain = (9000.0, 600.0);
+    wide.duration_secs = duration_secs;
+    wide.trials = trials;
+    vec![
+        ("n50-f10-p0".to_string(), n50),
+        ("n100-f30-p0".to_string(), n100),
+        ("n100-wide-f30-p0".to_string(), wide),
+    ]
+}
+
+/// Times every `(scenario, protocol, worker-count)` cell against the
+/// sequential baseline on seeds `seed_base + k`. Prints one progress
+/// line per row to stderr.
+pub fn run_parallel_perfbench(
+    cases: &[(String, Scenario)],
+    worker_counts: &[usize],
+    mode: &str,
+) -> ParallelPerfReport {
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let mut scenarios = Vec::new();
+    for (name, scenario) in cases {
+        let mut rows = Vec::new();
+        for protocol in Protocol::PAPER_SET {
+            let mut row = ParallelRow {
+                protocol: protocol.name(),
+                seq_wall_s: Vec::new(),
+                seq_events: Vec::new(),
+                cells: worker_counts
+                    .iter()
+                    .map(|&w| WorkerCell {
+                        workers: w,
+                        wall_s: Vec::new(),
+                        parallel_windows: Vec::new(),
+                        metrics_identical: true,
+                    })
+                    .collect(),
+            };
+            for k in 0..scenario.trials {
+                let seed = scenario.seed_base + u64::from(k);
+                let mut seq_sc = scenario.clone();
+                seq_sc.workers = 1;
+                let s = run_timed(protocol, &seq_sc, seed);
+                row.seq_wall_s.push(s.wall_s);
+                row.seq_events.push(s.events);
+                for (ci, &w) in worker_counts.iter().enumerate() {
+                    let mut par_sc = scenario.clone();
+                    par_sc.workers = w;
+                    let p = run_timed(protocol, &par_sc, seed);
+                    row.cells[ci].metrics_identical &= p.metrics == s.metrics;
+                    row.cells[ci].wall_s.push(p.wall_s);
+                    row.cells[ci].parallel_windows.push(p.parallel_windows);
+                }
+            }
+            let cells: Vec<String> = row
+                .cells
+                .iter()
+                .map(|c| {
+                    format!(
+                        "w{} {:.3}s ({:.2}x, {} pw)",
+                        c.workers,
+                        c.mean_s(),
+                        row.speedup_at(c.workers).unwrap_or(f64::NAN),
+                        c.parallel_windows.iter().sum::<u64>(),
+                    )
+                })
+                .collect();
+            eprintln!(
+                "perfbench-parallel {name} {:<10} seq {:.3}s | {}",
+                row.protocol,
+                row.seq_mean_s(),
+                cells.join(" | "),
+            );
+            rows.push(row);
+        }
+        scenarios.push(ParallelScenarioReport {
+            name: name.clone(),
+            scenario: scenario.clone(),
+            rows,
+        });
+    }
+    ParallelPerfReport {
+        mode: mode.to_string(),
+        host_cores,
+        worker_counts: worker_counts.to_vec(),
+        scenarios,
+    }
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".to_string()
+    }
+}
+
+impl ParallelPerfReport {
+    /// Whether any parallel trial's metrics differed from its
+    /// sequential twin — the fatal condition.
+    pub fn any_mismatch(&self) -> bool {
+        self.scenarios
+            .iter()
+            .flat_map(|sc| sc.rows.iter())
+            .flat_map(|r| r.cells.iter())
+            .any(|c| !c.metrics_identical)
+    }
+
+    /// Total windows fanned out across every cell and trial (0 means
+    /// the parallel path never engaged anywhere — suspicious on the
+    /// wide scenario).
+    pub fn total_parallel_windows(&self) -> u64 {
+        self.scenarios
+            .iter()
+            .flat_map(|sc| sc.rows.iter())
+            .flat_map(|r| r.cells.iter())
+            .flat_map(|c| c.parallel_windows.iter())
+            .sum()
+    }
+
+    /// The best speedup over the sequential baseline across every
+    /// `(scenario, protocol, workers)` cell.
+    pub fn max_speedup(&self) -> f64 {
+        self.scenarios
+            .iter()
+            .flat_map(|sc| sc.rows.iter())
+            .flat_map(|r| r.cells.iter().map(|c| r.speedup_at(c.workers).unwrap_or(0.0)))
+            .fold(0.0, f64::max)
+    }
+
+    /// Renders the report as `BENCH_5.json` (hand-rolled, stable key
+    /// order; schema in `DESIGN.md` §14).
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str("  \"bench\": \"perfbench-parallel\",\n");
+        s.push_str("  \"schema\": 1,\n");
+        let _ = writeln!(s, "  \"mode\": \"{}\",", self.mode);
+        let _ = writeln!(s, "  \"host_cores\": {},", self.host_cores);
+        let _ = writeln!(
+            s,
+            "  \"worker_counts\": [{}],",
+            self.worker_counts.iter().map(|w| w.to_string()).collect::<Vec<_>>().join(", ")
+        );
+        s.push_str("  \"scenarios\": [\n");
+        for (i, sc) in self.scenarios.iter().enumerate() {
+            s.push_str("    {\n");
+            let _ = writeln!(s, "      \"name\": \"{}\",", sc.name);
+            let _ = writeln!(s, "      \"n_nodes\": {},", sc.scenario.n_nodes);
+            let _ = writeln!(
+                s,
+                "      \"terrain\": [{}, {}],",
+                json_f64(sc.scenario.terrain.0),
+                json_f64(sc.scenario.terrain.1)
+            );
+            let _ = writeln!(s, "      \"n_flows\": {},", sc.scenario.n_flows);
+            let _ = writeln!(s, "      \"duration_secs\": {},", sc.scenario.duration_secs);
+            let _ = writeln!(s, "      \"trials\": {},", sc.scenario.trials);
+            let _ = writeln!(s, "      \"seed_base\": {},", sc.scenario.seed_base);
+            s.push_str("      \"protocols\": [\n");
+            for (j, row) in sc.rows.iter().enumerate() {
+                s.push_str("        {\n");
+                let _ = writeln!(s, "          \"protocol\": \"{}\",", row.protocol);
+                let _ = writeln!(
+                    s,
+                    "          \"seq_wall_s\": [{}],",
+                    row.seq_wall_s.iter().map(|&x| json_f64(x)).collect::<Vec<_>>().join(", ")
+                );
+                let _ = writeln!(
+                    s,
+                    "          \"seq_events\": [{}],",
+                    row.seq_events.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(", ")
+                );
+                let _ =
+                    writeln!(s, "          \"seq_mean_wall_s\": {},", json_f64(row.seq_mean_s()));
+                s.push_str("          \"workers\": [\n");
+                for (ci, cell) in row.cells.iter().enumerate() {
+                    s.push_str("            {\n");
+                    let _ = writeln!(s, "              \"workers\": {},", cell.workers);
+                    let _ = writeln!(
+                        s,
+                        "              \"wall_s\": [{}],",
+                        cell.wall_s.iter().map(|&x| json_f64(x)).collect::<Vec<_>>().join(", ")
+                    );
+                    let _ = writeln!(
+                        s,
+                        "              \"parallel_windows\": [{}],",
+                        cell.parallel_windows
+                            .iter()
+                            .map(|e| e.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    let _ =
+                        writeln!(s, "              \"mean_wall_s\": {},", json_f64(cell.mean_s()));
+                    let _ = writeln!(
+                        s,
+                        "              \"speedup\": {},",
+                        json_f64(row.speedup_at(cell.workers).unwrap_or(f64::NAN))
+                    );
+                    let _ = writeln!(
+                        s,
+                        "              \"metrics_identical\": {}",
+                        cell.metrics_identical
+                    );
+                    s.push_str(if ci + 1 < row.cells.len() {
+                        "            },\n"
+                    } else {
+                        "            }\n"
+                    });
+                }
+                s.push_str("          ]\n");
+                s.push_str(if j + 1 < sc.rows.len() { "        },\n" } else { "        }\n" });
+            }
+            s.push_str("      ]\n");
+            s.push_str(if i + 1 < self.scenarios.len() { "    },\n" } else { "    }\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Renders the human-readable table
+    /// (`results/perfbench-parallel.txt`).
+    pub fn to_table(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "perfbench-parallel ({} mode): parallel kernel vs sequential, identical seeds \
+             ({} host core(s))",
+            self.mode, self.host_cores
+        );
+        for sc in &self.scenarios {
+            let _ = writeln!(
+                s,
+                "\n{} — {} nodes on {:.0}×{:.0} m, {} flows, {} s simulated, {} trial(s)",
+                sc.name,
+                sc.scenario.n_nodes,
+                sc.scenario.terrain.0,
+                sc.scenario.terrain.1,
+                sc.scenario.n_flows,
+                sc.scenario.duration_secs,
+                sc.scenario.trials
+            );
+            let mut header = format!("{:<12} {:>12}", "protocol", "seq s/trial");
+            for w in &self.worker_counts {
+                let _ = write!(
+                    header,
+                    " {:>11} {:>8} {:>8}",
+                    format!("w{w} s/trial"),
+                    "speedup",
+                    "par.win"
+                );
+            }
+            let _ = write!(header, " {:>10}", "identical");
+            let _ = writeln!(s, "{header}");
+            for row in &sc.rows {
+                let mut line = format!("{:<12} {:>12.3}", row.protocol, row.seq_mean_s());
+                for cell in &row.cells {
+                    let _ = write!(
+                        line,
+                        " {:>11.3} {:>7.2}x {:>8}",
+                        cell.mean_s(),
+                        row.speedup_at(cell.workers).unwrap_or(f64::NAN),
+                        cell.parallel_windows.iter().sum::<u64>(),
+                    );
+                }
+                let identical = row.cells.iter().all(|c| c.metrics_identical);
+                let _ = write!(line, " {:>10}", if identical { "yes" } else { "NO" });
+                let _ = writeln!(s, "{line}");
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cases() -> Vec<(String, Scenario)> {
+        let mut sc = Scenario::n50(3, 0);
+        sc.n_nodes = 12;
+        sc.terrain = (700.0, 300.0);
+        sc.duration_secs = 8;
+        sc.trials = 1;
+        vec![("tiny".to_string(), sc)]
+    }
+
+    #[test]
+    fn parallel_and_sequential_metrics_agree_and_report_renders() {
+        let report = run_parallel_perfbench(&tiny_cases(), &[2], "test");
+        assert!(!report.any_mismatch(), "parallel run diverged from sequential");
+        assert!(report.host_cores >= 1);
+        let json = report.to_json();
+        for key in [
+            "\"bench\": \"perfbench-parallel\"",
+            "\"schema\": 1",
+            "\"host_cores\"",
+            "\"parallel_windows\"",
+            "\"speedup\"",
+            "\"metrics_identical\": true",
+        ] {
+            assert!(json.contains(key), "missing {key} in:\n{json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "unbalanced JSON");
+        assert_eq!(json.matches('[').count(), json.matches(']').count(), "unbalanced JSON");
+        let table = report.to_table();
+        assert!(table.contains("LDR") && table.contains("speedup"), "table:\n{table}");
+    }
+
+    #[test]
+    fn parallel_cases_cover_paper_and_wide_topologies() {
+        let cases = parallel_cases(900, 3);
+        assert_eq!(cases.len(), 3);
+        assert_eq!(cases[0].1.n_nodes, 50);
+        assert_eq!(cases[1].1.terrain, (2200.0, 600.0));
+        assert_eq!(cases[2].1.terrain, (9000.0, 600.0), "wide sparse case");
+        for (_, sc) in &cases {
+            assert_eq!(sc.pause_secs, 0, "bench at max mobility");
+        }
+    }
+}

@@ -65,6 +65,7 @@ pub fn build_world_telemetry(
         fault_plan: plan,
         spatial_grid: scenario.spatial_grid,
         telemetry,
+        workers: scenario.workers,
     };
     let mobility = RandomWaypoint::new(
         scenario.n_nodes,
@@ -150,6 +151,7 @@ mod tests {
             flavor: crate::scenario::SimFlavor::Default,
             audit: true,
             spatial_grid: true,
+            workers: 1,
         };
         run_once(protocol, &scenario, 7)
     }
@@ -199,6 +201,7 @@ mod tests {
             flavor: crate::scenario::SimFlavor::Default,
             audit: false,
             spatial_grid: true,
+            workers: 1,
         };
         let s = run_trials(Protocol::Aodv, &scenario);
         assert_eq!(s.trials(), 3);
@@ -218,6 +221,7 @@ mod tests {
             flavor: crate::scenario::SimFlavor::Default,
             audit: true,
             spatial_grid: true,
+            workers: 1,
         };
         assert!(trial_fault_plan(&scenario, scenario.seed_base, 0).is_empty());
         let faulted = run_fault_trials(Protocol::Ldr, &scenario, 0);
@@ -242,6 +246,7 @@ mod tests {
             flavor: crate::scenario::SimFlavor::Default,
             audit: true,
             spatial_grid: true,
+            workers: 1,
         };
         // The per-trial plan depends only on (scenario, seed, level),
         // never the protocol, so every row faces the same schedule.
@@ -271,6 +276,7 @@ mod tests {
             flavor: crate::scenario::SimFlavor::Default,
             audit: true,
             spatial_grid: true,
+            workers: 1,
         };
         let threaded = run_trials(Protocol::Ldr, &scenario);
         let mut sequential = Summary::new(Protocol::Ldr.name());

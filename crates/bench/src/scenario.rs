@@ -144,6 +144,10 @@ pub struct Scenario {
     /// only faster — so it defaults to on; perfbench flips it off to
     /// time the reference baseline.
     pub spatial_grid: bool,
+    /// Worker threads for the deterministic parallel event kernel
+    /// (`manet_sim::parallel`). `0`/`1` run the sequential kernel; any
+    /// value is byte-identical, so this only changes wall-clock time.
+    pub workers: usize,
 }
 
 impl Scenario {
@@ -160,6 +164,7 @@ impl Scenario {
             flavor: SimFlavor::Default,
             audit: false,
             spatial_grid: true,
+            workers: 1,
         }
     }
 

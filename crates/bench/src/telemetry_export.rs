@@ -96,6 +96,7 @@ mod tests {
             flavor: crate::scenario::SimFlavor::Default,
             audit: false,
             spatial_grid: true,
+            workers: 1,
         }
     }
 

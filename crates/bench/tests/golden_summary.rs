@@ -29,6 +29,7 @@ fn golden_scenario() -> Scenario {
         flavor: SimFlavor::Default,
         audit: true,
         spatial_grid: true,
+        workers: 1,
     }
 }
 

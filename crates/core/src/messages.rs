@@ -105,16 +105,24 @@ fn put_u32(buf: &mut Vec<u8>, v: u32) {
 fn put_u64(buf: &mut Vec<u8>, v: u64) {
     buf.extend_from_slice(&v.to_be_bytes());
 }
-fn get_u16(b: &[u8], at: usize) -> u16 {
-    u16::from_be_bytes([b[at], b[at + 1]])
+// Bounds-checked big-endian readers. These return `None` instead of
+// panicking on truncated input: wire bytes come off a simulated radio
+// that the fault layer can corrupt arbitrarily, so every read must be
+// total — a decoder slip (a new field, a stale length constant) must
+// surface as a rejected packet, never as a kernel panic.
+fn get_u16(b: &[u8], at: usize) -> Option<u16> {
+    let s = b.get(at..at.checked_add(2)?)?;
+    Some(u16::from_be_bytes([s[0], s[1]]))
 }
-fn get_u32(b: &[u8], at: usize) -> u32 {
-    u32::from_be_bytes([b[at], b[at + 1], b[at + 2], b[at + 3]])
+fn get_u32(b: &[u8], at: usize) -> Option<u32> {
+    let s = b.get(at..at.checked_add(4)?)?;
+    Some(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
 }
-fn get_u64(b: &[u8], at: usize) -> u64 {
+fn get_u64(b: &[u8], at: usize) -> Option<u64> {
+    let s = b.get(at..at.checked_add(8)?)?;
     let mut x = [0u8; 8];
-    x.copy_from_slice(&b[at..at + 8]);
-    u64::from_be_bytes(x)
+    x.copy_from_slice(s);
+    Some(u64::from_be_bytes(x))
 }
 
 impl Rreq {
@@ -156,15 +164,15 @@ impl Rreq {
         }
         let f = b[1];
         let sn_dst =
-            if f & flags::SN_UNKNOWN != 0 { None } else { Some(SeqNo::from_u64(get_u64(b, 12))) };
+            if f & flags::SN_UNKNOWN != 0 { None } else { Some(SeqNo::from_u64(get_u64(b, 12)?)) };
         Some(Rreq {
-            dst: NodeId(get_u16(b, 4)),
+            dst: NodeId(get_u16(b, 4)?),
             sn_dst,
-            rreqid: get_u32(b, 8),
-            src: NodeId(get_u16(b, 6)),
-            sn_src: SeqNo::from_u64(get_u64(b, 20)),
-            fd: get_u32(b, 28),
-            dist: get_u32(b, 32),
+            rreqid: get_u32(b, 8)?,
+            src: NodeId(get_u16(b, 6)?),
+            sn_src: SeqNo::from_u64(get_u64(b, 20)?),
+            fd: get_u32(b, 28)?,
+            dist: get_u32(b, 32)?,
             ttl: b[2],
             t_bit: f & flags::T != 0,
             n_bit: f & flags::N != 0,
@@ -200,12 +208,12 @@ impl Rrep {
             return None;
         }
         Some(Rrep {
-            dst: NodeId(get_u16(b, 4)),
-            sn_dst: SeqNo::from_u64(get_u64(b, 12)),
-            src: NodeId(get_u16(b, 6)),
-            rreqid: get_u32(b, 8),
-            dist: get_u32(b, 20),
-            lifetime_ms: get_u32(b, 24),
+            dst: NodeId(get_u16(b, 4)?),
+            sn_dst: SeqNo::from_u64(get_u64(b, 12)?),
+            src: NodeId(get_u16(b, 6)?),
+            rreqid: get_u32(b, 8)?,
+            dist: get_u32(b, 20)?,
+            lifetime_ms: get_u32(b, 24)?,
             n_bit: b[1] & flags::N != 0,
         })
     }
@@ -238,10 +246,10 @@ impl Rerr {
         let mut entries = Vec::with_capacity(count);
         for i in 0..count {
             let at = 4 + 12 * i;
-            let has_sn = get_u16(b, at + 2) != 0;
+            let has_sn = get_u16(b, at + 2)? != 0;
             entries.push(RerrEntry {
-                dst: NodeId(get_u16(b, at)),
-                sn: if has_sn { Some(SeqNo::from_u64(get_u64(b, at + 4))) } else { None },
+                dst: NodeId(get_u16(b, at)?),
+                sn: if has_sn { Some(SeqNo::from_u64(get_u64(b, at + 4)?)) } else { None },
             });
         }
         Some(Rerr { entries })
@@ -322,6 +330,32 @@ mod tests {
         let mut ok = sample_rreq().encode();
         ok[0] = 9;
         assert_eq!(Rreq::decode(&ok), None);
+    }
+
+    /// Regression test for the unchecked readers: the old `get_u16`
+    /// family indexed `b[at + 1]` (and siblings) without bounds checks,
+    /// so a read that ran off the end of a truncated buffer panicked
+    /// instead of rejecting the frame. Exercising the readers directly
+    /// (the decoders also length-check up front, which masked the bug)
+    /// panics under the old code and returns `None` under the new.
+    #[test]
+    fn readers_are_total_on_short_buffers() {
+        assert_eq!(get_u16(&[], 0), None);
+        assert_eq!(get_u16(&[1], 0), None, "one byte short: old code indexed b[1]");
+        assert_eq!(get_u32(&[1, 2, 3], 0), None);
+        assert_eq!(get_u64(&[0; 7], 0), None);
+        // Reads straddling the end and reads starting past the end.
+        assert_eq!(get_u16(&[1, 2], 1), None);
+        assert_eq!(get_u32(&[0; 8], 5), None);
+        assert_eq!(get_u64(&[0; 16], 9), None);
+        assert_eq!(get_u16(&[1, 2], 9), None);
+        // Offset arithmetic cannot overflow either.
+        assert_eq!(get_u16(&[1, 2], usize::MAX), None);
+        assert_eq!(get_u64(&[0; 16], usize::MAX - 3), None);
+        // In-bounds reads still decode big-endian.
+        assert_eq!(get_u16(&[0x12, 0x34], 0), Some(0x1234));
+        assert_eq!(get_u32(&[0, 0x12, 0x34, 0x56, 0x78], 1), Some(0x1234_5678));
+        assert_eq!(get_u64(&[1, 0, 0, 0, 0, 0, 0, 0, 2], 1), Some(2));
     }
 
     #[test]

@@ -805,21 +805,18 @@ impl RoutingProtocol for Ldr {
     ) {
         self.clock = ctx.now();
         match ctrl.kind {
-            ControlKind::Rreq => {
-                if let Some(m) = Rreq::decode(&ctrl.bytes) {
-                    self.handle_rreq(ctx, prev_hop, m);
-                }
-            }
-            ControlKind::Rrep => {
-                if let Some(m) = Rrep::decode(&ctrl.bytes) {
-                    self.handle_rrep(ctx, prev_hop, m);
-                }
-            }
-            ControlKind::Rerr => {
-                if let Some(m) = Rerr::decode(&ctrl.bytes) {
-                    self.handle_rerr(ctx, prev_hop, m);
-                }
-            }
+            ControlKind::Rreq => match Rreq::decode(&ctrl.bytes) {
+                Some(m) => self.handle_rreq(ctx, prev_hop, m),
+                None => ctx.drop_malformed(ControlKind::Rreq),
+            },
+            ControlKind::Rrep => match Rrep::decode(&ctrl.bytes) {
+                Some(m) => self.handle_rrep(ctx, prev_hop, m),
+                None => ctx.drop_malformed(ControlKind::Rrep),
+            },
+            ControlKind::Rerr => match Rerr::decode(&ctrl.bytes) {
+                Some(m) => self.handle_rerr(ctx, prev_hop, m),
+                None => ctx.drop_malformed(ControlKind::Rerr),
+            },
             _ => {}
         }
     }

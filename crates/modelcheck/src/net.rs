@@ -357,7 +357,14 @@ impl<M: ProtocolModel> NetState<M> {
                     self.timers.insert((node, token));
                 }
                 Action::Trace(event) => traces.push(event),
-                Action::Deliver { .. } | Action::DropData { .. } | Action::Count { .. } => {}
+                // The model checker never injects corrupted frames, so
+                // `DropMalformed` is unreachable here; treating it as a
+                // no-op keeps the match exhaustive without pretending
+                // the model covers corruption.
+                Action::Deliver { .. }
+                | Action::DropData { .. }
+                | Action::DropMalformed { .. }
+                | Action::Count { .. } => {}
             }
         }
         traces

@@ -146,6 +146,14 @@ pub struct SimConfig {
     /// observable bit of the run (metrics and trace are byte-identical
     /// either way; enforced by test).
     pub telemetry: Option<TelemetryConfig>,
+    /// Worker threads for the deterministic parallel event kernel
+    /// ([`crate::parallel`]). `0` and `1` mean sequential execution;
+    /// ≥ 2 shards the world spatially and executes conservative time
+    /// windows on worker threads. Every worker count produces output
+    /// byte-identical to the sequential kernel (metrics, trace and
+    /// telemetry; enforced by differential tests), so this knob only
+    /// changes how fast the same answer is computed.
+    pub workers: usize,
 }
 
 impl Default for SimConfig {
@@ -160,6 +168,7 @@ impl Default for SimConfig {
             fault_plan: None,
             spatial_grid: true,
             telemetry: None,
+            workers: 1,
         }
     }
 }

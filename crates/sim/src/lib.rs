@@ -76,6 +76,7 @@ pub mod mac;
 pub mod metrics;
 pub mod mobility;
 pub mod packet;
+pub mod parallel;
 pub mod protocol;
 pub mod rng;
 pub mod spatial;

@@ -1,0 +1,964 @@
+//! Deterministic parallel event kernel.
+//!
+//! With [`SimConfig::workers`](crate::config::SimConfig::workers) ≥ 2,
+//! [`World::run_until`](crate::world::World::run_until) delegates here.
+//! The driver cuts simulated time into *conservative windows* of length
+//!
+//! ```text
+//! L = prop_delay + min(ack_duration, tx_duration(0))
+//! ```
+//!
+//! — the minimum delay between putting a frame on the air and any
+//! station finishing its reception. Every reception that *starts*
+//! inside a window therefore *completes* at or after the window's end,
+//! so inside one window information can travel at most one radio hop.
+//!
+//! # How a window runs
+//!
+//! 1. **Scan.** The pending events with `t < w_end` are inspected (a
+//!    non-destructive walk of the FEL). If any of them is a global
+//!    event (traffic, faults, audits, telemetry samples), if link
+//!    impairments are live (their RNG draws must happen in canonical
+//!    order), if an every-event auditor is attached, or if the window
+//!    is too small to be worth fanning out, the window executes on the
+//!    plain sequential loop — literally the unchanged
+//!    [`World::execute`](crate::world::World::execute) path, so those
+//!    windows are trivially byte-identical.
+//! 2. **Partition.** Otherwise every window event is *node-homed*. Node
+//!    positions (from cached [`MotionLeg`]s, bitwise equal to what the
+//!    sequential kernel would read) are bucketed into square cells of
+//!    side `range_m + slack`, so one radio hop spans at most one cell
+//!    in Chebyshev distance. Home cells within Chebyshev distance 4 are
+//!    merged; the resulting components are ≥ 5 cells apart, and each
+//!    component's *footprint* (homes dilated by 2 cells) is provably
+//!    disjoint from every other's. A window with fewer than two
+//!    components runs sequentially.
+//! 3. **Execute.** Each component becomes a [`Shard`]: exclusive `&mut`
+//!    access to its footprint's node slots, a local event queue seeded
+//!    with its window events in global drain order, and *buffered*
+//!    side effects — trace emissions, metric mutations, future-event
+//!    schedules — instead of applied ones. Shards run on scoped worker
+//!    threads. In-window children (MAC wake-ups, protocol timers) are
+//!    executed locally; everything else becomes a buffered schedule.
+//! 4. **Replay.** The per-event effect records are merged in canonical
+//!    order — window events by their FEL drain order, locally executed
+//!    children by the order the merged replay re-encounters their
+//!    scheduling, which reproduces the FEL sequence numbers the
+//!    sequential kernel would have allocated — and applied to the
+//!    [`World`]: metrics mutate in the sequential order (bitwise `f64`
+//!    equality), trace sinks observe the sequential stream, and
+//!    post-window events enter the FEL with the sequential relative
+//!    order.
+//!
+//! The result is byte-identical metrics, trace and telemetry for every
+//! worker count, enforced by differential tests; the knob only changes
+//! wall-clock time.
+
+use crate::config::PhyConfig;
+use crate::event::Event;
+use crate::faults::{FaultState, RxFate};
+use crate::geometry::Position;
+use crate::mobility::MotionLeg;
+use crate::packet::NodeId;
+use crate::time::{SimDuration, SimTime};
+use crate::trace::TraceEvent;
+use crate::world::{
+    call_protocol, mac_kick, on_ack_timeout, on_rx_end, on_rx_end_batch, on_tx_end, Kern, MetricOp,
+    NodeSlot, World,
+};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Windows with fewer pending events than this run sequentially: the
+/// thread fan-out costs more than it saves.
+const MIN_PARALLEL_EVENTS: usize = 8;
+
+/// Slack added to the radio range when sizing partition cells, so that
+/// sub-window node motion (micrometres over a sub-millisecond window at
+/// vehicular speeds) can never push a receiver beyond one cell.
+const CELL_SLACK_M: f64 = 5.0;
+
+/// Home cells within this Chebyshev distance merge into one component.
+/// With mutation reach ≤ 2 cells from any home, unmerged components
+/// (≥ 5 apart) have disjoint footprints.
+const MERGE_CHEBYSHEV: i64 = 4;
+
+/// Footprint dilation: a shard owns every node within this many cells
+/// of one of its home cells. Handlers touch at most dilate-1 (the
+/// executing node plus its radio neighborhood); 2 leaves a margin.
+const FOOTPRINT_DILATION: i64 = 2;
+
+/// Replay keys for locally executed children start here — above any
+/// possible window drain index, so children at an instant sort after
+/// every pre-existing event at that instant, exactly as their
+/// (later-allocated) FEL sequence numbers would have.
+const CHILD_KEY_BASE: u64 = u64::MAX / 2;
+
+/// The conservative window length: no reception that starts in a
+/// window can end before `start + L`.
+fn window_lookahead(phy: &PhyConfig) -> SimDuration {
+    phy.prop_delay + phy.ack_duration().min(phy.tx_duration(0))
+}
+
+/// Parallel-kernel entry point: processes all events with `t ≤ until`,
+/// then sets the clock to `until`. Byte-identical to the sequential
+/// [`World::run_until`] loop.
+pub(crate) fn run_until_parallel(world: &mut World, until: SimTime) {
+    let lookahead = window_lookahead(&world.cfg.phy);
+    let cell = world.cfg.phy.range_m + CELL_SLACK_M;
+    let n = world.nodes.len();
+    let workers = world.cfg.workers;
+    // A zero lookahead (degenerate PHY with no airtime) voids the
+    // one-hop-per-window argument; run such configurations entirely
+    // sequentially.
+    let can_parallel = lookahead > SimDuration::ZERO && cell.is_finite() && cell > 0.0;
+    // Cached motion legs, refreshed per window; `valid_until == ZERO`
+    // forces the first refresh before any position is read.
+    let mut legs: Vec<MotionLeg> = vec![MotionLeg::parked(Position::default(), SimTime::ZERO); n];
+    let limit = until + SimDuration::from_nanos(1);
+    while let Some(t0) = world.fel.peek_time() {
+        if t0 > until {
+            break;
+        }
+        let w_end = (t0 + lookahead).min(limit);
+        let plan = if can_parallel {
+            let mut legs_ok = true;
+            for (i, leg) in legs.iter_mut().enumerate() {
+                if leg.valid_until < w_end {
+                    // Leg lookups are observation-pure (enforced by the
+                    // mobility order-independence tests), so refreshing
+                    // here cannot perturb the run.
+                    *leg = world.mobility.motion_leg(NodeId(i as u16), t0);
+                    legs_ok &= leg.valid_until >= w_end;
+                }
+            }
+            if legs_ok {
+                plan_window(world, t0, w_end, cell, &legs)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+        match plan {
+            Some(plan) => run_window_parallel(world, t0, w_end, cell, plan, &legs, workers),
+            None => run_window_sequential(world, w_end),
+        }
+    }
+    world.now = until;
+}
+
+/// Executes one window on the unchanged sequential path.
+fn run_window_sequential(world: &mut World, w_end: SimTime) {
+    while world.fel.peek_time().is_some_and(|t| t < w_end) {
+        let Some((t, event)) = world.fel.pop() else { break };
+        world.execute(t, event);
+    }
+}
+
+/// A committed plan for one parallel window: the disjoint dilated
+/// footprints, as a map from cell to owning component.
+struct WindowPlan {
+    /// Number of components (≥ 2).
+    n_comps: usize,
+    /// Dilated footprint cells → component id. Home-cell lookups always
+    /// hit (a home is inside its own dilation); nodes outside every
+    /// footprint are untouched for the whole window.
+    comp_of_cell: BTreeMap<(i64, i64), u32>,
+}
+
+/// The partition cell of a position.
+fn cell_of(p: Position, cell: f64) -> (i64, i64) {
+    ((p.x / cell).floor() as i64, (p.y / cell).floor() as i64)
+}
+
+/// Union-find root with path halving.
+fn uf_find(parent: &mut [usize], mut i: usize) -> usize {
+    while parent[i] != i {
+        parent[i] = parent[parent[i]];
+        i = parent[i];
+    }
+    i
+}
+
+/// Classifies the window `[t0, w_end)` and, if it is safe to fan out,
+/// builds the spatial partition. `None` routes the window down the
+/// sequential path.
+fn plan_window(
+    world: &World,
+    t0: SimTime,
+    w_end: SimTime,
+    cell: f64,
+    legs: &[MotionLeg],
+) -> Option<WindowPlan> {
+    // Every-event auditors observe protocol state between events; the
+    // sequential path is the only one that interleaves them correctly.
+    if world.auditor.is_some() || world.cfg.audit_every_event {
+        return None;
+    }
+    // Live link impairments draw from the shared "faults" RNG stream
+    // per received frame; those draws must happen in canonical order.
+    if world.faults.as_ref().is_some_and(|f| f.has_impairments()) {
+        return None;
+    }
+    let mut count = 0usize;
+    let mut homes: Vec<(i64, i64)> = Vec::new();
+    for (t, ev) in world.fel.iter() {
+        if t >= w_end {
+            continue;
+        }
+        count += 1;
+        match ev {
+            Event::MacKick(node)
+            | Event::TxEnd { node, .. }
+            | Event::RxEnd { node, .. }
+            | Event::AckTimeout { node, .. }
+            | Event::ProtocolTimer { node, .. } => {
+                homes.push(cell_of(legs[node.index()].pos_at(t0), cell));
+            }
+            Event::RxEndBatch { tx_id } => {
+                // The batch executes at the stored receivers and ACKs
+                // flow back toward the sender: home them all (they are
+                // pairwise within 2 cells, so they merge below).
+                let receivers = world.rx_batches.get(tx_id)?;
+                let sender = NodeId((tx_id >> 48) as u16);
+                homes.push(cell_of(legs[sender.index()].pos_at(t0), cell));
+                for r in receivers {
+                    homes.push(cell_of(legs[r.index()].pos_at(t0), cell));
+                }
+            }
+            // Global events (traffic, faults, reboots, audits,
+            // telemetry samples) mutate world-level state; their
+            // windows run sequentially.
+            _ => return None,
+        }
+    }
+    if count < MIN_PARALLEL_EVENTS {
+        return None;
+    }
+    homes.sort_unstable();
+    homes.dedup();
+    // Merge home cells within MERGE_CHEBYSHEV into components.
+    let mut parent: Vec<usize> = (0..homes.len()).collect();
+    for i in 0..homes.len() {
+        for j in (i + 1)..homes.len() {
+            let dx = (homes[i].0 - homes[j].0).abs();
+            let dy = (homes[i].1 - homes[j].1).abs();
+            if dx.max(dy) <= MERGE_CHEBYSHEV {
+                let (ri, rj) = (uf_find(&mut parent, i), uf_find(&mut parent, j));
+                parent[ri] = rj;
+            }
+        }
+    }
+    let mut comp_ids: Vec<u32> = vec![u32::MAX; homes.len()];
+    let mut n_comps = 0u32;
+    for i in 0..homes.len() {
+        let r = uf_find(&mut parent, i);
+        if comp_ids[r] == u32::MAX {
+            comp_ids[r] = n_comps;
+            n_comps += 1;
+        }
+        comp_ids[i] = comp_ids[r];
+    }
+    if n_comps < 2 {
+        return None;
+    }
+    // Dilate each component's homes into its footprint. Distinct
+    // components are ≥ MERGE_CHEBYSHEV + 1 apart, so dilations cannot
+    // collide; the conflict check below is defence in depth (on a
+    // conflict the window just runs sequentially).
+    let mut comp_of_cell: BTreeMap<(i64, i64), u32> = BTreeMap::new();
+    for (i, &(cx, cy)) in homes.iter().enumerate() {
+        let comp = comp_ids[i];
+        for dx in -FOOTPRINT_DILATION..=FOOTPRINT_DILATION {
+            for dy in -FOOTPRINT_DILATION..=FOOTPRINT_DILATION {
+                match comp_of_cell.entry((cx + dx, cy + dy)) {
+                    std::collections::btree_map::Entry::Vacant(v) => {
+                        v.insert(comp);
+                    }
+                    std::collections::btree_map::Entry::Occupied(o) => {
+                        if *o.get() != comp {
+                            return None;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Some(WindowPlan { n_comps: n_comps as usize, comp_of_cell })
+}
+
+/// How a locally executed event entered the window: drained from the
+/// FEL (keyed by its global drain index) or scheduled in-window by an
+/// earlier local event (keyed by a per-shard child id).
+#[derive(Clone, Copy, Debug)]
+enum StartKey {
+    /// Pre-existing window event; value is its FEL drain index.
+    Drain(u64),
+    /// In-window child; value is the shard-local child id.
+    Child(u32),
+}
+
+/// One buffered side effect of a shard-executed event, applied to the
+/// [`World`] at replay in canonical order.
+enum Effect {
+    /// `Kern::emit`.
+    Emit(TraceEvent),
+    /// `Kern::bump_trace_events`.
+    TraceBump,
+    /// `Kern::metric`.
+    Metric(MetricOp),
+    /// A post-window schedule: enters the real FEL at replay, so its
+    /// sequence number is allocated in canonical order.
+    ScheduleFel {
+        /// Absolute event time (≥ the window end).
+        at: SimTime,
+        /// The scheduled event.
+        event: Event,
+    },
+    /// An in-window schedule, executed locally by the shard; replay
+    /// re-keys the child's record at the point the sequential kernel
+    /// would have allocated its sequence number.
+    ScheduleChild {
+        /// Absolute event time (inside the window).
+        at: SimTime,
+        /// Shard-local child id, resolved via `CompResult::child_map`.
+        child: u32,
+    },
+    /// `Kern::store_batch` (always post-window: receptions started in
+    /// a window end at or after its end).
+    StoreBatch {
+        /// Transmission id.
+        tx_id: u64,
+        /// Pending receivers, ascending.
+        receivers: Vec<NodeId>,
+    },
+}
+
+/// The execution record of one shard-executed event.
+struct ExecRecord {
+    /// Event time.
+    t: SimTime,
+    /// [`Event::kind_index`] (for the dispatch counters).
+    kind: usize,
+    /// How the event was keyed locally.
+    start: StartKey,
+    /// Buffered effects, in handler emission order.
+    effects: Vec<Effect>,
+}
+
+/// One component's inputs: its window events (in drain order), the
+/// receiver batches of its `RxEndBatch` events, and exclusive slot
+/// borrows for its footprint nodes.
+struct CompTask<'a> {
+    events: Vec<(SimTime, u64, Event)>,
+    batches: BTreeMap<u64, Vec<NodeId>>,
+    slots: Vec<(u16, &'a mut NodeSlot)>,
+    slot_index: Vec<u32>,
+}
+
+/// One component's outputs.
+struct CompResult {
+    comp: u32,
+    records: Vec<ExecRecord>,
+    /// Child id → index into `records`.
+    child_map: Vec<usize>,
+}
+
+/// Read-only state every shard shares.
+#[derive(Clone, Copy)]
+struct Shared<'b> {
+    phy: &'b PhyConfig,
+    faults: Option<&'b FaultState>,
+    legs: &'b [MotionLeg],
+    fast_path: bool,
+    trace_on: bool,
+    n: usize,
+    w_end: SimTime,
+}
+
+/// A locally queued event awaiting shard execution.
+struct PendingEv {
+    event: Event,
+    start: StartKey,
+}
+
+/// A spatial shard: one window component executing on a worker thread.
+///
+/// Implements [`Kern`] so the node-local handlers in
+/// [`crate::world`] run unchanged. Reads are answered from the cached
+/// legs and borrowed slots (proven bitwise equal to the sequential
+/// kernel's answers); writes to kernel-global state are buffered as
+/// [`Effect`]s.
+struct Shard<'a, 'b> {
+    shared: Shared<'b>,
+    now: SimTime,
+    slots: Vec<(u16, &'a mut NodeSlot)>,
+    /// Global node index → index into `slots`; `u32::MAX` marks a node
+    /// outside the footprint (touching it is a kernel bug and fails
+    /// loudly on the slot-index bound check).
+    slot_index: Vec<u32>,
+    scratch: Vec<(NodeId, f64)>,
+    batches: BTreeMap<u64, Vec<NodeId>>,
+    pool: Vec<Vec<NodeId>>,
+    /// Current event's buffered effects.
+    effects: Vec<Effect>,
+    child_ctr: u32,
+    /// Local queue: `(t, key, pending index)`, min-ordered. Keys are
+    /// drain indices for window events and `CHILD_KEY_BASE + id` for
+    /// children — the same total order the sequential FEL would use.
+    heap: BinaryHeap<Reverse<(SimTime, u64, u32)>>,
+    pending: Vec<Option<PendingEv>>,
+    records: Vec<ExecRecord>,
+}
+
+impl Shard<'_, '_> {
+    /// Executes one local event: replicates the crash gate of
+    /// `World::dispatch`, runs the node-local handler against this
+    /// shard, and snapshots the buffered effects as a record. Gated
+    /// events still record (the sequential kernel counts them too).
+    fn exec(&mut self, t: SimTime, pev: PendingEv) {
+        debug_assert!(t >= self.now, "shard event from the past");
+        self.now = t;
+        let kind = pev.event.kind_index();
+        let gated = match pev.event {
+            Event::MacKick(node)
+            | Event::TxEnd { node, .. }
+            | Event::RxEnd { node, .. }
+            | Event::AckTimeout { node, .. }
+            | Event::ProtocolTimer { node, .. } => self.node_down(node),
+            _ => false,
+        };
+        if !gated {
+            match pev.event {
+                Event::MacKick(node) => mac_kick(self, node),
+                Event::TxEnd { node, tx_id } => on_tx_end(self, node, tx_id),
+                Event::RxEnd { node, tx_id } => on_rx_end(self, node, tx_id),
+                Event::RxEndBatch { tx_id } => on_rx_end_batch(self, tx_id),
+                Event::AckTimeout { node, tx_id } => on_ack_timeout(self, node, tx_id),
+                Event::ProtocolTimer { node, token } => {
+                    call_protocol(self, node, |p, ctx| p.handle_timer(ctx, token));
+                }
+                // Excluded by classification; nothing to run.
+                _ => debug_assert!(false, "non-local event reached a shard"),
+            }
+        }
+        let effects = std::mem::take(&mut self.effects);
+        self.records.push(ExecRecord { t, kind, start: pev.start, effects });
+    }
+}
+
+impl Kern for Shard<'_, '_> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn phy(&self) -> &PhyConfig {
+        self.shared.phy
+    }
+    fn fast_path(&self) -> bool {
+        self.shared.fast_path
+    }
+    fn n_nodes(&self) -> usize {
+        self.shared.n
+    }
+    fn slot(&mut self, node: NodeId) -> &mut NodeSlot {
+        let i = self.slot_index[node.index()] as usize;
+        self.slots[i].1
+    }
+    fn slot_ref(&self, node: NodeId) -> &NodeSlot {
+        let i = self.slot_index[node.index()] as usize;
+        self.slots[i].1
+    }
+    fn have_faults(&self) -> bool {
+        self.shared.faults.is_some()
+    }
+    fn node_down(&self, node: NodeId) -> bool {
+        self.shared.faults.is_some_and(|f| f.node_down(node))
+    }
+    fn link_usable(&self, sender: NodeId, receiver: NodeId) -> bool {
+        match self.shared.faults {
+            Some(fs) => !fs.node_down(receiver) && !fs.link_severed(sender, receiver),
+            None => true,
+        }
+    }
+    fn rx_fate(&mut self, _sender: NodeId, _receiver: NodeId) -> RxFate {
+        // Parallel windows never run with live impairments
+        // (classification), so the sequential kernel would not have
+        // drawn RNG either: `FaultState::rx_draw` consumes state only
+        // for impaired links.
+        RxFate::Deliver
+    }
+    fn in_range_into(&mut self, of: NodeId, out: &mut Vec<(NodeId, f64)>) {
+        // Mirror of the sequential linear scan, reading positions from
+        // the cached legs (bitwise equal by the leg promise); the
+        // spatial grid is bitwise equal to the linear scan by its own
+        // differential tests.
+        out.clear();
+        let p = self.shared.legs[of.index()].pos_at(self.now);
+        let range_sq = self.shared.phy.range_m * self.shared.phy.range_m;
+        let legs = self.shared.legs;
+        let now = self.now;
+        out.extend((0..self.shared.n as u16).map(NodeId).filter(|&m| m != of).filter_map(|m| {
+            let d = legs[m.index()].pos_at(now).distance_sq(p);
+            (d <= range_sq).then_some((m, d))
+        }));
+    }
+    fn take_scratch(&mut self) -> Vec<(NodeId, f64)> {
+        std::mem::take(&mut self.scratch)
+    }
+    fn put_scratch(&mut self, buf: Vec<(NodeId, f64)>) {
+        self.scratch = buf;
+    }
+    fn schedule(&mut self, at: SimTime, event: Event) {
+        debug_assert!(at >= self.now, "schedule into the past");
+        if at < self.shared.w_end {
+            // In-window child: execute locally, and record *where* in
+            // the effect stream it was scheduled so replay can
+            // re-create the sequential sequence-number allocation.
+            let id = self.child_ctr;
+            self.child_ctr += 1;
+            self.effects.push(Effect::ScheduleChild { at, child: id });
+            let idx = self.pending.len() as u32;
+            self.pending.push(Some(PendingEv { event, start: StartKey::Child(id) }));
+            self.heap.push(Reverse((at, CHILD_KEY_BASE + u64::from(id), idx)));
+        } else {
+            self.effects.push(Effect::ScheduleFel { at, event });
+        }
+    }
+    fn emit(&mut self, event: TraceEvent) {
+        self.effects.push(Effect::Emit(event));
+    }
+    fn bump_trace_events(&mut self) {
+        self.effects.push(Effect::TraceBump);
+    }
+    fn trace_on(&self) -> bool {
+        self.shared.trace_on
+    }
+    fn metric(&mut self, op: MetricOp) {
+        self.effects.push(Effect::Metric(op));
+    }
+    fn store_batch(&mut self, tx_id: u64, receivers: Vec<NodeId>) {
+        // Receptions started in-window end post-window, so the batch
+        // belongs to the world's map, inserted at replay.
+        self.effects.push(Effect::StoreBatch { tx_id, receivers });
+    }
+    fn take_batch(&mut self, tx_id: u64) -> Option<Vec<NodeId>> {
+        self.batches.remove(&tx_id)
+    }
+    fn pool_pop(&mut self) -> Vec<NodeId> {
+        self.pool.pop().unwrap_or_default()
+    }
+    fn pool_push(&mut self, buf: Vec<NodeId>) {
+        self.pool.push(buf);
+    }
+    fn after_protocol(&mut self) {
+        // Every-event auditors force the sequential path (see
+        // `plan_window`), so there is nothing to run here.
+    }
+}
+
+/// Drains one component's local queue to empty.
+fn run_component(task: CompTask<'_>, comp: u32, shared: Shared<'_>) -> CompResult {
+    let mut shard = Shard {
+        shared,
+        now: SimTime::ZERO,
+        slots: task.slots,
+        slot_index: task.slot_index,
+        scratch: Vec::new(),
+        batches: task.batches,
+        pool: Vec::new(),
+        effects: Vec::new(),
+        child_ctr: 0,
+        heap: BinaryHeap::new(),
+        pending: Vec::new(),
+        records: Vec::new(),
+    };
+    for (t, key, event) in task.events {
+        let idx = shard.pending.len() as u32;
+        shard.pending.push(Some(PendingEv { event, start: StartKey::Drain(key) }));
+        shard.heap.push(Reverse((t, key, idx)));
+    }
+    while let Some(Reverse((t, _key, idx))) = shard.heap.pop() {
+        let Some(pev) = shard.pending[idx as usize].take() else { continue };
+        shard.exec(t, pev);
+    }
+    let mut child_map = vec![usize::MAX; shard.child_ctr as usize];
+    for (ri, rec) in shard.records.iter().enumerate() {
+        if let StartKey::Child(id) = rec.start {
+            child_map[id as usize] = ri;
+        }
+    }
+    CompResult { comp, records: shard.records, child_map }
+}
+
+/// Pops the window's events, fans the components out over worker
+/// threads, and replays the merged effect stream canonically.
+fn run_window_parallel(
+    world: &mut World,
+    t0: SimTime,
+    w_end: SimTime,
+    cell: f64,
+    plan: WindowPlan,
+    legs: &[MotionLeg],
+    workers: usize,
+) {
+    let k = plan.n_comps;
+    let n = world.nodes.len();
+    world.parallel_windows += 1;
+    // Drain the window in canonical (t, seq) order; the drain index is
+    // each event's replay key.
+    let mut comp_events: Vec<Vec<(SimTime, u64, Event)>> = (0..k).map(|_| Vec::new()).collect();
+    let mut comp_batches: Vec<BTreeMap<u64, Vec<NodeId>>> =
+        (0..k).map(|_| BTreeMap::new()).collect();
+    let mut drain: u64 = 0;
+    while world.fel.peek_time().is_some_and(|t| t < w_end) {
+        let Some((t, event)) = world.fel.pop() else { break };
+        let home = match &event {
+            Event::MacKick(node)
+            | Event::TxEnd { node, .. }
+            | Event::RxEnd { node, .. }
+            | Event::AckTimeout { node, .. }
+            | Event::ProtocolTimer { node, .. } => *node,
+            Event::RxEndBatch { tx_id } => NodeId((tx_id >> 48) as u16),
+            // Excluded by `plan_window`; route to component 0, whose
+            // shard will fail loudly if this ever regresses.
+            _ => NodeId(0),
+        };
+        let comp = match plan.comp_of_cell.get(&cell_of(legs[home.index()].pos_at(t0), cell)) {
+            Some(&c) => c as usize,
+            None => {
+                debug_assert!(false, "window event outside every footprint");
+                0
+            }
+        };
+        if let Event::RxEndBatch { tx_id } = &event {
+            if let Some(b) = world.rx_batches.remove(tx_id) {
+                comp_batches[comp].insert(*tx_id, b);
+            }
+        }
+        comp_events[comp].push((t, drain, event));
+        drain += 1;
+    }
+    let trace_on = Kern::trace_on(world);
+    let fast_path = world.cfg.spatial_grid;
+    // Which component owns each node (u32::MAX: untouched this window).
+    let owner: Vec<u32> = (0..n)
+        .map(|i| {
+            plan.comp_of_cell.get(&cell_of(legs[i].pos_at(t0), cell)).copied().unwrap_or(u32::MAX)
+        })
+        .collect();
+    let mut results: Vec<CompResult> = {
+        // Field-disjoint borrows of the world: exclusive node slots for
+        // the shards, shared PHY/fault state alongside.
+        let w = &mut *world;
+        let phy = &w.cfg.phy;
+        let faults = w.faults.as_ref();
+        let shared = Shared { phy, faults, legs, fast_path, trace_on, n, w_end };
+        let mut free: Vec<Option<&mut NodeSlot>> = w.nodes.iter_mut().map(Some).collect();
+        let mut tasks: Vec<CompTask<'_>> = comp_events
+            .into_iter()
+            .zip(comp_batches)
+            .map(|(events, batches)| CompTask {
+                events,
+                batches,
+                slots: Vec::new(),
+                slot_index: vec![u32::MAX; n],
+            })
+            .collect();
+        for (i, slot) in free.iter_mut().enumerate() {
+            let o = owner[i];
+            if o != u32::MAX {
+                if let Some(s) = slot.take() {
+                    let task = &mut tasks[o as usize];
+                    task.slot_index[i] = task.slots.len() as u32;
+                    task.slots.push((i as u16, s));
+                }
+            }
+        }
+        let n_workers = workers.min(tasks.len()).max(1);
+        let mut buckets: Vec<Vec<(u32, CompTask<'_>)>> =
+            (0..n_workers).map(|_| Vec::new()).collect();
+        for (ci, task) in tasks.into_iter().enumerate() {
+            buckets[ci % n_workers].push((ci as u32, task));
+        }
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for bucket in buckets {
+                handles.push(scope.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|(ci, task)| run_component(task, ci, shared))
+                        .collect::<Vec<CompResult>>()
+                }));
+            }
+            let mut out: Vec<CompResult> = Vec::new();
+            for h in handles {
+                match h.join() {
+                    Ok(rs) => out.extend(rs),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
+            }
+            out
+        })
+    };
+    results.sort_by_key(|r| r.comp);
+    replay(world, results);
+}
+
+/// Merges the components' records in canonical order and applies their
+/// effects to the world.
+///
+/// Window events enter the merge keyed by their global drain index —
+/// the order the sequential kernel would have popped them. When replay
+/// encounters an in-window `ScheduleChild` effect, that is the moment
+/// the sequential kernel would have pushed the child onto the FEL and
+/// allocated its (strictly increasing) sequence number; re-keying the
+/// child's record with the next replay counter reproduces exactly that
+/// order, inductively for children of children. Metrics apply in
+/// canonical order (bitwise `f64` equality with the sequential run),
+/// trace sinks observe the canonical stream, and post-window schedules
+/// enter the FEL in canonical relative order.
+fn replay(world: &mut World, mut comps: Vec<CompResult>) {
+    let mut heap: BinaryHeap<Reverse<(SimTime, u64, u32, u32)>> = BinaryHeap::new();
+    for (ci, comp) in comps.iter().enumerate() {
+        for (ri, rec) in comp.records.iter().enumerate() {
+            if let StartKey::Drain(key) = rec.start {
+                heap.push(Reverse((rec.t, key, ci as u32, ri as u32)));
+            }
+        }
+    }
+    let mut next_child_key = CHILD_KEY_BASE;
+    while let Some(Reverse((t, _key, ci, ri))) = heap.pop() {
+        let (kind, effects) = {
+            let rec = &mut comps[ci as usize].records[ri as usize];
+            (rec.kind, std::mem::take(&mut rec.effects))
+        };
+        world.replay_begin(t, kind);
+        for effect in effects {
+            match effect {
+                Effect::Emit(e) => Kern::emit(world, e),
+                Effect::TraceBump => Kern::bump_trace_events(world),
+                Effect::Metric(op) => Kern::metric(world, op),
+                Effect::ScheduleFel { at, event } => world.fel.schedule(at, event),
+                Effect::ScheduleChild { at, child } => {
+                    let rec_idx = comps[ci as usize].child_map[child as usize];
+                    heap.push(Reverse((at, next_child_key, ci, rec_idx as u32)));
+                    next_child_key += 1;
+                }
+                Effect::StoreBatch { tx_id, receivers } => {
+                    Kern::store_batch(world, tx_id, receivers);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::faults::{FaultAction, FaultPlan};
+    use crate::geometry::Terrain;
+    use crate::metrics::Metrics;
+    use crate::mobility::{RandomWaypoint, StaticMobility};
+    use crate::rng::SimRng;
+    use crate::static_routing::StaticRouting;
+    use crate::time::SimDuration;
+    use crate::trace::{MemoryTrace, TraceEvent};
+    use crate::world::World;
+    use std::sync::{Arc, Mutex};
+
+    /// Everything a run can observably produce.
+    #[derive(Debug, PartialEq)]
+    struct Observed {
+        metrics: Metrics,
+        events_executed: u64,
+        trace_events: u64,
+        trace: Vec<(SimTime, TraceEvent)>,
+    }
+
+    fn observe(mut world: World, sink: Arc<Mutex<MemoryTrace>>, secs: u64) -> (Observed, u64) {
+        world.run_until(SimTime::ZERO + SimDuration::from_secs(secs));
+        world.finalize();
+        let pw = world.parallel_windows();
+        let trace = sink.lock().unwrap().events().to_vec();
+        (
+            Observed {
+                metrics: world.metrics().clone(),
+                events_executed: world.events_executed(),
+                trace_events: world.trace_events(),
+                trace,
+            },
+            pw,
+        )
+    }
+
+    /// Two five-node chains 3000 m apart (≥ 10 partition cells — far
+    /// beyond the merge radius), with concurrent crossing CBR-style
+    /// unicast traffic in both: windows where both clusters are on the
+    /// air are exactly what the partitioner must fan out.
+    fn two_cluster_world(
+        workers: usize,
+        plan: Option<FaultPlan>,
+    ) -> (World, Arc<Mutex<MemoryTrace>>) {
+        let spacing = 150.0;
+        let gap = 3000.0;
+        let positions: Vec<Position> = (0..5)
+            .map(|i| Position::new(i as f64 * spacing, 0.0))
+            .chain((0..5).map(|i| Position::new(gap + i as f64 * spacing, 0.0)))
+            .collect();
+        let adj: Vec<Vec<usize>> = (0..10)
+            .map(|i| {
+                let cluster = i / 5;
+                let mut v = Vec::new();
+                if i % 5 > 0 {
+                    v.push(i - 1);
+                }
+                if i % 5 < 4 && (i + 1) / 5 == cluster {
+                    v.push(i + 1);
+                }
+                v
+            })
+            .collect();
+        let tables = StaticRouting::from_adjacency(&adj);
+        let cfg = SimConfig {
+            duration: SimDuration::from_secs(10),
+            workers,
+            fault_plan: plan,
+            ..SimConfig::default()
+        };
+        let mut world = World::new(cfg, Box::new(StaticMobility::new(positions)), move |id, _| {
+            Box::new(StaticRouting::new(id, tables.clone()))
+        });
+        let sink = MemoryTrace::shared();
+        world.set_trace(Box::new(sink.clone()));
+        // Concurrent crossing flows in both clusters: contention,
+        // backoff, forwarding and ACK exchange on both sides of the
+        // gap at overlapping instants.
+        for k in 0..90u64 {
+            let base = SimTime::from_millis(100 + k * 23);
+            let us = SimDuration::from_micros;
+            world.schedule_app_packet(base, NodeId(0), NodeId(2), 512);
+            world.schedule_app_packet(base + us(40), NodeId(4), NodeId(2), 512);
+            world.schedule_app_packet(base + us(80), NodeId(5), NodeId(7), 512);
+            world.schedule_app_packet(base + us(120), NodeId(9), NodeId(7), 512);
+            world.schedule_app_packet(base + us(2500), NodeId(2), NodeId(0), 512);
+            world.schedule_app_packet(base + us(2540), NodeId(7), NodeId(9), 512);
+        }
+        (world, sink)
+    }
+
+    #[test]
+    fn two_cluster_world_engages_the_parallel_path() {
+        let (world, sink) = two_cluster_world(2, None);
+        let (_, pw) = observe(world, sink, 3);
+        assert!(pw > 0, "no window parallelised — the straddle test is vacuous");
+    }
+
+    #[test]
+    fn parallel_runs_are_byte_identical_across_worker_counts() {
+        let (world, sink) = two_cluster_world(1, None);
+        let (base, pw) = observe(world, sink, 3);
+        assert_eq!(pw, 0, "sequential runs must never fan out");
+        assert!(base.metrics.data_delivered > 0, "silent run proves nothing");
+        assert!(!base.trace.is_empty(), "no trace emitted");
+        for workers in [2, 4, 8] {
+            let (world, sink) = two_cluster_world(workers, None);
+            let (got, pw) = observe(world, sink, 3);
+            assert!(pw > 0, "workers={workers}: parallel path never engaged");
+            assert_eq!(got, base, "workers={workers} diverged from sequential");
+        }
+    }
+
+    #[test]
+    fn crash_and_partition_fault_plans_replay_identically_in_parallel() {
+        // Crash/restart and partition faults (no impairments, which
+        // force sequential windows anyway): node-down state is frozen
+        // during parallel windows and the Fault/Reboot events
+        // themselves run sequentially.
+        let plan = || {
+            FaultPlan::new(vec![
+                (
+                    SimTime::from_millis(600),
+                    FaultAction::CrashRestart {
+                        node: NodeId(1),
+                        downtime: SimDuration::from_millis(400),
+                    },
+                ),
+                (
+                    SimTime::from_millis(900),
+                    FaultAction::Partition { group: (0..5).map(NodeId).collect() },
+                ),
+                (
+                    SimTime::from_millis(1600),
+                    FaultAction::CrashRestart {
+                        node: NodeId(8),
+                        downtime: SimDuration::from_millis(300),
+                    },
+                ),
+                (SimTime::from_millis(2000), FaultAction::Heal),
+            ])
+        };
+        let (world, sink) = two_cluster_world(1, Some(plan()));
+        let (base, _) = observe(world, sink, 3);
+        for workers in [2, 8] {
+            let (world, sink) = two_cluster_world(workers, Some(plan()));
+            let (got, pw) = observe(world, sink, 3);
+            assert!(pw > 0, "workers={workers}: faulted run never parallelised");
+            assert_eq!(got, base, "workers={workers} faulted run diverged");
+        }
+    }
+
+    /// A mobile sparse world: random-waypoint motion over a wide
+    /// terrain, static chain tables (stale routes — exactly the retry /
+    /// ACK-timeout-heavy workload that stresses the window machinery,
+    /// plus motion-leg refreshes every window).
+    fn mobile_world(workers: usize, seed: u64) -> (World, Arc<Mutex<MemoryTrace>>) {
+        let n = 40usize;
+        let tables = StaticRouting::tables_for_line(n);
+        let cfg = SimConfig {
+            duration: SimDuration::from_secs(10),
+            seed,
+            workers,
+            ..SimConfig::default()
+        };
+        let mobility = RandomWaypoint::new(
+            n,
+            Terrain::new(6000.0, 400.0),
+            SimDuration::from_secs(0),
+            1.0,
+            20.0,
+            SimRng::stream(seed, "mobility"),
+        );
+        let mut world = World::new(cfg, Box::new(mobility), move |id, _| {
+            Box::new(StaticRouting::new(id, tables.clone()))
+        });
+        let sink = MemoryTrace::shared();
+        world.set_trace(Box::new(sink.clone()));
+        let mut rng = SimRng::stream(seed, "parallel-test-traffic");
+        for k in 0..160u64 {
+            let src = NodeId(rng.below(n as u64) as u16);
+            let mut dst = NodeId(rng.below(n as u64) as u16);
+            if dst == src {
+                dst = NodeId((dst.0 + 1) % n as u16);
+            }
+            let at = SimTime::from_millis(100 + k * 17);
+            world.schedule_app_packet(at, src, dst, 512);
+        }
+        (world, sink)
+    }
+
+    #[test]
+    fn mobile_sparse_runs_are_identical_for_every_worker_count() {
+        for seed in [11u64, 23] {
+            let (world, sink) = mobile_world(1, seed);
+            let (base, _) = observe(world, sink, 4);
+            assert!(base.events_executed > 1000, "seed {seed}: run too quiet");
+            for workers in [2, 4] {
+                let (world, sink) = mobile_world(workers, seed);
+                let (got, _) = observe(world, sink, 4);
+                assert_eq!(got, base, "seed {seed} workers={workers} diverged");
+            }
+        }
+    }
+}

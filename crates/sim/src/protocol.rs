@@ -24,6 +24,9 @@ pub enum DropReason {
     BufferOverflow,
     /// A source route was broken and the packet could not be salvaged.
     BrokenSourceRoute,
+    /// A control frame failed wire decoding (truncated or corrupted by
+    /// the fault layer) and was discarded instead of processed.
+    Malformed,
     /// Any other protocol-specific reason.
     Other,
 }
@@ -31,11 +34,12 @@ pub enum DropReason {
 impl DropReason {
     /// Every reason, in a fixed order — telemetry iterates this instead
     /// of the metrics hash maps so exported field order is stable.
-    pub const ALL: [DropReason; 5] = [
+    pub const ALL: [DropReason; 6] = [
         DropReason::NoRoute,
         DropReason::TtlExpired,
         DropReason::BufferOverflow,
         DropReason::BrokenSourceRoute,
+        DropReason::Malformed,
         DropReason::Other,
     ];
 }
@@ -102,6 +106,14 @@ pub enum Action {
         data: DataPacket,
         /// Why.
         reason: DropReason,
+    },
+    /// Discard a control frame whose bytes failed wire decoding. The
+    /// simulator records a [`DropReason::Malformed`] drop and a
+    /// [`TraceEvent::ControlDrop`] so corruption-fault workloads show up
+    /// in metrics instead of vanishing silently.
+    DropMalformed {
+        /// Claimed kind of the undecodable frame.
+        kind: ControlKind,
     },
     /// Request a timer callback `token` after `delay`.
     ///
@@ -231,6 +243,11 @@ impl<'a> Ctx<'a> {
     /// Drops a data packet.
     pub fn drop_data(&mut self, data: DataPacket, reason: DropReason) {
         self.push(Action::DropData { data, reason });
+    }
+
+    /// Discards an undecodable control frame, recording the loss.
+    pub fn drop_malformed(&mut self, kind: ControlKind) {
+        self.push(Action::DropMalformed { kind });
     }
 
     /// Schedules a timer.

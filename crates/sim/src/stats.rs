@@ -75,14 +75,20 @@ impl FromIterator<f64> for Accumulator {
 }
 
 /// Nearest-rank percentile of a sample, `p` in `[0, 100]`. Total on
-/// degenerate input: an empty sample yields 0 and NaN samples sort
-/// last, so the result is never NaN for `p < 100` over real data.
+/// degenerate input: an empty sample yields 0, and the sort uses the
+/// IEEE 754 total order ([`f64::total_cmp`]), under which positive NaN
+/// sorts after every real number — so the result is a well-defined
+/// function of the sample *set*, independent of input order, and never
+/// NaN for `p < 100` over real data. (The previous
+/// `partial_cmp(..).unwrap_or(Less)` comparator was not a total order:
+/// a NaN anywhere in the sample made the sort — and therefore the
+/// reported percentile — depend on the input permutation.)
 pub fn percentile(samples: &[f64], p: f64) -> f64 {
     if samples.is_empty() {
         return 0.0;
     }
     let mut sorted: Vec<f64> = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Less));
+    sorted.sort_by(f64::total_cmp);
     let p = p.clamp(0.0, 100.0);
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[rank.max(1) - 1]
@@ -170,5 +176,51 @@ mod tests {
         let acc: Accumulator = [1.0, 2.0, 3.0].into_iter().collect();
         let s = acc.display(2);
         assert!(s.starts_with("2.00 ± "), "{s}");
+    }
+
+    #[test]
+    fn percentile_nan_sorts_last() {
+        // With total_cmp, a NaN cannot displace real samples: the
+        // median of {1, 2, NaN} is 2 no matter where the NaN sits.
+        for xs in [[f64::NAN, 1.0, 2.0], [1.0, f64::NAN, 2.0], [1.0, 2.0, f64::NAN]] {
+            assert_eq!(percentile(&xs, 50.0), 2.0, "{xs:?}");
+        }
+        // Only the top rank ever sees the NaN.
+        assert!(percentile(&[1.0, f64::NAN], 100.0).is_nan());
+        assert!(!percentile(&[1.0, f64::NAN], 50.0).is_nan());
+    }
+
+    proptest::proptest! {
+        /// Percentile is a function of the sample multiset: any
+        /// permutation of the input — including inputs containing NaN —
+        /// yields a bit-identical result at every rank.
+        #[test]
+        fn percentile_is_permutation_invariant(
+            raw in proptest::collection::vec((0u8..12, 0u32..1000), 1..24),
+            rot in 0usize..24,
+            p in 0u32..101,
+        ) {
+            let xs: Vec<f64> = raw
+                .iter()
+                .map(|&(tag, v)| match tag {
+                    0 => f64::NAN,
+                    1 => -f64::NAN,
+                    2 => f64::INFINITY,
+                    3 => f64::NEG_INFINITY,
+                    4 => -0.0,
+                    _ => (f64::from(v) - 500.0) / 8.0,
+                })
+                .collect();
+            // Two deterministic permutations: a rotation and a reversal.
+            let mut rotated = xs.clone();
+            rotated.rotate_left(rot % xs.len());
+            let mut reversed = xs.clone();
+            reversed.reverse();
+            let p = f64::from(p);
+            let base = percentile(&xs, p);
+            for other in [percentile(&rotated, p), percentile(&reversed, p)] {
+                proptest::prop_assert_eq!(base.to_bits(), other.to_bits());
+            }
+        }
     }
 }

@@ -259,6 +259,7 @@ pub fn drop_reason_name(r: DropReason) -> &'static str {
         DropReason::TtlExpired => "ttl_expired",
         DropReason::BufferOverflow => "buffer_overflow",
         DropReason::BrokenSourceRoute => "broken_source_route",
+        DropReason::Malformed => "malformed",
         DropReason::Other => "other",
     }
 }
@@ -340,6 +341,14 @@ pub fn event_to_jsonl(i: u64, t: SimTime, e: &TraceEvent) -> String {
                 "data_drop\",\"node\":{},\"flow\":{flow},\"seq\":{seq},\"reason\":\"{}\"",
                 node.0,
                 drop_reason_name(*reason)
+            );
+        }
+        TraceEvent::ControlDrop { node, kind } => {
+            let _ = write!(
+                out,
+                "control_drop\",\"node\":{},\"kind\":\"{}\"",
+                node.0,
+                control_kind_name(*kind)
             );
         }
         TraceEvent::RouteInstall { node, dest, next, before, after } => {
@@ -561,6 +570,7 @@ mod tests {
                 seq: 6,
             },
             TraceEvent::DataDrop { node: NodeId(1), flow: 5, seq: 7, reason: DropReason::NoRoute },
+            TraceEvent::ControlDrop { node: NodeId(1), kind: ControlKind::Rreq },
             TraceEvent::RouteInstall {
                 node: NodeId(0),
                 dest: NodeId(2),
@@ -691,7 +701,7 @@ mod tests {
             delivered_w: 2,
             originated_w: 4,
             control_tx_w: [1, 2, 3, 4, 5, 6],
-            drops: [1, 0, 0, 0, 2],
+            drops: [1, 0, 0, 0, 0, 2],
             route_entries: 9,
             route_valid: 7,
             fel_depth: 33,

@@ -100,11 +100,18 @@ impl SimDuration {
 
     /// Constructs a span from fractional seconds.
     ///
+    /// Negative and non-finite input is a caller bug (durations are
+    /// unsigned), flagged by a debug assertion. Release builds clamp
+    /// instead of corrupting the clock: NaN and negatives become
+    /// [`SimDuration::ZERO`], `+inf` (and any overflow of the `u64`
+    /// nanosecond range) saturates to the maximum span — the semantics
+    /// of Rust's saturating float→int cast.
+    ///
     /// # Panics
     ///
-    /// Panics if `s` is negative or not finite.
+    /// Debug builds panic if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        debug_assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative: {s}");
         SimDuration((s * 1e9).round() as u64)
     }
 
@@ -223,10 +230,39 @@ mod tests {
         assert_eq!(SimDuration::from_secs_f64(0.0).as_nanos(), 0);
     }
 
+    // Misuse of `from_secs_f64` trips the debug assertion in debug
+    // builds (the profile tests run under)...
+    #[cfg(debug_assertions)]
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "finite and non-negative")]
     fn from_secs_f64_rejects_negative() {
         let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn from_secs_f64_rejects_nan() {
+        let _ = SimDuration::from_secs_f64(f64::NAN);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn from_secs_f64_rejects_infinity() {
+        let _ = SimDuration::from_secs_f64(f64::INFINITY);
+    }
+
+    // ...and clamps deterministically in release builds (exercised by
+    // `cargo test --release`): NaN and negatives to zero, +inf to the
+    // maximum span.
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn from_secs_f64_clamps_in_release() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0).as_nanos(), 0);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN).as_nanos(), 0);
+        assert_eq!(SimDuration::from_secs_f64(f64::NEG_INFINITY).as_nanos(), 0);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY).as_nanos(), u64::MAX);
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //! [`RrepSend`]: TraceEvent::RrepSend
 //! [`RerrSend`]: TraceEvent::RerrSend
 
-use crate::packet::NodeId;
+use crate::packet::{ControlKind, NodeId};
 use crate::protocol::DropReason;
 use crate::time::SimTime;
 use std::sync::{Arc, Mutex};
@@ -151,6 +151,15 @@ pub enum TraceEvent {
         seq: u32,
         /// Why the packet was dropped.
         reason: DropReason,
+    },
+    /// A control frame failed wire decoding (truncated or mutated by
+    /// the fault layer) and was discarded by the routing layer instead
+    /// of being processed. Counted under [`DropReason::Malformed`].
+    ControlDrop {
+        /// The node that rejected the frame.
+        node: NodeId,
+        /// Claimed message kind of the undecodable frame.
+        kind: ControlKind,
     },
     /// A route was installed or its successor replaced.
     RouteInstall {
@@ -307,6 +316,7 @@ impl TraceEvent {
             | TraceEvent::Delivered { node, .. }
             | TraceEvent::DataSend { node, .. }
             | TraceEvent::DataDrop { node, .. }
+            | TraceEvent::ControlDrop { node, .. }
             | TraceEvent::RouteInstall { node, .. }
             | TraceEvent::RouteInvalidate { node, .. }
             | TraceEvent::SeqnoReset { node, .. }

@@ -120,6 +120,7 @@ fn check_repo(root: &Path) -> Vec<Violation> {
             if rel.ends_with("crates/sim/src/faults.rs")
                 || rel.ends_with("crates/sim/src/spatial.rs")
                 || rel.ends_with("crates/sim/src/telemetry.rs")
+                || rel.ends_with("crates/sim/src/parallel.rs")
             {
                 scan_substrings(&ctx, &rel, "fault-determinism", FAULT_ORDER_PATTERNS, &mut out);
             }
@@ -557,10 +558,10 @@ fn f(e: &mut E) {
     fn fault_lint_scopes_to_the_deterministic_replay_modules_only() {
         // The in-tree simulator uses HashMap freely elsewhere (e.g.
         // metrics counters); the determinism ban must bind only to
-        // faults.rs, spatial.rs and telemetry.rs. Guard the scoping,
-        // not just the pattern list. This also proves the real
-        // telemetry module is HashMap/HashSet-free, since check_repo
-        // scans it here.
+        // faults.rs, spatial.rs, telemetry.rs and parallel.rs. Guard
+        // the scoping, not just the pattern list. This also proves the
+        // real telemetry and parallel-kernel modules are
+        // HashMap/HashSet-free, since check_repo scans them here.
         let root = workspace_root();
         let metrics = root.join("crates/sim/src/metrics.rs");
         let src = fs::read_to_string(metrics).expect("metrics.rs readable");
@@ -602,6 +603,28 @@ fn f(e: &mut E) {
         scan_substrings(
             &c,
             Path::new("crates/sim/src/telemetry.rs"),
+            "fault-determinism",
+            FAULT_ORDER_PATTERNS,
+            &mut v,
+        );
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn fault_lint_covers_the_parallel_kernel() {
+        // parallel.rs promises byte-identical merges for every worker
+        // count; an unordered map in the partitioner, the shard effect
+        // buffers or the replay heap would make the canonical order a
+        // fiction. (check_repo scanning the real module in
+        // fault_lint_scopes_to_the_deterministic_replay_modules_only
+        // proves it is currently HashMap/HashSet-free.)
+        let src = "fn f() { let s: std::collections::HashMap<u8, u8> = Default::default(); }\n";
+        let c = ctx(src);
+        let mut v = Vec::new();
+        scan_substrings(
+            &c,
+            Path::new("crates/sim/src/parallel.rs"),
             "fault-determinism",
             FAULT_ORDER_PATTERNS,
             &mut v,
