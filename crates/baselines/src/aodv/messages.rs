@@ -2,6 +2,7 @@
 //! the paper compares against) with a fixed wire layout.
 
 use manet_sim::packet::NodeId;
+use manet_sim::wire::{clamp_count, get_u16, get_u32, get_u8};
 
 /// AODV route request.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -84,20 +85,20 @@ impl Rreq {
 
     /// Decodes; `None` on malformed input.
     pub fn decode(b: &[u8]) -> Option<Self> {
-        if b.len() != RREQ_LEN || b[0] != 1 {
+        if b.len() != RREQ_LEN || get_u8(b, 0)? != 1 {
             return None;
         }
-        let u32at = |i: usize| u32::from_be_bytes([b[i], b[i + 1], b[i + 2], b[i + 3]]);
-        let u16at = |i: usize| u16::from_be_bytes([b[i], b[i + 1]]);
+        let f = get_u8(b, 1)?;
+        let dst_seq = if f & 1 == 0 { Some(get_u32(b, 12)?) } else { None };
         Some(Rreq {
-            dst: NodeId(u16at(8)),
-            dst_seq: (b[1] & 1 == 0).then(|| u32at(12)),
-            rreqid: u32at(4),
-            src: NodeId(u16at(10)),
-            src_seq: u32at(16),
-            hop_count: b[2],
-            ttl: b[3],
-            dest_only: b[1] & 2 != 0,
+            dst: NodeId(get_u16(b, 8)?),
+            dst_seq,
+            rreqid: get_u32(b, 4)?,
+            src: NodeId(get_u16(b, 10)?),
+            src_seq: get_u32(b, 16)?,
+            hop_count: get_u8(b, 2)?,
+            ttl: get_u8(b, 3)?,
+            dest_only: f & 2 != 0,
         })
     }
 }
@@ -120,17 +121,15 @@ impl Rrep {
 
     /// Decodes; `None` on malformed input.
     pub fn decode(b: &[u8]) -> Option<Self> {
-        if b.len() != RREP_LEN || b[0] != 2 {
+        if b.len() != RREP_LEN || get_u8(b, 0)? != 2 {
             return None;
         }
-        let u32at = |i: usize| u32::from_be_bytes([b[i], b[i + 1], b[i + 2], b[i + 3]]);
-        let u16at = |i: usize| u16::from_be_bytes([b[i], b[i + 1]]);
         Some(Rrep {
-            dst: NodeId(u16at(4)),
-            dst_seq: u32at(8),
-            orig: NodeId(u16at(6)),
-            hop_count: b[2],
-            lifetime_ms: u32at(12),
+            dst: NodeId(get_u16(b, 4)?),
+            dst_seq: get_u32(b, 8)?,
+            orig: NodeId(get_u16(b, 6)?),
+            hop_count: get_u8(b, 2)?,
+            lifetime_ms: get_u32(b, 12)?,
         })
     }
 }
@@ -138,11 +137,12 @@ impl Rrep {
 impl Rerr {
     /// Encodes: 4-byte header plus 8 bytes per entry.
     pub fn encode(&self) -> Vec<u8> {
+        let count = clamp_count(self.entries.len());
         let mut b = Vec::with_capacity(4 + 8 * self.entries.len());
         b.push(3u8);
-        b.push(self.entries.len() as u8);
+        b.push(count);
         b.extend_from_slice(&[0, 0]);
-        for e in &self.entries {
+        for e in self.entries.iter().take(usize::from(count)) {
             b.extend_from_slice(&e.dst.0.to_be_bytes());
             b.extend_from_slice(&[0, 0]);
             b.extend_from_slice(&e.dst_seq.to_be_bytes());
@@ -152,21 +152,18 @@ impl Rerr {
 
     /// Decodes; `None` on malformed input.
     pub fn decode(b: &[u8]) -> Option<Self> {
-        if b.len() < 4 || b[0] != 3 {
+        if get_u8(b, 0)? != 3 {
             return None;
         }
-        let count = b[1] as usize;
-        if b.len() != 4 + 8 * count {
+        let count = usize::from(get_u8(b, 1)?);
+        let body = b.get(4..)?;
+        if body.len() != count.checked_mul(8)? {
             return None;
         }
-        let mut entries = Vec::with_capacity(count);
-        for i in 0..count {
-            let at = 4 + 8 * i;
-            entries.push(RerrEntry {
-                dst: NodeId(u16::from_be_bytes([b[at], b[at + 1]])),
-                dst_seq: u32::from_be_bytes([b[at + 4], b[at + 5], b[at + 6], b[at + 7]]),
-            });
-        }
+        let entries = body
+            .chunks_exact(8)
+            .map(|c| Some(RerrEntry { dst: NodeId(get_u16(c, 0)?), dst_seq: get_u32(c, 4)? }))
+            .collect::<Option<Vec<_>>>()?;
         Some(Rerr { entries })
     }
 }

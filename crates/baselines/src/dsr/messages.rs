@@ -3,6 +3,7 @@
 //! runs used; the draft-07 differences live in [`super::DsrConfig`]).
 
 use manet_sim::packet::NodeId;
+use manet_sim::wire::{get_u16, get_u32, get_u8, push_node_list, read_node_list};
 
 /// Route request with its accumulated route record (intermediate
 /// relays only; the originator is in `src`).
@@ -60,27 +61,6 @@ pub struct SourceRoute {
     pub salvage: u8,
 }
 
-fn push_nodes(b: &mut Vec<u8>, nodes: &[NodeId]) {
-    b.push(nodes.len() as u8);
-    for n in nodes {
-        b.extend_from_slice(&n.0.to_be_bytes());
-    }
-}
-
-fn read_nodes(b: &[u8], at: usize) -> Option<(Vec<NodeId>, usize)> {
-    let len = *b.get(at)? as usize;
-    let end = at + 1 + 2 * len;
-    if b.len() < end {
-        return None;
-    }
-    let mut v = Vec::with_capacity(len);
-    for i in 0..len {
-        let o = at + 1 + 2 * i;
-        v.push(NodeId(u16::from_be_bytes([b[o], b[o + 1]])));
-    }
-    Some((v, end))
-}
-
 impl Rreq {
     /// Encodes the request.
     pub fn encode(&self) -> Vec<u8> {
@@ -88,24 +68,24 @@ impl Rreq {
         b.extend_from_slice(&self.src.0.to_be_bytes());
         b.extend_from_slice(&self.dst.0.to_be_bytes());
         b.extend_from_slice(&self.id.to_be_bytes());
-        push_nodes(&mut b, &self.route);
+        push_node_list(&mut b, &self.route);
         b
     }
 
     /// Decodes; `None` on malformed input.
     pub fn decode(b: &[u8]) -> Option<Self> {
-        if b.len() < 11 || b[0] != 1 {
+        if get_u8(b, 0)? != 1 {
             return None;
         }
-        let (route, end) = read_nodes(b, 10)?;
+        let (route, end) = read_node_list(b, 10)?;
         if end != b.len() {
             return None;
         }
         Some(Rreq {
-            src: NodeId(u16::from_be_bytes([b[2], b[3]])),
-            dst: NodeId(u16::from_be_bytes([b[4], b[5]])),
-            id: u32::from_be_bytes([b[6], b[7], b[8], b[9]]),
-            ttl: b[1],
+            src: NodeId(get_u16(b, 2)?),
+            dst: NodeId(get_u16(b, 4)?),
+            id: get_u32(b, 6)?,
+            ttl: get_u8(b, 1)?,
             route,
         })
     }
@@ -117,25 +97,20 @@ impl Rrep {
         let mut b = vec![2u8, self.idx];
         b.extend_from_slice(&self.orig.0.to_be_bytes());
         b.extend_from_slice(&self.id.to_be_bytes());
-        push_nodes(&mut b, &self.path);
+        push_node_list(&mut b, &self.path);
         b
     }
 
     /// Decodes; `None` on malformed input.
     pub fn decode(b: &[u8]) -> Option<Self> {
-        if b.len() < 9 || b[0] != 2 {
+        if get_u8(b, 0)? != 2 {
             return None;
         }
-        let (path, end) = read_nodes(b, 8)?;
+        let (path, end) = read_node_list(b, 8)?;
         if end != b.len() {
             return None;
         }
-        Some(Rrep {
-            orig: NodeId(u16::from_be_bytes([b[2], b[3]])),
-            id: u32::from_be_bytes([b[4], b[5], b[6], b[7]]),
-            path,
-            idx: b[1],
-        })
+        Some(Rrep { orig: NodeId(get_u16(b, 2)?), id: get_u32(b, 4)?, path, idx: get_u8(b, 1)? })
     }
 }
 
@@ -146,23 +121,23 @@ impl Rerr {
         b.extend_from_slice(&self.from.0.to_be_bytes());
         b.extend_from_slice(&self.to.0.to_be_bytes());
         b.extend_from_slice(&self.target.0.to_be_bytes());
-        push_nodes(&mut b, &self.path);
+        push_node_list(&mut b, &self.path);
         b
     }
 
     /// Decodes; `None` on malformed input.
     pub fn decode(b: &[u8]) -> Option<Self> {
-        if b.len() < 9 || b[0] != 3 {
+        if get_u8(b, 0)? != 3 {
             return None;
         }
-        let (path, end) = read_nodes(b, 8)?;
+        let (path, end) = read_node_list(b, 8)?;
         if end != b.len() {
             return None;
         }
         Some(Rerr {
-            from: NodeId(u16::from_be_bytes([b[2], b[3]])),
-            to: NodeId(u16::from_be_bytes([b[4], b[5]])),
-            target: NodeId(u16::from_be_bytes([b[6], b[7]])),
+            from: NodeId(get_u16(b, 2)?),
+            to: NodeId(get_u16(b, 4)?),
+            target: NodeId(get_u16(b, 6)?),
             path,
         })
     }
@@ -172,25 +147,22 @@ impl SourceRoute {
     /// Encodes into a data packet's extension bytes.
     pub fn encode(&self) -> Vec<u8> {
         let mut b = vec![self.idx, self.salvage];
-        push_nodes(&mut b, &self.path);
+        push_node_list(&mut b, &self.path);
         b
     }
 
     /// Decodes; `None` on malformed input.
     pub fn decode(b: &[u8]) -> Option<Self> {
-        if b.len() < 3 {
-            return None;
-        }
-        let (path, end) = read_nodes(b, 2)?;
+        let (path, end) = read_node_list(b, 2)?;
         if end != b.len() {
             return None;
         }
-        Some(SourceRoute { path, idx: b[0], salvage: b[1] })
+        Some(SourceRoute { path, idx: get_u8(b, 0)?, salvage: get_u8(b, 1)? })
     }
 
     /// The next hop from the current holder, if any.
     pub fn next_hop(&self) -> Option<NodeId> {
-        self.path.get(self.idx as usize + 1).copied()
+        self.path.get(usize::from(self.idx).checked_add(1)?).copied()
     }
 }
 

@@ -461,15 +461,18 @@ impl RoutingProtocol for Dsr {
             return;
         }
         let attempts = d.attempts + 1;
+        let generation = d.generation;
         if attempts > self.cfg.max_attempts {
-            let d = self.pending.remove(&dest).expect("checked above");
-            for p in d.queue {
-                ctx.drop_data(p, DropReason::NoRoute);
+            if let Some(d) = self.pending.remove(&dest) {
+                for p in d.queue {
+                    ctx.drop_data(p, DropReason::NoRoute);
+                }
+                ctx.count(ProtoCounter::DiscoveryFailed);
             }
-            ctx.count(ProtoCounter::DiscoveryFailed);
         } else {
-            let generation = d.generation;
-            self.pending.get_mut(&dest).expect("checked above").attempts = attempts;
+            if let Some(d) = self.pending.get_mut(&dest) {
+                d.attempts = attempts;
+            }
             self.send_rreq(ctx, dest, attempts, generation);
         }
     }
@@ -485,12 +488,13 @@ impl RoutingProtocol for Dsr {
         };
         // Report the broken link to the packet's source.
         let holder = (sr.idx as usize).saturating_sub(1).min(sr.path.len().saturating_sub(1));
-        if sr.path.first() != Some(&self.id) && holder > 0 {
-            let mut back: Vec<NodeId> = sr.path[..holder].iter().rev().copied().collect();
-            let target = *sr.path.first().expect("non-empty path");
-            let first = back.remove(0);
-            let rerr = Rerr { from: self.id, to: next_hop, target, path: back };
-            ctx.unicast_control(first, ControlKind::Rerr, rerr.encode(), true, false);
+        if let Some(&target) = sr.path.first() {
+            if target != self.id && holder > 0 {
+                let mut back: Vec<NodeId> = sr.path[..holder].iter().rev().copied().collect();
+                let first = back.remove(0);
+                let rerr = Rerr { from: self.id, to: next_hop, target, path: back };
+                ctx.unicast_control(first, ControlKind::Rerr, rerr.encode(), true, false);
+            }
         }
         // Salvage onto an alternate cached route, or drop / re-discover.
         if data.src == self.id {

@@ -2,6 +2,7 @@
 //! link sensing / MPR signalling and TCs for topology dissemination.
 
 use manet_sim::packet::NodeId;
+use manet_sim::wire::{clamp_count, get_u16, get_u8, push_ids, read_ids};
 
 /// A neighbour-sensing hello.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -29,42 +30,39 @@ pub struct Tc {
     pub selectors: Vec<NodeId>,
 }
 
-fn push_ids(b: &mut Vec<u8>, ids: &[NodeId]) {
-    for n in ids {
-        b.extend_from_slice(&n.0.to_be_bytes());
-    }
-}
-
-fn read_ids(b: &[u8], at: usize, n: usize) -> Option<Vec<NodeId>> {
-    let end = at + 2 * n;
-    if b.len() < end {
-        return None;
-    }
-    Some((0..n).map(|i| NodeId(u16::from_be_bytes([b[at + 2 * i], b[at + 2 * i + 1]]))).collect())
-}
-
 impl Hello {
     /// Encodes the hello.
     pub fn encode(&self) -> Vec<u8> {
-        let mut b = vec![4u8, self.sym.len() as u8, self.heard.len() as u8, self.mpr.len() as u8];
-        push_ids(&mut b, &self.sym);
-        push_ids(&mut b, &self.heard);
-        push_ids(&mut b, &self.mpr);
+        let (ks, kh, km) = (
+            clamp_count(self.sym.len()),
+            clamp_count(self.heard.len()),
+            clamp_count(self.mpr.len()),
+        );
+        let mut b = vec![4u8, ks, kh, km];
+        push_ids(&mut b, &self.sym, ks);
+        push_ids(&mut b, &self.heard, kh);
+        push_ids(&mut b, &self.mpr, km);
         b
     }
 
     /// Decodes; `None` on malformed input.
     pub fn decode(b: &[u8]) -> Option<Self> {
-        if b.len() < 4 || b[0] != 4 {
+        if get_u8(b, 0)? != 4 {
             return None;
         }
-        let (ns, nh, nm) = (b[1] as usize, b[2] as usize, b[3] as usize);
-        if b.len() != 4 + 2 * (ns + nh + nm) {
+        let ns = usize::from(get_u8(b, 1)?);
+        let nh = usize::from(get_u8(b, 2)?);
+        let nm = usize::from(get_u8(b, 3)?);
+        let mut at = 4usize;
+        let sym = read_ids(b, at, ns)?;
+        at = at.checked_add(ns.checked_mul(2)?)?;
+        let heard = read_ids(b, at, nh)?;
+        at = at.checked_add(nh.checked_mul(2)?)?;
+        let mpr = read_ids(b, at, nm)?;
+        at = at.checked_add(nm.checked_mul(2)?)?;
+        if at != b.len() {
             return None;
         }
-        let sym = read_ids(b, 4, ns)?;
-        let heard = read_ids(b, 4 + 2 * ns, nh)?;
-        let mpr = read_ids(b, 4 + 2 * (ns + nh), nm)?;
         Some(Hello { sym, heard, mpr })
     }
 }
@@ -76,25 +74,26 @@ impl Tc {
         b.extend_from_slice(&self.originator.0.to_be_bytes());
         b.extend_from_slice(&self.ansn.to_be_bytes());
         b.extend_from_slice(&self.seq.to_be_bytes());
-        b.push(self.selectors.len() as u8);
-        push_ids(&mut b, &self.selectors);
+        let k = clamp_count(self.selectors.len());
+        b.push(k);
+        push_ids(&mut b, &self.selectors, k);
         b
     }
 
     /// Decodes; `None` on malformed input.
     pub fn decode(b: &[u8]) -> Option<Self> {
-        if b.len() < 9 || b[0] != 5 {
+        if get_u8(b, 0)? != 5 {
             return None;
         }
-        let n = b[8] as usize;
-        if b.len() != 9 + 2 * n {
+        let n = usize::from(get_u8(b, 8)?);
+        if b.len() != 9usize.checked_add(n.checked_mul(2)?)? {
             return None;
         }
         Some(Tc {
-            originator: NodeId(u16::from_be_bytes([b[2], b[3]])),
-            ansn: u16::from_be_bytes([b[4], b[5]]),
-            seq: u16::from_be_bytes([b[6], b[7]]),
-            ttl: b[1],
+            originator: NodeId(get_u16(b, 2)?),
+            ansn: get_u16(b, 4)?,
+            seq: get_u16(b, 6)?,
+            ttl: get_u8(b, 1)?,
             selectors: read_ids(b, 9, n)?,
         })
     }

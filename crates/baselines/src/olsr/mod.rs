@@ -21,7 +21,7 @@ use manet_sim::protocol::{Ctx, DropReason, RouteDump, RouteTelemetry, RoutingPro
 use manet_sim::time::{SimDuration, SimTime};
 use manet_sim::trace::{InvalidateCause, InvariantSnapshot, TraceEvent};
 use messages::{Hello, Tc};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 /// Protocol state maps use the deterministic Fx hasher: every iteration
 /// over them is order-insensitive (sorted or commutative afterwards),
@@ -180,8 +180,10 @@ impl Olsr {
     pub(crate) fn recompute_mprs(&mut self, now: SimTime) {
         let n1: Vec<NodeId> = self.sym_neighbors(now);
         let n1_set: HashSet<NodeId> = n1.iter().copied().collect();
-        // coverage[n2] = the one-hop neighbours reaching it.
-        let mut coverage: HashMap<NodeId, Vec<NodeId>> = HashMap::new();
+        // coverage[n2] = the one-hop neighbours reaching it. Ordered
+        // maps: the greedy loop below iterates these, and iteration
+        // order must not depend on process-level hash state.
+        let mut coverage: BTreeMap<NodeId, Vec<NodeId>> = BTreeMap::new();
         for &n in &n1 {
             if let Some((twos, exp)) = self.two_hop.get(&n) {
                 if *exp > now {
@@ -194,12 +196,11 @@ impl Olsr {
             }
         }
         let mut mprs: FxSet<NodeId> = FxSet::default();
-        let mut uncovered: HashSet<NodeId> = coverage.keys().copied().collect();
+        let mut uncovered: BTreeSet<NodeId> = coverage.keys().copied().collect();
         // Mandatory: sole providers.
-        for (t, providers) in &coverage {
+        for providers in coverage.values() {
             if providers.len() == 1 {
                 mprs.insert(providers[0]);
-                let _ = t;
             }
         }
         uncovered.retain(|t| !coverage[t].iter().any(|p| mprs.contains(p)));

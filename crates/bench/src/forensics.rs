@@ -7,7 +7,7 @@
 //! the simulator's own `sim::audit` machinery, so the two
 //! implementations cross-check each other.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
 // ----- a minimal JSON reader --------------------------------------------
@@ -400,8 +400,9 @@ fn fmt_snapshot(v: &Json) -> String {
 /// Install→invalidate spans for one destination, per node, with a
 /// lifetime (churn) histogram.
 pub fn route_lifetimes(trace: &TraceFile, dst: u64) -> String {
-    // node -> (installs, invalidates, open install time)
-    let mut per_node: HashMap<u64, (u64, u64, Option<u64>)> = HashMap::new();
+    // node -> (installs, invalidates, open install time). Ordered map:
+    // the totals below iterate it and the report must be byte-stable.
+    let mut per_node: BTreeMap<u64, (u64, u64, Option<u64>)> = BTreeMap::new();
     let mut spans_ns: Vec<u64> = Vec::new();
     let mut end_ns: u64 = 0;
     for ev in &trace.events {
@@ -440,8 +441,7 @@ pub fn route_lifetimes(trace: &TraceFile, dst: u64) -> String {
     }
     // Spans still open at trace end run to the last event's timestamp.
     let mut open = 0u64;
-    let mut nodes: Vec<u64> = per_node.keys().copied().collect();
-    nodes.sort_unstable();
+    let nodes: Vec<u64> = per_node.keys().copied().collect();
     let _ = writeln!(out, "route-lifetimes dest={dst}:");
     let _ = writeln!(out, "  node  installs  invalidates  state");
     for n in nodes {

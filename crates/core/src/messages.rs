@@ -11,6 +11,7 @@
 use crate::invariants::Distance;
 use crate::seqno::SeqNo;
 use manet_sim::packet::NodeId;
+use manet_sim::wire::{get_u16, get_u32, get_u64, get_u8, put_u16, put_u32, put_u64};
 
 /// Flag bits carried in RREQ/RREP headers.
 pub mod flags {
@@ -96,34 +97,12 @@ pub struct Rerr {
 const RREQ_LEN: usize = 36;
 const RREP_LEN: usize = 28;
 
-fn put_u16(buf: &mut Vec<u8>, v: u16) {
-    buf.extend_from_slice(&v.to_be_bytes());
-}
-fn put_u32(buf: &mut Vec<u8>, v: u32) {
-    buf.extend_from_slice(&v.to_be_bytes());
-}
-fn put_u64(buf: &mut Vec<u8>, v: u64) {
-    buf.extend_from_slice(&v.to_be_bytes());
-}
-// Bounds-checked big-endian readers. These return `None` instead of
-// panicking on truncated input: wire bytes come off a simulated radio
-// that the fault layer can corrupt arbitrarily, so every read must be
-// total — a decoder slip (a new field, a stale length constant) must
-// surface as a rejected packet, never as a kernel panic.
-fn get_u16(b: &[u8], at: usize) -> Option<u16> {
-    let s = b.get(at..at.checked_add(2)?)?;
-    Some(u16::from_be_bytes([s[0], s[1]]))
-}
-fn get_u32(b: &[u8], at: usize) -> Option<u32> {
-    let s = b.get(at..at.checked_add(4)?)?;
-    Some(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
-}
-fn get_u64(b: &[u8], at: usize) -> Option<u64> {
-    let s = b.get(at..at.checked_add(8)?)?;
-    let mut x = [0u8; 8];
-    x.copy_from_slice(s);
-    Some(u64::from_be_bytes(x))
-}
+// The bounds-checked big-endian readers/writers live in
+// `manet_sim::wire`: they return `None` instead of panicking on
+// truncated input, because wire bytes come off a simulated radio that
+// the fault layer can corrupt arbitrarily — a decoder slip (a new
+// field, a stale length constant) must surface as a rejected packet,
+// never as a kernel panic.
 
 impl Rreq {
     /// Encodes to the 32-byte wire layout.
@@ -159,10 +138,10 @@ impl Rreq {
 
     /// Decodes from the wire layout; `None` on malformed input.
     pub fn decode(b: &[u8]) -> Option<Self> {
-        if b.len() != RREQ_LEN || b[0] != 1 {
+        if b.len() != RREQ_LEN || get_u8(b, 0)? != 1 {
             return None;
         }
-        let f = b[1];
+        let f = get_u8(b, 1)?;
         let sn_dst =
             if f & flags::SN_UNKNOWN != 0 { None } else { Some(SeqNo::from_u64(get_u64(b, 12)?)) };
         Some(Rreq {
@@ -173,7 +152,7 @@ impl Rreq {
             sn_src: SeqNo::from_u64(get_u64(b, 20)?),
             fd: get_u32(b, 28)?,
             dist: get_u32(b, 32)?,
-            ttl: b[2],
+            ttl: get_u8(b, 2)?,
             t_bit: f & flags::T != 0,
             n_bit: f & flags::N != 0,
             d_bit: f & flags::D != 0,
@@ -204,7 +183,7 @@ impl Rrep {
 
     /// Decodes from the wire layout; `None` on malformed input.
     pub fn decode(b: &[u8]) -> Option<Self> {
-        if b.len() != RREP_LEN || b[0] != 2 {
+        if b.len() != RREP_LEN || get_u8(b, 0)? != 2 {
             return None;
         }
         Some(Rrep {
@@ -214,7 +193,7 @@ impl Rrep {
             rreqid: get_u32(b, 8)?,
             dist: get_u32(b, 20)?,
             lifetime_ms: get_u32(b, 24)?,
-            n_bit: b[1] & flags::N != 0,
+            n_bit: get_u8(b, 1)? & flags::N != 0,
         })
     }
 }
@@ -222,11 +201,12 @@ impl Rrep {
 impl Rerr {
     /// Encodes: 4-byte header plus 12 bytes per entry.
     pub fn encode(&self) -> Vec<u8> {
+        let count = manet_sim::wire::clamp_count(self.entries.len());
         let mut b = Vec::with_capacity(4 + 12 * self.entries.len());
         b.push(3u8); // type
-        b.push(self.entries.len() as u8);
+        b.push(count);
         put_u16(&mut b, 0); // reserved
-        for e in &self.entries {
+        for e in self.entries.iter().take(usize::from(count)) {
             put_u16(&mut b, e.dst.0);
             put_u16(&mut b, if e.sn.is_some() { 1 } else { 0 });
             put_u64(&mut b, e.sn.unwrap_or(SeqNo { epoch: 0, counter: 0 }).to_u64());
@@ -236,22 +216,24 @@ impl Rerr {
 
     /// Decodes; `None` on malformed input.
     pub fn decode(b: &[u8]) -> Option<Self> {
-        if b.len() < 4 || b[0] != 3 {
+        if get_u8(b, 0)? != 3 {
             return None;
         }
-        let count = b[1] as usize;
-        if b.len() != 4 + 12 * count {
+        let count = usize::from(get_u8(b, 1)?);
+        let body = b.get(4..)?;
+        if body.len() != count.checked_mul(12)? {
             return None;
         }
-        let mut entries = Vec::with_capacity(count);
-        for i in 0..count {
-            let at = 4 + 12 * i;
-            let has_sn = get_u16(b, at + 2)? != 0;
-            entries.push(RerrEntry {
-                dst: NodeId(get_u16(b, at)?),
-                sn: if has_sn { Some(SeqNo::from_u64(get_u64(b, at + 4)?)) } else { None },
-            });
-        }
+        let entries = body
+            .chunks_exact(12)
+            .map(|c| {
+                let has_sn = get_u16(c, 2)? != 0;
+                Some(RerrEntry {
+                    dst: NodeId(get_u16(c, 0)?),
+                    sn: if has_sn { Some(SeqNo::from_u64(get_u64(c, 4)?)) } else { None },
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
         Some(Rerr { entries })
     }
 }

@@ -28,7 +28,7 @@ use crate::protocol::RouteDump;
 use crate::telemetry::FlightEntry;
 use crate::time::SimTime;
 use crate::trace::TraceEvent;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 
 /// How many recent trace events the auditor retains for forensics.
@@ -142,7 +142,9 @@ impl fmt::Display for ForensicReport {
 pub struct InvariantAuditor {
     /// Last seen `(sn, fd)` per `(node, dest)` — the fd-monotonicity
     /// baseline.
-    baselines: HashMap<(NodeId, NodeId), (Option<u64>, u32)>,
+    /// Ordered map: `retain` below iterates it, and a breach report must
+    /// not depend on process-level hash state.
+    baselines: BTreeMap<(NodeId, NodeId), (Option<u64>, u32)>,
     /// Bounded ring of recent trace events (all nodes).
     recent: VecDeque<(SimTime, TraceEvent)>,
     /// Checks performed.

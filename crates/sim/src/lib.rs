@@ -86,6 +86,7 @@ pub mod telemetry;
 pub mod time;
 pub mod trace;
 pub mod traffic;
+pub mod wire;
 pub mod world;
 
 pub use config::{PhyConfig, SimConfig};

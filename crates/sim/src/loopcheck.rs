@@ -8,7 +8,7 @@
 //! or after every protocol event.
 
 use crate::packet::NodeId;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// A routing loop found by the auditor.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -38,8 +38,9 @@ impl std::fmt::Display for LoopViolation {
 /// its currently usable routes. Returns every distinct cycle found
 /// (one per destination at most, reported from the smallest entry node).
 pub fn find_loops(tables: &[Vec<(NodeId, NodeId)>]) -> Vec<LoopViolation> {
-    // successor[dest] : node -> next hop
-    let mut successor: HashMap<NodeId, HashMap<NodeId, NodeId>> = HashMap::new();
+    // successor[dest] : node -> next hop. Ordered maps so the
+    // destination sweep and start order are hash-state independent.
+    let mut successor: BTreeMap<NodeId, BTreeMap<NodeId, NodeId>> = BTreeMap::new();
     for (i, entries) in tables.iter().enumerate() {
         let me = NodeId(i as u16);
         for &(dest, next) in entries {
@@ -47,14 +48,10 @@ pub fn find_loops(tables: &[Vec<(NodeId, NodeId)>]) -> Vec<LoopViolation> {
         }
     }
     let mut violations = Vec::new();
-    let mut dests: Vec<NodeId> = successor.keys().copied().collect();
-    dests.sort_unstable();
-    for dest in dests {
-        let succ = &successor[&dest];
+    for (&dest, succ) in &successor {
         // Colour nodes: 0 unvisited, 1 on current path, 2 done.
         let mut colour: HashMap<NodeId, u8> = HashMap::new();
-        let mut starts: Vec<NodeId> = succ.keys().copied().collect();
-        starts.sort_unstable();
+        let starts: Vec<NodeId> = succ.keys().copied().collect();
         'outer: for &start in &starts {
             if colour.get(&start).copied().unwrap_or(0) != 0 {
                 continue;

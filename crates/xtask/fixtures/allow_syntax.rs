@@ -1,0 +1,19 @@
+//@ path: crates/sim/src/fixture_allow_syntax.rs
+//! Planted violations for the `allow-syntax` rule: escape hatches
+//! without a justification are themselves findings, and a justified
+//! allow suppresses exactly its named rule.
+
+fn bad_allow(v: Option<u8>) -> u8 {
+    // xtask:allow(no-panic)
+    v.unwrap()
+}
+
+fn unknown_rule(v: Option<u8>) -> u8 {
+    // xtask:allow(no-such-rule): misspelled rule ids must not pass
+    v.unwrap()
+}
+
+fn good_allow(v: Option<u8>) -> u8 {
+    // xtask:allow(no-panic): fixture demonstrating a justified allow
+    v.unwrap()
+}

@@ -1,0 +1,13 @@
+//@ path: crates/modelcheck/src/fixture_determinism.rs
+//! Planted violations for the `determinism` rule — in `modelcheck`,
+//! which the old scanner never covered.
+
+fn live() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+fn live2() -> u32 {
+    let mut rng = thread_rng();
+    rng.next_u32()
+}

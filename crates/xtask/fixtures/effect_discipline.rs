@@ -1,0 +1,19 @@
+//@ path: crates/sim/src/parallel.rs
+//! Planted violations for the `effect-discipline` rule: a worker
+//! closure reaching shared simulator state instead of buffering an
+//! `Effect`.
+
+fn kernel(scope: &Scope<'_>) {
+    scope.spawn(move || {
+        world.metrics.data_delivered += 1.0;
+    });
+    scope.spawn(move || run_component_fixture());
+}
+
+fn run_component_fixture() {
+    telemetry.record_sample();
+}
+
+fn coordinator_is_fine(world: &mut World) {
+    world.metrics.data_delivered += 1.0;
+}

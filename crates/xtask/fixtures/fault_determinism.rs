@@ -1,0 +1,8 @@
+//@ path: crates/sim/src/faults.rs
+//! Planted violations for the `fault-determinism` rule: std hash
+//! collections are banned outright in the fault layer.
+
+fn live() {
+    let mut pending: std::collections::HashMap<u64, u64> = Default::default();
+    pending.insert(1, 2);
+}

@@ -1,0 +1,24 @@
+//@ path: crates/sim/src/fixture_no_panic.rs
+//! Planted violations for the `no-panic` rule.
+
+fn live(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+fn live2(v: Option<u8>) -> u8 {
+    v.expect("present")
+}
+
+fn live3(kind: u8) {
+    match kind {
+        0 => {}
+        _ => unreachable!("planted"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn exempt(v: Option<u8>) -> u8 {
+        v.unwrap() // test code: not a finding
+    }
+}

@@ -1,0 +1,31 @@
+//@ path: crates/bench/src/fixture_ordered_iteration.rs
+//! Planted violations for the `ordered-iteration` rule: lookups into a
+//! std-hashed map are fine, iteration is the defect (PR 4's AODV bug).
+
+use std::collections::{HashMap, HashSet};
+
+fn live(seen: HashMap<u64, u64>) -> u64 {
+    let mut acc = 0;
+    for (_, v) in &seen {
+        acc ^= v; // order-dependent accumulation over SipHash order
+    }
+    acc
+}
+
+fn live2() {
+    let mut uniq: HashSet<u64> = HashSet::new();
+    uniq.insert(9);
+    uniq.retain(|&x| x > 3);
+}
+
+fn lookup_is_fine(seen: &HashMap<u64, u64>) -> Option<u64> {
+    seen.get(&7).copied()
+}
+
+fn explicit_hasher_is_fine(ordered: HashMap<u64, u64, FxBuild>) -> u64 {
+    let mut acc = 0;
+    for (_, v) in &ordered {
+        acc ^= v;
+    }
+    acc
+}

@@ -1,0 +1,20 @@
+//@ path: crates/baselines/src/dsr/messages.rs
+//! Planted violations for the `panic-surface-*` rules: bare indexing,
+//! unchecked offset arithmetic in a decode path, and a narrowing cast
+//! in an encode path.
+
+fn encode(entries: &[u16]) -> Vec<u8> {
+    let mut b = Vec::new();
+    b.push(entries.len() as u8);
+    b
+}
+
+fn decode(b: &[u8]) -> Option<(u8, usize)> {
+    let first = b[0];
+    let end = 4 + 2 * first as usize;
+    Some((first, end))
+}
+
+fn checked_is_fine(b: &[u8], at: usize) -> Option<u8> {
+    b.get(at.checked_add(1)?).copied()
+}

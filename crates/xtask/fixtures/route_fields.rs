@@ -1,0 +1,10 @@
+//@ path: crates/core/src/fixture_route_fields.rs
+//! Planted violations for the `route-fields` rule.
+
+fn live(entry: &mut RouteEntry) {
+    entry.fd = 7;
+    entry.dist += 1;
+    if entry.dist == 3 {
+        // Comparison, not mutation: no finding on the line above.
+    }
+}

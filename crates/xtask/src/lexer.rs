@@ -1,0 +1,363 @@
+//! A hand-rolled Rust lexer, correct by construction for the cases a
+//! substring scanner gets wrong: nested block comments, raw strings,
+//! byte strings, char literals vs lifetimes, and raw identifiers.
+//!
+//! Tokens carry byte spans into the source; comments are kept as
+//! trivia so the allowlist parser can read `xtask:allow` directives.
+
+/// What a token is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (including raw `r#ident`).
+    Ident,
+    /// `'a`, `'static`, `'_`.
+    Lifetime,
+    /// Integer or float literal.
+    Num,
+    /// String, raw string, byte string, or char literal.
+    Str,
+    /// `// …` (incl. doc comments).
+    LineComment,
+    /// `/* … */`, nesting handled.
+    BlockComment,
+    /// A single punctuation character (multi-char operators are
+    /// recognised positionally by the passes).
+    Punct,
+}
+
+/// One token: a kind plus the byte span `start..end` in the source.
+#[derive(Clone, Copy, Debug)]
+pub struct Token {
+    /// Token kind.
+    pub kind: Kind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+}
+
+impl Token {
+    /// The token's text.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+
+    /// True for comment trivia.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, Kind::LineComment | Kind::BlockComment)
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Length in bytes of the UTF-8 character whose lead byte is `c`.
+fn utf8_len(c: u8) -> usize {
+    match c {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Scans a `"…"` body starting at the opening quote; returns the offset
+/// one past the closing quote (or the end of input on truncation).
+fn scan_quoted(b: &[u8], mut i: usize) -> usize {
+    i += 1; // opening quote
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i = (i + 2).min(b.len()),
+            b'"' => return i + 1,
+            c => i += utf8_len(c),
+        }
+    }
+    i
+}
+
+/// Scans a raw string `r##"…"##` whose hashes start at `i`; returns the
+/// offset one past the final hash.
+fn scan_raw(b: &[u8], mut i: usize) -> usize {
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    i += 1; // opening quote (caller verified it)
+    while i < b.len() {
+        if b[i] == b'"'
+            && b.get(i + 1..i + 1 + hashes).is_some_and(|s| s.iter().all(|&c| c == b'#'))
+        {
+            return i + 1 + hashes;
+        }
+        i += utf8_len(b[i]);
+    }
+    i
+}
+
+/// Lexes `src` into tokens, comments included.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        // Comments.
+        if c == b'/' && b.get(i + 1) == Some(&b'/') {
+            while i < b.len() && b[i] != b'\n' {
+                i += utf8_len(b[i]);
+            }
+            toks.push(Token { kind: Kind::LineComment, start, end: i });
+            continue;
+        }
+        if c == b'/' && b.get(i + 1) == Some(&b'*') {
+            let mut depth = 1usize;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += utf8_len(b[i]);
+                }
+            }
+            toks.push(Token { kind: Kind::BlockComment, start, end: i });
+            continue;
+        }
+        // Raw strings, byte strings, raw identifiers.
+        if c == b'r' || c == b'b' {
+            let after_b = if c == b'b' && b.get(i + 1) == Some(&b'r') { i + 2 } else { i + 1 };
+            let raw = c == b'r' || after_b == i + 2;
+            if raw {
+                // r / br, then zero or more hashes, then a quote.
+                let mut j = after_b;
+                while b.get(j) == Some(&b'#') {
+                    j += 1;
+                }
+                if b.get(j) == Some(&b'"') {
+                    i = scan_raw(b, after_b);
+                    toks.push(Token { kind: Kind::Str, start, end: i });
+                    continue;
+                }
+                // r#ident — a raw identifier.
+                if c == b'r'
+                    && b.get(i + 1) == Some(&b'#')
+                    && b.get(i + 2).is_some_and(|&x| is_ident_start(x))
+                {
+                    i += 2;
+                    while i < b.len() && is_ident_continue(b[i]) {
+                        i += 1;
+                    }
+                    toks.push(Token { kind: Kind::Ident, start, end: i });
+                    continue;
+                }
+            }
+            if c == b'b' && b.get(i + 1) == Some(&b'"') {
+                i = scan_quoted(b, i + 1);
+                toks.push(Token { kind: Kind::Str, start, end: i });
+                continue;
+            }
+            if c == b'b' && b.get(i + 1) == Some(&b'\'') {
+                i = scan_char(b, i + 1);
+                toks.push(Token { kind: Kind::Str, start, end: i });
+                continue;
+            }
+            // Fall through: ordinary identifier starting with r/b.
+        }
+        if c == b'"' {
+            i = scan_quoted(b, i);
+            toks.push(Token { kind: Kind::Str, start, end: i });
+            continue;
+        }
+        if c == b'\'' {
+            // Char literal or lifetime.
+            let c1 = b.get(i + 1).copied();
+            match c1 {
+                Some(b'\\') => {
+                    i = scan_char(b, i);
+                    toks.push(Token { kind: Kind::Str, start, end: i });
+                }
+                Some(x) if is_ident_start(x) => {
+                    // 'a' is a char; 'a, 'static etc. are lifetimes.
+                    let next = i + 1 + utf8_len(x);
+                    if b.get(next) == Some(&b'\'') {
+                        i = next + 1;
+                        toks.push(Token { kind: Kind::Str, start, end: i });
+                    } else {
+                        i += 1;
+                        while i < b.len() && is_ident_continue(b[i]) {
+                            i += 1;
+                        }
+                        toks.push(Token { kind: Kind::Lifetime, start, end: i });
+                    }
+                }
+                Some(x) => {
+                    // '(' , '0' , '🦀' … — a char literal.
+                    let next = i + 1 + utf8_len(x);
+                    if b.get(next) == Some(&b'\'') {
+                        i = next + 1;
+                        toks.push(Token { kind: Kind::Str, start, end: i });
+                    } else {
+                        i += 1;
+                        toks.push(Token { kind: Kind::Punct, start, end: i });
+                    }
+                }
+                None => {
+                    i += 1;
+                    toks.push(Token { kind: Kind::Punct, start, end: i });
+                }
+            }
+            continue;
+        }
+        if is_ident_start(c) {
+            while i < b.len() && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            toks.push(Token { kind: Kind::Ident, start, end: i });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let hex = c == b'0' && matches!(b.get(i + 1), Some(b'x' | b'X'));
+            let mut last = c;
+            i += 1;
+            while i < b.len() {
+                let x = b[i];
+                let exp_sign = !hex && (x == b'+' || x == b'-') && matches!(last, b'e' | b'E');
+                if is_ident_continue(x)
+                    || exp_sign
+                    || (x == b'.' && b.get(i + 1).is_some_and(|n| n.is_ascii_digit()))
+                {
+                    last = x;
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Token { kind: Kind::Num, start, end: i });
+            continue;
+        }
+        i += utf8_len(c);
+        toks.push(Token { kind: Kind::Punct, start, end: i });
+    }
+    toks
+}
+
+/// Scans a char literal starting at its opening quote.
+fn scan_char(b: &[u8], mut i: usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i = (i + 2).min(b.len()),
+            b'\'' => return i + 1,
+            b'\n' => return i, // unterminated; don't eat the file
+            c => i += utf8_len(c),
+        }
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src).iter().map(|t| (t.kind, t.text(src).to_string())).collect()
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let src = r####"let s = r#"not // a "comment" [0]"#; x[i]"####;
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Str && t.contains("not //")));
+        // The indexing after the raw string still lexes.
+        assert_eq!(toks.last().map(|(k, _)| *k), Some(Kind::Punct));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_the_right_depth() {
+        let src = "a /* one /* two */ still */ b";
+        let toks = kinds(src);
+        assert_eq!(
+            toks,
+            vec![
+                (Kind::Ident, "a".into()),
+                (Kind::BlockComment, "/* one /* two */ still */".into()),
+                (Kind::Ident, "b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes_disambiguate() {
+        let src = "let c = 'a'; fn f<'a>(x: &'a str) -> &'static str { '\\n'; '_' }";
+        let toks = kinds(src);
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == Kind::Lifetime).map(|(_, t)| t.clone()).collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        let chars: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == Kind::Str).map(|(_, t)| t.clone()).collect();
+        assert_eq!(chars, vec!["'a'", "'\\n'", "'_'"]);
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings_lex_as_strings() {
+        let src = r###"let a = b"bytes"; let b = br#"raw "bytes""#; let c = b'\xFF';"###;
+        let strs: Vec<_> = lex(src)
+            .iter()
+            .filter(|t| t.kind == Kind::Str)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(strs.len(), 3);
+        assert!(strs[1].contains("raw"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let src = "let r#match = 1;";
+        let toks = kinds(src);
+        assert!(toks.contains(&(Kind::Ident, "r#match".into())));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let src = r#"let s = "a \" b"; x.unwrap()"#;
+        let toks = kinds(src);
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Str && t.contains("a \\\" b")));
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn float_exponents_stay_one_token() {
+        let src = "let x = 1.5e-3 + 0xE - 1;";
+        let nums: Vec<_> = lex(src)
+            .iter()
+            .filter(|t| t.kind == Kind::Num)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(nums, vec!["1.5e-3", "0xE", "1"]);
+    }
+
+    #[test]
+    fn ranges_do_not_eat_dots() {
+        let src = "for i in 0..10 {}";
+        let nums: Vec<_> = lex(src)
+            .iter()
+            .filter(|t| t.kind == Kind::Num)
+            .map(|t| t.text(src).to_string())
+            .collect();
+        assert_eq!(nums, vec!["0", "10"]);
+    }
+}

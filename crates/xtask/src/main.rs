@@ -1,648 +1,86 @@
-//! Repository automation. `cargo xtask check` runs the in-tree static
-//! lint pass over the protocol and simulator sources:
+//! `cargo xtask` — repository automation.
 //!
-//! * **no-panic** — non-test code in `crates/core` and `crates/sim`
-//!   must not call `.unwrap()`, `.expect(...)` or the panicking macros
-//!   (`panic!`, `unreachable!`, `todo!`, `unimplemented!`). The
-//!   simulator's counterexample replay depends on handlers degrading
-//!   gracefully instead of aborting mid-schedule.
-//! * **determinism** — the simulation paths must draw no wall-clock
-//!   time (`std::time`, `SystemTime`, `Instant::now`) and no OS
-//!   randomness (`thread_rng`, `from_entropy`, `getrandom`): every
-//!   run must be a pure function of its seed (see
-//!   `manet_sim::rng`'s determinism contract).
-//! * **route-fields** — `RouteEntry` invariant fields (`fd`, `dist`,
-//!   `seqno`, `next_hop`, `valid`, `expires`) may be assigned only
-//!   inside `crates/core/src/route_table.rs`, whose audited setters
-//!   enforce fd-monotonicity; everywhere else the table is read-only.
-//! * **fault-determinism** — `crates/sim/src/faults.rs`,
-//!   `crates/sim/src/spatial.rs` and `crates/sim/src/telemetry.rs`
-//!   additionally ban `HashMap`/`HashSet`: fault plans must replay
-//!   byte-identically from `(plan, seed)`, the spatial index must
-//!   answer range queries bit-identically to the linear scan, and an
-//!   exported telemetry document must be byte-identical across reruns
-//!   of the same `(scenario, seed)` — in all three, hash-map iteration
-//!   order would leak process-level randomness into observable
-//!   behavior. Use `BTree` collections or index-ordered `Vec`s there
-//!   instead.
-//!
-//! The scanner strips comments and string/char literals first (so
-//! documentation may mention the forbidden names) and skips
-//! `#[cfg(test)]` blocks and `tests.rs`/`proptests.rs` files. A line
-//! carrying an `xtask:allow` comment is exempt — use sparingly and say
-//! why in the comment.
+//! * `check [--format text|json]` — run the static-analysis engine
+//!   over the workspace; non-zero exit on any finding.
+//! * `selfcheck` — run the engine over the planted-violation fixture
+//!   corpus and compare against the byte-pinned expected report,
+//!   asserting every rule still fires.
 
-use std::fmt::Write as _;
-use std::fs;
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use xtask::{analyze_fixtures, analyze_tree, passes, report, workspace_root};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("check") => {
-            let root = workspace_root();
-            let violations = check_repo(&root);
-            if violations.is_empty() {
-                println!("xtask check: clean");
-                ExitCode::SUCCESS
-            } else {
-                for v in &violations {
-                    println!("{v}");
-                }
-                println!("xtask check: {} violation(s)", violations.len());
-                ExitCode::FAILURE
-            }
-        }
+        Some("check") => check(&args[1..]),
+        Some("selfcheck") => selfcheck(),
         _ => {
-            eprintln!("usage: cargo xtask check");
+            eprintln!("usage: cargo xtask check [--format text|json] | cargo xtask selfcheck");
             ExitCode::from(2)
         }
     }
 }
 
-fn workspace_root() -> PathBuf {
-    // CARGO_MANIFEST_DIR = <root>/crates/xtask.
-    Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).expect("workspace root").into()
-}
-
-/// One lint hit, rendered `path:line: [rule] message`.
-#[derive(Debug, PartialEq, Eq)]
-struct Violation {
-    file: PathBuf,
-    line: usize,
-    rule: &'static str,
-    what: String,
-}
-
-impl std::fmt::Display for Violation {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.file.display(), self.line, self.rule, self.what)
-    }
-}
-
-const PANIC_PATTERNS: &[&str] =
-    &[".unwrap()", ".expect(", "panic!(", "unreachable!(", "todo!(", "unimplemented!("];
-
-const NONDET_PATTERNS: &[&str] = &[
-    "std::time",
-    "SystemTime",
-    "Instant::now",
-    "thread_rng",
-    "from_entropy",
-    "getrandom",
-    "/dev/urandom",
-];
-
-const ROUTE_FIELDS: &[&str] = &["fd", "dist", "seqno", "next_hop", "valid", "expires"];
-
-/// Unordered collections whose iteration order varies per process —
-/// forbidden in the fault-injection module and the spatial neighbor
-/// index, where any order-dependent choice would break byte-identical
-/// replay (resp. grid-vs-linear byte-identity).
-const FAULT_ORDER_PATTERNS: &[&str] = &["HashMap", "HashSet"];
-
-/// Runs every rule over its scope. Returns all violations, sorted.
-fn check_repo(root: &Path) -> Vec<Violation> {
-    let mut out = Vec::new();
-    let core = root.join("crates/core/src");
-    let sim = root.join("crates/sim/src");
-    for dir in [&core, &sim] {
-        for file in rust_files(dir) {
-            let Ok(src) = fs::read_to_string(&file) else { continue };
-            let rel = file.strip_prefix(root).unwrap_or(&file).to_path_buf();
-            if is_test_file(&rel) {
-                continue;
-            }
-            let ctx = FileContext::new(&src);
-            scan_substrings(&ctx, &rel, "no-panic", PANIC_PATTERNS, &mut out);
-            scan_substrings(&ctx, &rel, "determinism", NONDET_PATTERNS, &mut out);
-            if rel.ends_with("crates/sim/src/faults.rs")
-                || rel.ends_with("crates/sim/src/spatial.rs")
-                || rel.ends_with("crates/sim/src/telemetry.rs")
-                || rel.ends_with("crates/sim/src/parallel.rs")
-            {
-                scan_substrings(&ctx, &rel, "fault-determinism", FAULT_ORDER_PATTERNS, &mut out);
-            }
-            if rel.starts_with("crates/core/src")
-                && rel.file_name().is_some_and(|n| n != "route_table.rs")
-            {
-                scan_field_assignments(&ctx, &rel, &mut out);
-            }
-        }
-    }
-    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
-    out
-}
-
-fn is_test_file(rel: &Path) -> bool {
-    rel.file_name()
-        .and_then(|n| n.to_str())
-        .is_some_and(|n| n == "tests.rs" || n == "proptests.rs" || n.ends_with("_tests.rs"))
-}
-
-fn rust_files(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(d) = stack.pop() {
-        let Ok(entries) = fs::read_dir(&d) else { continue };
-        let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
-        paths.sort();
-        for p in paths {
-            if p.is_dir() {
-                stack.push(p);
-            } else if p.extension().is_some_and(|e| e == "rs") {
-                out.push(p);
-            }
-        }
-    }
-    out.sort();
-    out
-}
-
-/// Pre-processed view of one source file: literal-stripped text, the
-/// byte spans of `#[cfg(test)]` items, and waived line numbers.
-struct FileContext {
-    stripped: String,
-    test_spans: Vec<(usize, usize)>,
-    waived_lines: Vec<usize>,
-    line_starts: Vec<usize>,
-}
-
-impl FileContext {
-    fn new(src: &str) -> Self {
-        let stripped = strip_literals(src);
-        let test_spans = cfg_test_spans(&stripped);
-        let waived_lines = src
-            .lines()
-            .enumerate()
-            .filter(|(_, l)| l.contains("xtask:allow"))
-            .map(|(i, _)| i + 1)
-            .collect();
-        let mut line_starts = vec![0usize];
-        for (i, b) in src.bytes().enumerate() {
-            if b == b'\n' {
-                line_starts.push(i + 1);
-            }
-        }
-        FileContext { stripped, test_spans, waived_lines, line_starts }
-    }
-
-    fn line_of(&self, offset: usize) -> usize {
-        self.line_starts.partition_point(|&s| s <= offset)
-    }
-
-    fn is_exempt(&self, offset: usize) -> bool {
-        self.test_spans.iter().any(|&(a, b)| offset >= a && offset < b)
-            || self.waived_lines.contains(&self.line_of(offset))
-    }
-}
-
-/// Replaces comments and string/char literal *contents* with spaces,
-/// preserving length and newlines so byte offsets map to source lines.
-fn strip_literals(src: &str) -> String {
-    let b = src.as_bytes();
-    let mut out = vec![b' '; b.len()];
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
-        if c == b'\n' {
-            out[i] = b'\n';
-            i += 1;
-        } else if c == b'/' && b.get(i + 1) == Some(&b'/') {
-            while i < b.len() && b[i] != b'\n' {
-                i += 1;
-            }
-        } else if c == b'/' && b.get(i + 1) == Some(&b'*') {
-            let mut depth = 1;
-            i += 2;
-            while i < b.len() && depth > 0 {
-                if b[i] == b'/' && b.get(i + 1) == Some(&b'*') {
-                    depth += 1;
-                    i += 2;
-                } else if b[i] == b'*' && b.get(i + 1) == Some(&b'/') {
-                    depth -= 1;
-                    i += 2;
-                } else {
-                    if b[i] == b'\n' {
-                        out[i] = b'\n';
-                    }
-                    i += 1;
+fn check(args: &[String]) -> ExitCode {
+    let mut format = "text";
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => format = "text",
+                Some("json") => format = "json",
+                other => {
+                    eprintln!("--format expects `text` or `json`, got {other:?}");
+                    return ExitCode::from(2);
                 }
+            },
+            other => {
+                eprintln!("unknown argument {other:?}");
+                return ExitCode::from(2);
             }
-        } else if c == b'"' {
-            i = skip_string(b, i, &mut out);
-        } else if (c == b'r' || c == b'b') && !ident_before(b, i) {
-            // r"...", r#"..."#, b"...", br"...", b'x'.
-            let mut j = i + 1;
-            if c == b'b' && b.get(j) == Some(&b'r') {
-                j += 1;
-            }
-            let hash_start = j;
-            while b.get(j) == Some(&b'#') {
-                j += 1;
-            }
-            let hashes = j - hash_start;
-            if b.get(j) == Some(&b'"') && (c != b'b' || hashes == 0 || b[i + 1] == b'r') {
-                for o in out.iter_mut().take(j + 1).skip(i) {
-                    *o = b' ';
-                }
-                i = skip_raw_string(b, j, hashes, &mut out);
-            } else if c == b'b' && b.get(i + 1) == Some(&b'\'') {
-                i = skip_char(b, i + 1, &mut out);
-            } else {
-                out[i] = c;
-                i += 1;
-            }
-        } else if c == b'\'' {
-            // Lifetime ('a) or char literal ('x', '\n').
-            let is_lifetime = b.get(i + 1).is_some_and(|&n| n.is_ascii_alphabetic() || n == b'_')
-                && b.get(i + 2) != Some(&b'\'');
-            if is_lifetime {
-                out[i] = c;
-                i += 1;
-            } else {
-                i = skip_char(b, i, &mut out);
-            }
-        } else {
-            out[i] = c;
-            i += 1;
         }
     }
-    String::from_utf8_lossy(&out).into_owned()
-}
-
-fn ident_before(b: &[u8], i: usize) -> bool {
-    i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_')
-}
-
-fn skip_string(b: &[u8], mut i: usize, out: &mut [u8]) -> usize {
-    i += 1; // opening quote
-    while i < b.len() {
-        match b[i] {
-            b'\\' => i += 2,
-            b'"' => return i + 1,
-            b'\n' => {
-                out[i] = b'\n';
-                i += 1;
-            }
-            _ => i += 1,
-        }
+    let diags = analyze_tree(&workspace_root());
+    match format {
+        "json" => print!("{}", report::json(&diags)),
+        _ => print!("{}", report::text(&diags)),
     }
-    i
-}
-
-fn skip_raw_string(b: &[u8], mut i: usize, hashes: usize, out: &mut [u8]) -> usize {
-    i += 1; // opening quote
-    while i < b.len() {
-        if b[i] == b'"' && b[i + 1..].iter().take(hashes).filter(|&&x| x == b'#').count() == hashes
-        {
-            return i + 1 + hashes;
-        }
-        if b[i] == b'\n' {
-            out[i] = b'\n';
-        }
-        i += 1;
-    }
-    i
-}
-
-fn skip_char(b: &[u8], mut i: usize, _out: &mut [u8]) -> usize {
-    i += 1; // opening quote
-    while i < b.len() {
-        match b[i] {
-            b'\\' => i += 2,
-            b'\'' => return i + 1,
-            _ => i += 1,
-        }
-    }
-    i
-}
-
-/// Byte spans of items annotated `#[cfg(test)]` (attribute through the
-/// end of the following brace block or statement).
-fn cfg_test_spans(stripped: &str) -> Vec<(usize, usize)> {
-    let b = stripped.as_bytes();
-    let mut spans = Vec::new();
-    let mut from = 0;
-    while let Some(pos) = stripped[from..].find("#[cfg(test)]") {
-        let start = from + pos;
-        let mut i = start + "#[cfg(test)]".len();
-        // Skip further attributes and whitespace to the item itself.
-        loop {
-            while i < b.len() && (b[i] as char).is_whitespace() {
-                i += 1;
-            }
-            if b.get(i) == Some(&b'#') {
-                while i < b.len() && b[i] != b']' {
-                    i += 1;
-                }
-                i += 1;
-            } else {
-                break;
-            }
-        }
-        // The item ends at its matching close brace (mod/fn) or at a
-        // semicolon (e.g. a `use` line).
-        let mut depth = 0usize;
-        let mut end = i;
-        while end < b.len() {
-            match b[end] {
-                b'{' => depth += 1,
-                b'}' => {
-                    if depth == 0 {
-                        break;
-                    }
-                    depth -= 1;
-                    if depth == 0 {
-                        end += 1;
-                        break;
-                    }
-                }
-                b';' if depth == 0 => {
-                    end += 1;
-                    break;
-                }
-                _ => {}
-            }
-            end += 1;
-        }
-        spans.push((start, end));
-        from = end.max(start + 1);
-    }
-    spans
-}
-
-fn scan_substrings(
-    ctx: &FileContext,
-    rel: &Path,
-    rule: &'static str,
-    patterns: &[&str],
-    out: &mut Vec<Violation>,
-) {
-    for pat in patterns {
-        let mut from = 0;
-        while let Some(pos) = ctx.stripped[from..].find(pat) {
-            let at = from + pos;
-            from = at + pat.len();
-            if ctx.is_exempt(at) {
-                continue;
-            }
-            out.push(Violation {
-                file: rel.to_path_buf(),
-                line: ctx.line_of(at),
-                rule,
-                what: format!("forbidden `{pat}` in non-test code"),
-            });
-        }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }
 
-/// Flags `<expr>.<field> =` / `+=` / `-=` for the audited route-entry
-/// fields. Comparison (`==`) and reads are fine.
-fn scan_field_assignments(ctx: &FileContext, rel: &Path, out: &mut Vec<Violation>) {
-    let b = ctx.stripped.as_bytes();
-    for field in ROUTE_FIELDS {
-        let needle = format!(".{field}");
-        let mut from = 0;
-        while let Some(pos) = ctx.stripped[from..].find(&needle) {
-            let at = from + pos;
-            from = at + needle.len();
-            let after = at + needle.len();
-            // Field-name boundary: `.fdx` or `.dist_to` are not hits.
-            if b.get(after).is_some_and(|&c| c.is_ascii_alphanumeric() || c == b'_') {
-                continue;
-            }
-            let mut j = after;
-            while b.get(j).is_some_and(|&c| c == b' ' || c == b'\t') {
-                j += 1;
-            }
-            let assign = match (b.get(j), b.get(j + 1)) {
-                (Some(b'='), next) => next != Some(&b'=') && next != Some(&b'>'),
-                (Some(b'+') | Some(b'-'), Some(b'=')) => true,
-                _ => false,
-            };
-            if !assign || ctx.is_exempt(at) {
-                continue;
-            }
-            let mut what = String::new();
-            let _ = write!(
-                what,
-                "route-entry field `{field}` assigned outside route_table.rs audited setters"
-            );
-            out.push(Violation {
-                file: rel.to_path_buf(),
-                line: ctx.line_of(at),
-                rule: "route-fields",
-                what,
-            });
+fn selfcheck() -> ExitCode {
+    let root = workspace_root();
+    let fixtures = root.join("crates").join("xtask").join("fixtures");
+    let diags = analyze_fixtures(&fixtures);
+    let got = report::json(&diags);
+    let expected_path = fixtures.join("expected.json");
+    let expected = match std::fs::read_to_string(&expected_path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("selfcheck: cannot read {}: {e}", expected_path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut ok = true;
+    if got != expected {
+        eprintln!("selfcheck: fixture diagnostics drifted from expected.json");
+        eprintln!("--- expected\n{expected}\n--- got\n{got}");
+        ok = false;
+    }
+    for rule in passes::all_rules() {
+        if !diags.iter().any(|d| d.rule == rule) {
+            eprintln!("selfcheck: no fixture trips rule `{rule}`");
+            ok = false;
         }
     }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn ctx(src: &str) -> FileContext {
-        FileContext::new(src)
-    }
-
-    #[test]
-    fn strips_comments_and_strings() {
-        let src = r#"
-let a = "call .unwrap() inside a string";
-// comment mentioning panic!( here
-/* block with SystemTime inside */
-let b = 'x';
-let c = '\'';
-let r = r"raw with .expect( text";
-fn real() {}
-"#;
-        let s = strip_literals(src);
-        assert!(!s.contains(".unwrap()"));
-        assert!(!s.contains("panic!("));
-        assert!(!s.contains("SystemTime"));
-        assert!(!s.contains(".expect("));
-        assert!(s.contains("fn real()"));
-        assert_eq!(s.lines().count(), src.lines().count(), "newlines preserved");
-    }
-
-    #[test]
-    fn nested_block_comments_and_lifetimes() {
-        let src = "/* outer /* inner .unwrap() */ still comment */ fn f<'a>(x: &'a str) {}";
-        let s = strip_literals(src);
-        assert!(!s.contains(".unwrap()"));
-        assert!(s.contains("fn f<'a>(x: &'a str)"));
-    }
-
-    #[test]
-    fn panic_patterns_fire_outside_tests_only() {
-        let src = "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n fn g() { y.unwrap(); }\n}\n";
-        let c = ctx(src);
-        let mut v = Vec::new();
-        scan_substrings(&c, Path::new("m.rs"), "no-panic", PANIC_PATTERNS, &mut v);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].line, 1);
-    }
-
-    #[test]
-    fn determinism_patterns_fire() {
-        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }\n";
-        let c = ctx(src);
-        let mut v = Vec::new();
-        scan_substrings(&c, Path::new("m.rs"), "determinism", NONDET_PATTERNS, &mut v);
-        assert!(v.iter().any(|x| x.line == 1));
-        assert!(v.iter().any(|x| x.line == 2));
-    }
-
-    #[test]
-    fn field_assignment_detection() {
-        let src = "\
-fn f(e: &mut E) {
-    e.fd = 3;
-    e.dist += 1;
-    if e.fd == 3 {}
-    let x = e.fd.min(2);
-    e.fdx = 1;
-    s.next_hop = n;
-}
-";
-        let c = ctx(src);
-        let mut v = Vec::new();
-        scan_field_assignments(&c, Path::new("m.rs"), &mut v);
-        let mut lines: Vec<usize> = v.iter().map(|x| x.line).collect();
-        lines.sort_unstable();
-        assert_eq!(lines, vec![2, 3, 7], "fd=, dist+= and next_hop= hit; reads and methods do not");
-    }
-
-    #[test]
-    fn waiver_comment_exempts_a_line() {
-        let src = "fn f() { x.unwrap(); } // xtask:allow -- test fixture\nfn g() { y.unwrap(); }\n";
-        let c = ctx(src);
-        let mut v = Vec::new();
-        scan_substrings(&c, Path::new("m.rs"), "no-panic", PANIC_PATTERNS, &mut v);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].line, 2);
-    }
-
-    #[test]
-    fn cfg_test_span_covers_nested_braces() {
-        let src = "#[cfg(test)]\nmod t {\n fn a() { if x { y.unwrap(); } }\n}\nfn b() {}\n";
-        let spans = cfg_test_spans(&strip_literals(src));
-        assert_eq!(spans.len(), 1);
-        let (a, b) = spans[0];
-        assert!(src[a..b].contains("unwrap"));
-        assert!(!src[a..b].contains("fn b"));
-    }
-
-    #[test]
-    fn fault_order_patterns_fire_on_unordered_maps() {
-        let src = "use std::collections::HashMap;\nfn f() { let s: HashSet<u8> = Default::default(); }\n// a comment naming HashMap is fine\n";
-        let c = ctx(src);
-        let mut v = Vec::new();
-        scan_substrings(
-            &c,
-            Path::new("crates/sim/src/faults.rs"),
-            "fault-determinism",
-            FAULT_ORDER_PATTERNS,
-            &mut v,
-        );
-        let mut lines: Vec<usize> = v.iter().map(|x| x.line).collect();
-        lines.sort_unstable();
-        assert_eq!(lines, vec![1, 2], "code hits flagged, comment mention exempt");
-        assert!(v.iter().all(|x| x.rule == "fault-determinism"));
-    }
-
-    #[test]
-    fn fault_lint_scopes_to_the_deterministic_replay_modules_only() {
-        // The in-tree simulator uses HashMap freely elsewhere (e.g.
-        // metrics counters); the determinism ban must bind only to
-        // faults.rs, spatial.rs, telemetry.rs and parallel.rs. Guard
-        // the scoping, not just the pattern list. This also proves the
-        // real telemetry and parallel-kernel modules are
-        // HashMap/HashSet-free, since check_repo scans them here.
-        let root = workspace_root();
-        let metrics = root.join("crates/sim/src/metrics.rs");
-        let src = fs::read_to_string(metrics).expect("metrics.rs readable");
-        assert!(src.contains("HashMap") || src.contains("HashSet"), "scope fixture went stale");
-        let v = check_repo(&root);
-        assert!(
-            v.iter().all(|x| x.rule != "fault-determinism"),
-            "fault-determinism hits outside faults.rs/spatial.rs scope:\n{v:?}"
-        );
-    }
-
-    #[test]
-    fn fault_lint_covers_the_spatial_index() {
-        // spatial.rs is inside the fault-determinism scope: an
-        // unordered map smuggled into the neighbor index would be
-        // flagged exactly like one in faults.rs.
-        let src = "fn f() { let s: std::collections::HashMap<u8, u8> = Default::default(); }\n";
-        let c = ctx(src);
-        let mut v = Vec::new();
-        scan_substrings(
-            &c,
-            Path::new("crates/sim/src/spatial.rs"),
-            "fault-determinism",
-            FAULT_ORDER_PATTERNS,
-            &mut v,
-        );
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert_eq!(v[0].line, 1);
-    }
-
-    #[test]
-    fn fault_lint_covers_the_telemetry_exporter() {
-        // telemetry.rs promises byte-identical JSONL across reruns of
-        // the same (scenario, seed); an unordered map in the sampler
-        // or the exporter would silently break that.
-        let src = "fn f() { let s: std::collections::HashSet<u8> = Default::default(); }\n";
-        let c = ctx(src);
-        let mut v = Vec::new();
-        scan_substrings(
-            &c,
-            Path::new("crates/sim/src/telemetry.rs"),
-            "fault-determinism",
-            FAULT_ORDER_PATTERNS,
-            &mut v,
-        );
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert_eq!(v[0].line, 1);
-    }
-
-    #[test]
-    fn fault_lint_covers_the_parallel_kernel() {
-        // parallel.rs promises byte-identical merges for every worker
-        // count; an unordered map in the partitioner, the shard effect
-        // buffers or the replay heap would make the canonical order a
-        // fiction. (check_repo scanning the real module in
-        // fault_lint_scopes_to_the_deterministic_replay_modules_only
-        // proves it is currently HashMap/HashSet-free.)
-        let src = "fn f() { let s: std::collections::HashMap<u8, u8> = Default::default(); }\n";
-        let c = ctx(src);
-        let mut v = Vec::new();
-        scan_substrings(
-            &c,
-            Path::new("crates/sim/src/parallel.rs"),
-            "fault-determinism",
-            FAULT_ORDER_PATTERNS,
-            &mut v,
-        );
-        assert_eq!(v.len(), 1, "{v:?}");
-        assert_eq!(v[0].line, 1);
-    }
-
-    #[test]
-    fn repo_is_clean() {
-        let root = workspace_root();
-        let v = check_repo(&root);
-        assert!(v.is_empty(), "lint violations in tree:\n{}", {
-            let mut s = String::new();
-            for x in &v {
-                let _ = writeln!(s, "{x}");
-            }
-            s
-        });
+    if ok {
+        println!("xtask selfcheck: {} planted findings, every rule fires", diags.len());
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

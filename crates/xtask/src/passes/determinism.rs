@@ -1,0 +1,83 @@
+//! `determinism`: simulation results must be a pure function of
+//! `(scenario, seed)`. Wall clocks and OS entropy are banned from
+//! `core`, `sim`, `baselines`, and `modelcheck` (bench measures real
+//! time on purpose and is out of scope).
+
+use super::{under, FileCtx, Pass, RawDiag};
+use crate::lexer::Kind;
+use crate::model::next_sig;
+
+pub struct Determinism;
+
+/// Idents that are banned wherever they appear.
+const BANNED_IDENTS: &[&str] = &["SystemTime", "thread_rng", "from_entropy", "getrandom"];
+
+impl Pass for Determinism {
+    fn id(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &["determinism"]
+    }
+
+    fn applies(&self, rel: &str) -> bool {
+        under(rel, "crates/core")
+            || under(rel, "crates/sim")
+            || under(rel, "crates/baselines")
+            || under(rel, "crates/modelcheck")
+    }
+
+    fn run(&self, ctx: &FileCtx<'_>, out: &mut Vec<RawDiag>) {
+        let (src, toks) = (ctx.src, ctx.toks);
+        for (i, t) in toks.iter().enumerate() {
+            match t.kind {
+                Kind::Ident => {
+                    let name = t.text(src);
+                    if BANNED_IDENTS.contains(&name) {
+                        out.push(RawDiag {
+                            off: t.start,
+                            rule: "determinism",
+                            msg: format!("`{name}` leaks wall-clock/entropy into a seeded run"),
+                        });
+                    } else if name == "Instant" && path_next(ctx, i) == Some("now") {
+                        out.push(RawDiag {
+                            off: t.start,
+                            rule: "determinism",
+                            msg: "`Instant::now` leaks wall-clock into a seeded run".into(),
+                        });
+                    } else if name == "std" && path_next(ctx, i) == Some("time") {
+                        out.push(RawDiag {
+                            off: t.start,
+                            rule: "determinism",
+                            msg: "`std::time` is banned here; use sim time".into(),
+                        });
+                    }
+                }
+                Kind::Str if t.text(src).contains("/dev/urandom") => {
+                    out.push(RawDiag {
+                        off: t.start,
+                        rule: "determinism",
+                        msg: "OS entropy is banned; derive randomness from the seed".into(),
+                    });
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The ident after a `::` following token `i`, if any.
+fn path_next<'a>(ctx: &FileCtx<'a>, i: usize) -> Option<&'a str> {
+    let (src, toks) = (ctx.src, ctx.toks);
+    let c1 = next_sig(toks, i + 1)?;
+    if toks[c1].text(src) != ":" {
+        return None;
+    }
+    let c2 = next_sig(toks, c1 + 1)?;
+    if toks[c2].text(src) != ":" {
+        return None;
+    }
+    let n = next_sig(toks, c2 + 1)?;
+    (toks[n].kind == Kind::Ident).then(|| toks[n].text(src))
+}

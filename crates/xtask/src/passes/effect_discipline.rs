@@ -1,0 +1,188 @@
+//! `effect-discipline`: the parallel kernel's byte-identity argument
+//! assumes component workers never touch shared simulator state —
+//! every mutation is buffered as an `Effect` and replayed canonically
+//! on the coordinator thread. This pass proves the lexical version of
+//! that claim over `crates/sim/src/parallel.rs`: starting from every
+//! `spawn(…)` call, it closes the worker region over locally-defined
+//! functions called from it and `impl` blocks of types it constructs,
+//! then flags any reference to the world, its schedule/trace/metrics/
+//! telemetry surfaces, or ad-hoc synchronisation inside that region.
+
+use super::{FileCtx, Pass, RawDiag};
+use crate::lexer::Kind;
+use crate::model::{brace_block, next_sig, paren_group, prev_sig};
+use std::collections::BTreeSet;
+
+pub struct EffectDiscipline;
+
+/// State and synchronisation idents banned inside worker regions. The
+/// buffered API is method-shaped (`self.emit(..)`, `Effect::…`), so
+/// banning the *state* names never collides with it.
+const BANNED: &[&str] = &[
+    "world",
+    "World",
+    "fel",
+    "rx_batches",
+    "metrics",
+    "auditor",
+    "trace_sink",
+    "telemetry",
+    "replay_begin",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "RefCell",
+    "mpsc",
+    "unsafe",
+    "static",
+];
+
+impl Pass for EffectDiscipline {
+    fn id(&self) -> &'static str {
+        "effect-discipline"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &["effect-discipline"]
+    }
+
+    fn applies(&self, rel: &str) -> bool {
+        rel == "crates/sim/src/parallel.rs"
+    }
+
+    fn run(&self, ctx: &FileCtx<'_>, out: &mut Vec<RawDiag>) {
+        let regions = worker_regions(ctx);
+        let (src, toks) = (ctx.src, ctx.toks);
+        for t in toks {
+            if t.kind != Kind::Ident {
+                continue;
+            }
+            if !regions.iter().any(|&(a, b)| t.start >= a && t.start < b) {
+                continue;
+            }
+            let name = t.text(src);
+            if BANNED.contains(&name) || name.starts_with("Atomic") {
+                out.push(RawDiag {
+                    off: t.start,
+                    rule: "effect-discipline",
+                    msg: format!(
+                        "`{name}` inside a component-worker region; workers may only mutate through the buffered Effects API"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Byte spans lexically reachable from worker closures: every
+/// `spawn(…)` argument span, plus — to a fixpoint — the bodies of
+/// file-local `fn`s called by bare name inside a region and of `impl`
+/// blocks for types a region constructs.
+fn worker_regions(ctx: &FileCtx<'_>) -> Vec<(usize, usize)> {
+    let (src, toks) = (ctx.src, ctx.toks);
+    let mut regions: Vec<(usize, usize)> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind == Kind::Ident && t.text(src) == "spawn" {
+            if let Some((_, span)) = paren_group(src, toks, i + 1) {
+                regions.push(span);
+            }
+        }
+    }
+    let fns = local_fn_bodies(ctx);
+    let impls = impl_bodies(ctx);
+    loop {
+        let mut called: BTreeSet<String> = BTreeSet::new();
+        let mut constructed: BTreeSet<String> = BTreeSet::new();
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != Kind::Ident {
+                continue;
+            }
+            if !regions.iter().any(|&(a, b)| t.start >= a && t.start < b) {
+                continue;
+            }
+            let name = t.text(src);
+            let prev = prev_sig(toks, i).map(|p| toks[p].text(src));
+            let next = next_sig(toks, i + 1).map(|n| toks[n].text(src));
+            // Bare call: `name(` not preceded by `.` (method) or `:`
+            // (path) and not a definition (`fn name`).
+            if next == Some("(")
+                && !matches!(prev, Some("." | ":" | "fn"))
+                && fns.iter().any(|(f, _)| f == name)
+            {
+                called.insert(name.to_string());
+            }
+            // Construction / associated call: `Type {` or `Type ::`.
+            if name.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                && matches!(next, Some("{" | ":"))
+                && impls.iter().any(|(ty, _)| ty == name)
+            {
+                constructed.insert(name.to_string());
+            }
+        }
+        let mut grew = false;
+        for (name, span) in fns.iter().chain(impls.iter()) {
+            if (called.contains(name) || constructed.contains(name)) && !regions.contains(span) {
+                regions.push(*span);
+                grew = true;
+            }
+        }
+        if !grew {
+            return regions;
+        }
+    }
+}
+
+/// `(name, body span)` of every `fn` defined in the file.
+fn local_fn_bodies(ctx: &FileCtx<'_>) -> Vec<(String, (usize, usize))> {
+    let (src, toks) = (ctx.src, ctx.toks);
+    let mut fns = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != Kind::Ident || t.text(src) != "fn" {
+            continue;
+        }
+        let Some(n) = next_sig(toks, i + 1) else { continue };
+        if toks[n].kind != Kind::Ident {
+            continue;
+        }
+        if let Some(span) = brace_block(src, toks, n + 1) {
+            fns.push((toks[n].text(src).to_string(), span));
+        }
+    }
+    fns
+}
+
+/// `(self type, body span)` of every `impl` block in the file.
+fn impl_bodies(ctx: &FileCtx<'_>) -> Vec<(String, (usize, usize))> {
+    let (src, toks) = (ctx.src, ctx.toks);
+    let mut impls = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != Kind::Ident || t.text(src) != "impl" {
+            continue;
+        }
+        // Self type: the last path segment before `for`'s target wins —
+        // `impl Kern for Shard` → Shard; `impl Shard` → Shard.
+        let mut ty: Option<String> = None;
+        let mut j = i + 1;
+        let mut angle = 0usize;
+        while let Some(k) = next_sig(toks, j) {
+            let text = toks[k].text(src);
+            match text {
+                "<" => angle += 1,
+                ">" => angle = angle.saturating_sub(1),
+                "{" | "where" if angle == 0 => break,
+                "for" if angle == 0 => ty = None, // the trait; restart on the type
+                _ if toks[k].kind == Kind::Ident && angle == 0 && ty.is_none() => {
+                    ty = Some(text.to_string());
+                }
+                _ => {}
+            }
+            j = k + 1;
+        }
+        // For paths like `impl a::B`, keep scanning segments so the
+        // last ident before `{` wins.
+        if let (Some(name), Some(span)) = (ty, brace_block(src, toks, j)) {
+            impls.push((name, span));
+        }
+    }
+    impls
+}

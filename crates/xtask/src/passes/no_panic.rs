@@ -1,0 +1,57 @@
+//! `no-panic`: simulation and protocol code must degrade gracefully —
+//! a malformed frame or a missing table entry is a rejected input, not
+//! an abort. Flags `.unwrap()` / `.expect(…)` and the panicking macros
+//! in non-test code across `core`, `sim`, and `baselines`.
+
+use super::{under, FileCtx, Pass, RawDiag};
+use crate::lexer::Kind;
+use crate::model::{next_sig, prev_sig};
+
+pub struct NoPanic;
+
+const MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+impl Pass for NoPanic {
+    fn id(&self) -> &'static str {
+        "no-panic"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &["no-panic"]
+    }
+
+    fn applies(&self, rel: &str) -> bool {
+        under(rel, "crates/core") || under(rel, "crates/sim") || under(rel, "crates/baselines")
+    }
+
+    fn run(&self, ctx: &FileCtx<'_>, out: &mut Vec<RawDiag>) {
+        let (src, toks) = (ctx.src, ctx.toks);
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != Kind::Ident {
+                continue;
+            }
+            let name = t.text(src);
+            if name == "unwrap" || name == "expect" {
+                let dotted = prev_sig(toks, i).is_some_and(|p| toks[p].text(src) == ".");
+                let called = next_sig(toks, i + 1).is_some_and(|n| toks[n].text(src) == "(");
+                if dotted && called {
+                    out.push(RawDiag {
+                        off: t.start,
+                        rule: "no-panic",
+                        msg: format!(
+                            ".{name}() can abort the run; return an Option/Result or restructure"
+                        ),
+                    });
+                }
+            } else if MACROS.contains(&name)
+                && next_sig(toks, i + 1).is_some_and(|n| toks[n].text(src) == "!")
+            {
+                out.push(RawDiag {
+                    off: t.start,
+                    rule: "no-panic",
+                    msg: format!("{name}! aborts the run; reject the input instead"),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! `ordered-iteration`: iterating a std-hashed `HashMap`/`HashSet`
+//! visits entries in an order derived from the process's random SipHash
+//! keys — a nondeterminism leak the moment any observable behaviour
+//! depends on visit order (PR 4's AODV RERR sweep bug). Lookup is fine;
+//! *iteration* is the defect. Runs workspace-wide.
+//!
+//! A declaration with an explicit hasher parameter (`HashMap<K, V,
+//! FxBuild>`) is exempt: the deterministic hasher makes iteration
+//! reproducible for a fixed key set.
+
+use super::{FileCtx, Pass, RawDiag, KEYWORDS};
+use crate::lexer::Kind;
+use crate::model::{next_sig, prev_sig};
+use std::collections::BTreeSet;
+
+pub struct OrderedIteration;
+
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "into_keys",
+    "into_values",
+    "drain",
+    "retain",
+    "extract_if",
+];
+
+/// Methods that return a view of the same map; a chain may pass
+/// through them on the way to an iterator.
+const PASSTHROUGH: &[&str] = &["clone", "as_ref", "as_mut", "borrow", "borrow_mut"];
+
+impl Pass for OrderedIteration {
+    fn id(&self) -> &'static str {
+        "ordered-iteration"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &["ordered-iteration"]
+    }
+
+    fn applies(&self, _rel: &str) -> bool {
+        true
+    }
+
+    fn run(&self, ctx: &FileCtx<'_>, out: &mut Vec<RawDiag>) {
+        let tracked = collect_tracked(ctx);
+        if tracked.is_empty() {
+            return;
+        }
+        let (src, toks) = (ctx.src, ctx.toks);
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != Kind::Ident {
+                continue;
+            }
+            let name = t.text(src);
+            if !tracked.contains(name) {
+                continue;
+            }
+            // `map.iter()` and friends, possibly through a view chain.
+            if let Some(method) = iter_method_after(ctx, i) {
+                out.push(RawDiag {
+                    off: t.start,
+                    rule: "ordered-iteration",
+                    msg: format!(
+                        "`{name}.{method}` iterates a std-hashed map; order depends on process hash state"
+                    ),
+                });
+                continue;
+            }
+            // `for x in map` / `for x in &map` / `for x in &mut map`.
+            if for_in_target(ctx, i) {
+                out.push(RawDiag {
+                    off: t.start,
+                    rule: "ordered-iteration",
+                    msg: format!(
+                        "`for … in {name}` iterates a std-hashed map; order depends on process hash state"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Idents in this file declared as std-hashed maps/sets, via type
+/// ascription (`x: HashMap<K, V>` — three generic args means an
+/// explicit hasher, exempt) or construction (`x = HashMap::new()`).
+fn collect_tracked(ctx: &FileCtx<'_>) -> BTreeSet<String> {
+    let (src, toks) = (ctx.src, ctx.toks);
+    let mut tracked = BTreeSet::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != Kind::Ident {
+            continue;
+        }
+        let is_map = t.text(src) == "HashMap";
+        let is_set = t.text(src) == "HashSet";
+        if !is_map && !is_set {
+            continue;
+        }
+        let Some(n) = next_sig(toks, i + 1) else { continue };
+        match toks[n].text(src) {
+            "<" => {
+                // Type position: the declared ident sits left of the
+                // `:` ascribing it (let binding, struct field, param).
+                let Some(decl) = decl_ident_before(ctx, i, false) else { continue };
+                let args = generic_arg_count(ctx, n);
+                let std_hashed = (is_map && args <= 2) || (is_set && args <= 1);
+                if std_hashed {
+                    tracked.insert(decl);
+                }
+            }
+            ":" => {
+                // Construction: only `ident = HashMap::new()` forms.
+                // `field: HashMap::default()` in a struct literal takes
+                // its hasher from the field's declared type, which the
+                // ascription form already classifies.
+                let Some(decl) = decl_ident_before(ctx, i, true) else { continue };
+                let Some(n2) = next_sig(toks, n + 1) else { continue };
+                if toks[n2].text(src) != ":" {
+                    continue;
+                }
+                let Some(m) = next_sig(toks, n2 + 1) else { continue };
+                if matches!(toks[m].text(src), "new" | "default" | "with_capacity") {
+                    tracked.insert(decl);
+                }
+            }
+            _ => {}
+        }
+    }
+    tracked
+}
+
+/// Walks left from the `HashMap`/`HashSet` ident past a leading path
+/// (`std :: collections ::`) to the token introducing it, and returns
+/// the declared ident. With `require_eq`, only `ident = …` counts
+/// (construction form); otherwise only a single-`:` ascription counts
+/// (let binding, struct field, fn param). Type aliases (`type Foo<…> =
+/// HashMap<…>`) are excluded by requiring a plain ident on the left.
+fn decl_ident_before(ctx: &FileCtx<'_>, i: usize, require_eq: bool) -> Option<String> {
+    let (src, toks) = (ctx.src, ctx.toks);
+    let mut p = prev_sig(toks, i)?;
+    // Skip `path::` segments.
+    while toks[p].text(src) == ":" {
+        let q = prev_sig(toks, p)?;
+        if toks[q].text(src) == ":" {
+            let seg = prev_sig(toks, q)?;
+            if toks[seg].kind != Kind::Ident {
+                return None;
+            }
+            p = prev_sig(toks, seg)?;
+        } else {
+            // Single `:` — type ascription; the decl ident is left of it.
+            if require_eq {
+                return None;
+            }
+            let decl = q;
+            if toks[decl].kind != Kind::Ident || KEYWORDS.contains(&toks[decl].text(src)) {
+                return None;
+            }
+            return Some(toks[decl].text(src).to_string());
+        }
+    }
+    if toks[p].text(src) == "=" {
+        if !require_eq {
+            return None;
+        }
+        let decl = prev_sig(toks, p)?;
+        if toks[decl].kind != Kind::Ident || KEYWORDS.contains(&toks[decl].text(src)) {
+            return None;
+        }
+        return Some(toks[decl].text(src).to_string());
+    }
+    None
+}
+
+/// Counts top-level generic arguments of the `<…>` opening at `lt`.
+fn generic_arg_count(ctx: &FileCtx<'_>, lt: usize) -> usize {
+    let (src, toks) = (ctx.src, ctx.toks);
+    let mut depth = 0usize;
+    let mut nested = 0usize; // tuple/array groupings carry their own commas
+    let mut commas = 0usize;
+    let mut any = false;
+    for t in toks.iter().skip(lt) {
+        if t.is_comment() {
+            continue;
+        }
+        match t.text(src) {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return if any { commas + 1 } else { 0 };
+                }
+            }
+            "(" | "[" => nested += 1,
+            ")" | "]" => nested = nested.saturating_sub(1),
+            "," if depth == 1 && nested == 0 => commas += 1,
+            _ => any = true,
+        }
+    }
+    0
+}
+
+/// If token `i` (a tracked map ident) is followed by a method chain
+/// reaching an iteration method, returns that method's name.
+fn iter_method_after<'a>(ctx: &FileCtx<'a>, i: usize) -> Option<&'a str> {
+    let (src, toks) = (ctx.src, ctx.toks);
+    let mut pos = i;
+    loop {
+        let dot = next_sig(toks, pos + 1)?;
+        if toks[dot].text(src) != "." {
+            return None;
+        }
+        let m = next_sig(toks, dot + 1)?;
+        if toks[m].kind != Kind::Ident {
+            return None;
+        }
+        let name = toks[m].text(src);
+        if ITER_METHODS.contains(&name) {
+            return Some(name);
+        }
+        if !PASSTHROUGH.contains(&name) {
+            return None;
+        }
+        // Skip the passthrough call's `()`.
+        let open = next_sig(toks, m + 1)?;
+        if toks[open].text(src) != "(" {
+            return None;
+        }
+        let mut depth = 0usize;
+        let mut close = open;
+        for (j, t) in toks.iter().enumerate().skip(open) {
+            if t.is_comment() {
+                continue;
+            }
+            match t.text(src) {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = j;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        pos = close;
+    }
+}
+
+/// True if token `i` is the target of `for … in [&[mut]] ident`.
+fn for_in_target(ctx: &FileCtx<'_>, i: usize) -> bool {
+    let (src, toks) = (ctx.src, ctx.toks);
+    // The ident must end the iterable: next significant token opens the
+    // loop body (or starts a block-less position we ignore).
+    if next_sig(toks, i + 1).is_none_or(|n| toks[n].text(src) != "{") {
+        return false;
+    }
+    let mut p = match prev_sig(toks, i) {
+        Some(p) => p,
+        None => return false,
+    };
+    if toks[p].text(src) == "mut" {
+        p = match prev_sig(toks, p) {
+            Some(q) => q,
+            None => return false,
+        };
+    }
+    if toks[p].text(src) == "&" {
+        p = match prev_sig(toks, p) {
+            Some(q) => q,
+            None => return false,
+        };
+    }
+    toks[p].kind == Kind::Ident && toks[p].text(src) == "in"
+}

@@ -1,0 +1,135 @@
+//! `panic-surface`: wire codecs parse attacker-shaped bytes (the fault
+//! layer corrupts frames arbitrarily), so their decode paths must be
+//! total. Token-aware checks over codec files:
+//!
+//! * `panic-surface-index` — bare indexing / slicing `x[i]`, which
+//!   panics out of bounds; use `get`/`get_mut`/`chunks_exact`.
+//! * `panic-surface-arith` — unchecked `+ - * / %` inside `decode` /
+//!   `read_*` / `get_*` functions, where attacker-controlled counts
+//!   can overflow offsets; use `checked_*`.
+//! * `panic-surface-cast` — narrowing `as` casts to small integers,
+//!   which silently truncate counts; use `try_from` / `clamp_count`.
+
+use super::{under, FileCtx, Pass, RawDiag, KEYWORDS};
+use crate::lexer::Kind;
+use crate::model::{brace_block, next_sig, prev_sig};
+
+pub struct PanicSurface;
+
+/// Files holding wire codecs: every `messages.rs` in the protocol
+/// crates plus the shared checked-reader module itself.
+fn is_codec_file(rel: &str) -> bool {
+    ((under(rel, "crates/core") || under(rel, "crates/baselines")) && rel.ends_with("/messages.rs"))
+        || rel == "crates/sim/src/wire.rs"
+}
+
+const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+impl Pass for PanicSurface {
+    fn id(&self) -> &'static str {
+        "panic-surface"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &["panic-surface-index", "panic-surface-arith", "panic-surface-cast"]
+    }
+
+    fn applies(&self, rel: &str) -> bool {
+        is_codec_file(rel)
+    }
+
+    fn run(&self, ctx: &FileCtx<'_>, out: &mut Vec<RawDiag>) {
+        let (src, toks) = (ctx.src, ctx.toks);
+        let decode_spans = decode_fn_spans(ctx);
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != Kind::Punct {
+                if t.kind == Kind::Ident && t.text(src) == "as" {
+                    if let Some(n) = next_sig(toks, i + 1) {
+                        let ty = toks[n].text(src);
+                        if toks[n].kind == Kind::Ident && NARROW.contains(&ty) {
+                            out.push(RawDiag {
+                                off: t.start,
+                                rule: "panic-surface-cast",
+                                msg: format!(
+                                    "narrowing `as {ty}` silently truncates; use try_from or wire::clamp_count"
+                                ),
+                            });
+                        }
+                    }
+                }
+                continue;
+            }
+            let text = t.text(src);
+            match text {
+                "[" if prev_is_value(ctx, i) => {
+                    out.push(RawDiag {
+                        off: t.start,
+                        rule: "panic-surface-index",
+                        msg: "bare indexing/slicing panics out of bounds; use get/chunks_exact"
+                            .into(),
+                    });
+                }
+                "+" | "-" | "*" | "/" | "%" => {
+                    if !decode_spans.iter().any(|&(a, b)| t.start >= a && t.start < b) {
+                        continue;
+                    }
+                    // `->` is an arrow, not subtraction.
+                    if text == "-"
+                        && next_sig(toks, i + 1).is_some_and(|n| toks[n].text(src) == ">")
+                    {
+                        continue;
+                    }
+                    // `..` / `::`-adjacent and compound-assign forms
+                    // never reach here: only binary positions count.
+                    if prev_is_value(ctx, i) {
+                        // `+=` / `-=` etc. are still panicking arithmetic.
+                        out.push(RawDiag {
+                            off: t.start,
+                            rule: "panic-surface-arith",
+                            msg: format!(
+                                "unchecked `{text}` in a decode path can overflow on corrupt input; use checked_ ops"
+                            ),
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// True when the token before `i` ends a value expression — an ident
+/// that is not a keyword, a literal, `)`, `]`, or `?` — making the
+/// token at `i` indexing (for `[`) or a binary operator.
+fn prev_is_value(ctx: &FileCtx<'_>, i: usize) -> bool {
+    let (src, toks) = (ctx.src, ctx.toks);
+    let Some(p) = prev_sig(toks, i) else { return false };
+    match toks[p].kind {
+        Kind::Ident => !KEYWORDS.contains(&toks[p].text(src)),
+        Kind::Num | Kind::Str => true,
+        Kind::Punct => matches!(toks[p].text(src), ")" | "]" | "?"),
+        _ => false,
+    }
+}
+
+/// Byte spans of the bodies of `fn decode` / `fn read_*` / `fn get_*`.
+fn decode_fn_spans(ctx: &FileCtx<'_>) -> Vec<(usize, usize)> {
+    let (src, toks) = (ctx.src, ctx.toks);
+    let mut spans = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != Kind::Ident || t.text(src) != "fn" {
+            continue;
+        }
+        let Some(n) = next_sig(toks, i + 1) else { continue };
+        if toks[n].kind != Kind::Ident {
+            continue;
+        }
+        let name = toks[n].text(src);
+        if name == "decode" || name.starts_with("read_") || name.starts_with("get_") {
+            if let Some(span) = brace_block(src, toks, n + 1) {
+                spans.push(span);
+            }
+        }
+    }
+    spans
+}

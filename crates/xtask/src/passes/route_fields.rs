@@ -1,0 +1,60 @@
+//! `route-fields`: LDR's loop-freedom proof (Theorem 4) rests on every
+//! route-entry mutation flowing through `route_table.rs`, where the
+//! feasibility invariants are enforced. Direct assignment to a route
+//! field anywhere else in `crates/core` bypasses the proof obligations.
+
+use super::{under, FileCtx, Pass, RawDiag};
+use crate::lexer::Kind;
+use crate::model::{next_sig, prev_sig};
+
+pub struct RouteFields;
+
+const FIELDS: &[&str] = &["fd", "dist", "seqno", "next_hop", "valid", "expires"];
+
+impl Pass for RouteFields {
+    fn id(&self) -> &'static str {
+        "route-fields"
+    }
+
+    fn rules(&self) -> &'static [&'static str] {
+        &["route-fields"]
+    }
+
+    fn applies(&self, rel: &str) -> bool {
+        under(rel, "crates/core") && !rel.ends_with("route_table.rs")
+    }
+
+    fn run(&self, ctx: &FileCtx<'_>, out: &mut Vec<RawDiag>) {
+        let (src, toks) = (ctx.src, ctx.toks);
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != Kind::Ident || !FIELDS.contains(&t.text(src)) {
+                continue;
+            }
+            // Field access: `.field`.
+            if prev_sig(toks, i).is_none_or(|p| toks[p].text(src) != ".") {
+                continue;
+            }
+            let Some(n1) = next_sig(toks, i + 1) else { continue };
+            let t1 = toks[n1].text(src);
+            let assigned = match t1 {
+                "=" => {
+                    // Exclude `==` and `=>`.
+                    !next_sig(toks, n1 + 1)
+                        .is_some_and(|n2| matches!(toks[n2].text(src), "=" | ">"))
+                }
+                "+" | "-" => next_sig(toks, n1 + 1).is_some_and(|n2| toks[n2].text(src) == "="),
+                _ => false,
+            };
+            if assigned {
+                out.push(RawDiag {
+                    off: t.start,
+                    rule: "route-fields",
+                    msg: format!(
+                        "route field `{}` mutated outside route_table.rs; use the table API",
+                        t.text(src)
+                    ),
+                });
+            }
+        }
+    }
+}

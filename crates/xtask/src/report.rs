@@ -1,0 +1,131 @@
+//! Diagnostic rendering: human text and machine-readable JSON
+//! (hand-rolled — the engine has no dependencies to keep `cargo xtask`
+//! building instantly everywhere).
+
+use std::collections::BTreeMap;
+
+/// One resolved finding.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Stable rule id.
+    pub rule: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+/// Sorts into the canonical reporting order.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+}
+
+/// Renders the human-readable report.
+pub fn text(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&format!("{}:{}:{}: [{}] {}\n", d.file, d.line, d.col, d.rule, d.message));
+    }
+    if diags.is_empty() {
+        out.push_str("xtask check: clean\n");
+    } else {
+        out.push_str(&format!("xtask check: {} finding(s)\n", diags.len()));
+    }
+    out
+}
+
+/// Renders the JSON report (schema `xtask-diagnostics/1`), diagnostics
+/// pre-sorted, keys in a fixed order so output is byte-stable.
+pub fn json(diags: &[Diagnostic]) -> String {
+    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
+    for d in diags {
+        *counts.entry(d.rule).or_default() += 1;
+    }
+    let mut out = String::from("{\n  \"schema\": \"xtask-diagnostics/1\",\n");
+    out.push_str(&format!("  \"total\": {},\n", diags.len()));
+    out.push_str("  \"counts\": {");
+    for (i, (rule, n)) in counts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n    \"{rule}\": {n}"));
+    }
+    if counts.is_empty() {
+        out.push_str("},\n");
+    } else {
+        out.push_str("\n  },\n");
+    }
+    out.push_str("  \"diagnostics\": [");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"col\": {}, \"rule\": {}, \"message\": {}}}",
+            escape(&d.file),
+            d.line,
+            d.col,
+            escape(d.rule),
+            escape(&d.message)
+        ));
+    }
+    if diags.is_empty() {
+        out.push_str("]\n}\n");
+    } else {
+        out.push_str("\n  ]\n}\n");
+    }
+    out
+}
+
+/// JSON string escaping.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Diagnostic> {
+        vec![Diagnostic {
+            file: "crates/x/src/a.rs".into(),
+            line: 3,
+            col: 7,
+            rule: "no-panic",
+            message: "a \"quoted\" message".into(),
+        }]
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let j = json(&sample());
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("\"no-panic\": 1"));
+        assert!(j.contains("\"total\": 1"));
+    }
+
+    #[test]
+    fn empty_report_is_valid_json_shape() {
+        let j = json(&[]);
+        assert!(j.contains("\"total\": 0"));
+        assert!(j.contains("\"diagnostics\": []"));
+    }
+}
