@@ -193,6 +193,11 @@ impl Aodv {
         self.routes.get(&dest)
     }
 
+    /// Whether a discovery for `dest` is in progress.
+    pub fn is_discovering(&self, dest: NodeId) -> bool {
+        self.pending.contains_key(&dest)
+    }
+
     fn active(&self, dest: NodeId, now: SimTime) -> Option<&Route> {
         self.routes.get(&dest).filter(|r| r.is_active(now))
     }
@@ -222,6 +227,20 @@ impl Aodv {
     /// checker's destination-seqno-increment transition.
     pub fn bump_own_seqno(&mut self) {
         self.own_seq = self.own_seq.wrapping_add(1);
+    }
+
+    /// How many expanding-ring attempts the TTL schedule needs before
+    /// an RREQ reaches a destination `dist` hops away, or `None` when
+    /// the configured schedule tops out short of `dist`. Used by the
+    /// model checker's liveness executor to grant a probe discovery its
+    /// schedule-mandated retries and not one more.
+    pub fn discovery_attempts_for(&self, dist: u32) -> Option<u32> {
+        let mut attempt = 1u32;
+        while attempt < self.cfg.max_attempts && u32::from(self.cfg.ttl_for_attempt(attempt)) < dist
+        {
+            attempt += 1;
+        }
+        (u32::from(self.cfg.ttl_for_attempt(attempt)) >= dist).then_some(attempt)
     }
 
     /// Appends a canonical byte encoding of the complete protocol state

@@ -105,6 +105,23 @@ impl RouteCache {
         before - self.paths.len()
     }
 
+    /// Removes every path ending at `dest` (the model checker's
+    /// cache-timeout transition). Returns how many paths were dropped.
+    pub fn remove_dest(&mut self, dest: NodeId) -> usize {
+        let before = self.paths.len();
+        self.paths.retain(|p| p.path.last() != Some(&dest));
+        before - self.paths.len()
+    }
+
+    /// Every cached entry as `(path, added)`, sorted by path — the
+    /// canonical order for state digests and verification dumps.
+    pub(crate) fn entries_sorted(&self) -> Vec<(&[NodeId], SimTime)> {
+        let mut v: Vec<(&[NodeId], SimTime)> =
+            self.paths.iter().map(|p| (p.path.as_slice(), p.added)).collect();
+        v.sort_unstable();
+        v
+    }
+
     /// Number of cached paths.
     pub fn len(&self) -> usize {
         self.paths.len()

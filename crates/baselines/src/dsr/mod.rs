@@ -98,7 +98,7 @@ impl DsrConfig {
     }
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 struct Discovery {
     generation: u64,
     attempts: u32,
@@ -106,6 +106,7 @@ struct Discovery {
 }
 
 /// A DSR node.
+#[derive(Clone)]
 pub struct Dsr {
     id: NodeId,
     cfg: DsrConfig,
@@ -148,6 +149,110 @@ impl Dsr {
     /// Whether a discovery for `dest` is pending.
     pub fn is_discovering(&self, dest: NodeId) -> bool {
         self.pending.contains_key(&dest)
+    }
+
+    // ----- verification hooks ----------------------------------------------
+    //
+    // Counterparts of the `ldr::Ldr` hooks, used by `crates/modelcheck`
+    // to drive DSR through the same exhaustive event interleavings.
+
+    /// Forces every cached path towards `dest` to time out — the model
+    /// checker's route-cache-timeout transition (the draft-07
+    /// RouteCacheTimeout, collapsed to an instant). Returns whether any
+    /// path existed to expire.
+    pub fn force_expire(&mut self, dest: NodeId) -> bool {
+        self.cache.remove_dest(dest) > 0
+    }
+
+    /// How many discovery attempts reach a destination `dist` hops
+    /// away: two when the first attempt is a non-propagating (TTL 1)
+    /// neighbourhood query that cannot get there, one otherwise —
+    /// `None` if the attempt budget forbids the propagating retry.
+    /// Used by the model checker's liveness executor.
+    pub fn discovery_attempts_for(&self, dist: u32) -> Option<u32> {
+        if self.cfg.non_propagating_first && dist > 1 {
+            (self.cfg.max_attempts >= 2).then_some(2)
+        } else {
+            Some(1)
+        }
+    }
+
+    /// Route-cache snapshot in the route-table dump shape the model
+    /// checker consumes: one row per destination (the shortest cached
+    /// path), `d = fd =` hop count, no sequence number. The simulator's
+    /// own `route_table_dump` stays empty — DSR keeps no next-hop table
+    /// and its loop freedom is per packet — so this view exists only
+    /// for verification.
+    pub fn verification_route_dump(&self) -> Vec<RouteDump> {
+        let now = self.clock;
+        let mut rows: Vec<RouteDump> = Vec::new();
+        for (path, _) in self.cache.entries_sorted() {
+            let (Some(&next), Some(&dest)) = (path.first(), path.last()) else { continue };
+            let hops = path.len() as u32;
+            match rows.iter_mut().find(|r| r.dest == dest) {
+                Some(row) => {
+                    if hops < row.dist {
+                        row.next = next;
+                        row.dist = hops;
+                    }
+                }
+                None => rows.push(RouteDump {
+                    dest,
+                    next,
+                    dist: hops,
+                    feasible_dist: None,
+                    seqno: None,
+                    valid: self.cache.lookup(dest, now).is_some(),
+                }),
+            }
+        }
+        rows.sort_unstable_by_key(|r| r.dest.0);
+        rows
+    }
+
+    /// Appends a canonical byte encoding of the complete protocol state
+    /// to `out` (sorted iteration everywhere; see
+    /// `ldr::Ldr::verification_digest` for the contract).
+    pub fn verification_digest(&self, out: &mut Vec<u8>) {
+        fn push_u64(out: &mut Vec<u8>, v: u64) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.next_id.to_le_bytes());
+        push_u64(out, self.next_generation);
+        push_u64(out, self.clock.as_nanos());
+        let entries = self.cache.entries_sorted();
+        push_u64(out, entries.len() as u64);
+        for (path, added) in entries {
+            push_u64(out, path.len() as u64);
+            for n in path {
+                out.extend_from_slice(&n.0.to_le_bytes());
+            }
+            push_u64(out, added.as_nanos());
+        }
+        let mut seen: Vec<(&(NodeId, u32), &SimTime)> = self.seen.iter().collect();
+        seen.sort_unstable_by_key(|((origin, id), _)| (origin.0, *id));
+        push_u64(out, seen.len() as u64);
+        for ((origin, id), exp) in seen {
+            out.extend_from_slice(&origin.0.to_le_bytes());
+            out.extend_from_slice(&id.to_le_bytes());
+            push_u64(out, exp.as_nanos());
+        }
+        let mut pending: Vec<(&NodeId, &Discovery)> = self.pending.iter().collect();
+        pending.sort_unstable_by_key(|(d, _)| d.0);
+        push_u64(out, pending.len() as u64);
+        for (dest, disc) in pending {
+            out.extend_from_slice(&dest.0.to_le_bytes());
+            push_u64(out, disc.generation);
+            out.extend_from_slice(&disc.attempts.to_le_bytes());
+            push_u64(out, disc.queue.len() as u64);
+            for p in &disc.queue {
+                out.extend_from_slice(&p.src.0.to_le_bytes());
+                out.extend_from_slice(&p.dst.0.to_le_bytes());
+                out.extend_from_slice(&p.flow.to_le_bytes());
+                out.extend_from_slice(&p.seq.to_le_bytes());
+                out.push(p.ttl);
+            }
+        }
     }
 
     fn send_with_route(&mut self, ctx: &mut Ctx, mut data: DataPacket, cached: Vec<NodeId>) {

@@ -87,6 +87,7 @@ struct LinkState {
 }
 
 /// An OLSR node.
+#[derive(Clone)]
 pub struct Olsr {
     id: NodeId,
     cfg: OlsrConfig,
@@ -113,7 +114,7 @@ pub struct Olsr {
 }
 
 /// Scratch space reused across route recomputations.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 struct RouteScratch {
     edges: Vec<Vec<NodeId>>,
     dist: Vec<u32>,
@@ -160,6 +161,120 @@ impl Olsr {
     /// The computed routing table: destination → (next hop, hops).
     pub fn table(&self) -> &HashMap<NodeId, (NodeId, u32), FxBuild> {
         &self.table
+    }
+
+    // ----- verification hooks ----------------------------------------------
+    //
+    // Counterparts of the `ldr::Ldr` hooks, used by `crates/modelcheck`
+    // to drive OLSR through the same exhaustive event interleavings.
+
+    /// Forces the link-state soft state behind the route towards `dest`
+    /// to time out — the model checker's soft-state-expiry transition
+    /// (NEIGHB_HOLD_TIME / TOP_HOLD_TIME lapsing, collapsed to an
+    /// instant). The derived routing table is left to the next
+    /// recomputation, exactly as with a natural timeout. Returns
+    /// whether any state existed to expire.
+    pub fn force_expire(&mut self, dest: NodeId) -> bool {
+        let mut removed = self.links.remove(&dest).is_some();
+        removed |= self.two_hop.remove(&dest).is_some();
+        let before = self.topology.len();
+        self.topology.retain(|&(orig, sel), _| orig != dest && sel != dest);
+        removed |= self.topology.len() != before;
+        if removed {
+            self.dirty = true;
+        }
+        removed
+    }
+
+    /// Recomputes the routing table immediately if the topology is
+    /// dirty — the model checker's way of observing the table a node
+    /// *would* forward with, outside any callback.
+    pub fn force_recompute(&mut self) {
+        if self.dirty {
+            self.recompute_routes(self.clock);
+        }
+    }
+
+    /// Appends a canonical byte encoding of the complete protocol state
+    /// to `out` (sorted iteration everywhere; see
+    /// `ldr::Ldr::verification_digest` for the contract). The
+    /// allocation scratch is excluded — it carries no protocol state.
+    pub fn verification_digest(&self, out: &mut Vec<u8>) {
+        fn push_u64(out: &mut Vec<u8>, v: u64) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        fn push_id(out: &mut Vec<u8>, n: NodeId) {
+            out.extend_from_slice(&n.0.to_le_bytes());
+        }
+        let mut links: Vec<(&NodeId, &LinkState)> = self.links.iter().collect();
+        links.sort_unstable_by_key(|(n, _)| n.0);
+        push_u64(out, links.len() as u64);
+        for (n, l) in links {
+            push_id(out, *n);
+            out.push(u8::from(l.sym));
+            push_u64(out, l.expires.as_nanos());
+        }
+        let mut two_hop: Vec<(&NodeId, &(Vec<NodeId>, SimTime))> = self.two_hop.iter().collect();
+        two_hop.sort_unstable_by_key(|(n, _)| n.0);
+        push_u64(out, two_hop.len() as u64);
+        for (n, (twos, exp)) in two_hop {
+            push_id(out, *n);
+            push_u64(out, twos.len() as u64);
+            for t in twos {
+                push_id(out, *t);
+            }
+            push_u64(out, exp.as_nanos());
+        }
+        let mut mprs: Vec<NodeId> = self.mpr_set.iter().copied().collect();
+        mprs.sort_unstable_by_key(|n| n.0);
+        push_u64(out, mprs.len() as u64);
+        for n in mprs {
+            push_id(out, n);
+        }
+        let mut selectors: Vec<(&NodeId, &SimTime)> = self.mpr_selectors.iter().collect();
+        selectors.sort_unstable_by_key(|(n, _)| n.0);
+        push_u64(out, selectors.len() as u64);
+        for (n, exp) in selectors {
+            push_id(out, *n);
+            push_u64(out, exp.as_nanos());
+        }
+        let mut topology: Vec<_> = self.topology.iter().collect();
+        topology.sort_unstable_by_key(|&(&(o, s), _)| (o.0, s.0));
+        push_u64(out, topology.len() as u64);
+        for ((orig, sel), (ansn, exp)) in topology {
+            push_id(out, *orig);
+            push_id(out, *sel);
+            out.extend_from_slice(&ansn.to_le_bytes());
+            push_u64(out, exp.as_nanos());
+        }
+        let mut dup: Vec<(&(NodeId, u16), &SimTime)> = self.dup.iter().collect();
+        dup.sort_unstable_by_key(|((o, s), _)| (o.0, *s));
+        push_u64(out, dup.len() as u64);
+        for ((orig, seq), exp) in dup {
+            push_id(out, *orig);
+            out.extend_from_slice(&seq.to_le_bytes());
+            push_u64(out, exp.as_nanos());
+        }
+        let mut table: Vec<(&NodeId, &(NodeId, u32))> = self.table.iter().collect();
+        table.sort_unstable_by_key(|(d, _)| d.0);
+        push_u64(out, table.len() as u64);
+        for (dest, (next, hops)) in table {
+            push_id(out, *dest);
+            push_id(out, *next);
+            out.extend_from_slice(&hops.to_le_bytes());
+        }
+        out.push(u8::from(self.dirty));
+        out.extend_from_slice(&self.ansn.to_le_bytes());
+        out.extend_from_slice(&self.tc_seq.to_le_bytes());
+        push_u64(out, self.outq.len() as u64);
+        for (kind, bytes, initiated) in &self.outq {
+            out.push(*kind as u8);
+            push_u64(out, bytes.len() as u64);
+            out.extend_from_slice(bytes);
+            out.push(u8::from(*initiated));
+        }
+        out.push(u8::from(self.drain_scheduled));
+        push_u64(out, self.clock.as_nanos());
     }
 
     fn sym_neighbors(&self, now: SimTime) -> Vec<NodeId> {

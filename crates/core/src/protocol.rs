@@ -189,6 +189,25 @@ impl Ldr {
         self.own_seqno.increment();
     }
 
+    /// How many expanding-ring attempts the *cold* TTL schedule needs
+    /// before an RREQ reaches a destination `dist` hops away (capped at
+    /// `max_attempts`). The *optimal TTL* optimisation can only seed
+    /// the ring at `ttl_start` or above, so this is an upper bound for
+    /// warm starts too. Returns `None` when even the final attempt's
+    /// TTL cannot reach `dist` — the configuration, not the protocol,
+    /// rules the discovery out. The model checker's liveness executor
+    /// grants a probe discovery exactly this many attempts: a protocol
+    /// whose state loss costs *extra* attempts is the one that stalls.
+    pub fn discovery_attempts_for(&self, dist: u32) -> Option<u32> {
+        let mut attempt = 1u32;
+        while attempt < self.cfg.max_attempts
+            && u32::from(self.cfg.ttl_for_attempt(attempt, None)) < dist
+        {
+            attempt += 1;
+        }
+        (u32::from(self.cfg.ttl_for_attempt(attempt, None)) >= dist).then_some(attempt)
+    }
+
     /// Appends a canonical byte encoding of the complete protocol state
     /// to `out`. Two `Ldr` values produce the same bytes iff they are
     /// behaviourally identical, which is what the model checker hashes

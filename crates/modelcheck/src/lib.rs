@@ -33,18 +33,31 @@
 //! forensic audit machinery of `manet-sim` for a deterministic,
 //! diffable dump ([`report`]).
 //!
-//! Run the curated suite with `cargo run -p modelcheck --release`.
+//! Beyond the exhaustive DFS, the crate hunts: [`topo`] manufactures
+//! deterministic 3–6 node scenarios, [`coverage`] walks them steered
+//! by fingerprint novelty (all four protocols — the DSR and OLSR
+//! baselines implement [`model::ProtocolModel`] too), and [`live`]
+//! adds the liveness question — after fair completion, can the probe
+//! source still reach a route? — alongside the safety frontier.
+//!
+//! Run the curated suite with `cargo run -p modelcheck --release`, the
+//! coverage hunt with `cargo run -p modelcheck --release -- --coverage`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod checker;
+pub mod coverage;
+pub mod live;
 pub mod model;
 pub mod net;
 pub mod report;
 pub mod scenarios;
 pub mod shrink;
+pub mod topo;
 
 pub use checker::{Budget, Checker, Counterexample, Outcome, Violation};
+pub use coverage::{Exploration, ExploreBudget, Finding, ViolationClass};
+pub use live::LiveVerdict;
 pub use model::ProtocolModel;
 pub use net::{Event, NetState, Scenario};

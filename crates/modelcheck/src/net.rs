@@ -32,26 +32,31 @@ pub const T0: SimTime = SimTime::from_secs(1);
 /// Hop budget given to originated data packets.
 const DATA_TTL: u8 = 16;
 
+/// Flow id stamped on liveness-probe data packets, keeping them
+/// distinct from scenario workload flows (which use their origination
+/// index).
+pub const PROBE_FLOW: u32 = u32::MAX;
+
 /// One scenario: topology, workload and hazard budgets.
 ///
 /// Budgets bound the environment's adversarial moves, keeping the state
 /// space finite and focused: a scenario with `max_expires: 1` explores
 /// every schedule in which *at most one* route entry times out, at any
 /// node, at any point.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct Scenario {
     /// Scenario name (reports and test assertions).
-    pub name: &'static str,
+    pub name: String,
     /// Number of nodes (ids `0..n`).
     pub n: u16,
     /// Initially-up symmetric links.
-    pub links: &'static [(u16, u16)],
+    pub links: Vec<(u16, u16)>,
     /// Data originations `(src, dst)`, injectable in list order at any
     /// point of the schedule.
-    pub originations: &'static [(u16, u16)],
+    pub originations: Vec<(u16, u16)>,
     /// Links that may change state (each toggled at most once, in any
     /// order relative to everything else).
-    pub toggles: &'static [(u16, u16)],
+    pub toggles: Vec<(u16, u16)>,
     /// How many route entries may time out ([`Event::Expire`]).
     pub max_expires: u32,
     /// How many owner sequence-number increments ([`Event::Bump`]).
@@ -65,6 +70,11 @@ pub struct Scenario {
     /// node's protocol state and pending timers vanish and its reboot
     /// callback runs, all at the frozen instant.
     pub max_restarts: u32,
+    /// The `(src, dst)` pair the liveness executor probes after a walk
+    /// ends: once the schedule quiesces fairly, `src` must either hold
+    /// a route towards `dst` or `dst` must be partitioned away. `None`
+    /// skips the liveness check (pure safety scenarios).
+    pub probe: Option<(u16, u16)>,
 }
 
 /// An in-flight message copy (one receiver; broadcasts fan out into one
@@ -178,6 +188,80 @@ pub enum Event {
         /// The node that loses its state.
         node: u16,
     },
+}
+
+const HEX: &[u8; 16] = b"0123456789abcdef";
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        s.push(HEX[usize::from(b >> 4)] as char);
+        s.push(HEX[usize::from(b & 15)] as char);
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let b = s.as_bytes();
+    let mut out = Vec::with_capacity(b.len() / 2);
+    for pair in b.chunks_exact(2) {
+        let hi = (pair[0] as char).to_digit(16)?;
+        let lo = (pair[1] as char).to_digit(16)?;
+        out.push((hi * 16 + lo) as u8);
+    }
+    Some(out)
+}
+
+impl Event {
+    /// Serialises the event to one line of the witness wire format
+    /// (`deliver <hex-key>`, `fire <node> <token>`, ...). The format
+    /// round-trips through [`Event::from_wire`] and is what
+    /// `.events` fixture files contain.
+    pub fn to_wire(&self) -> String {
+        match self {
+            Event::Deliver(k) => format!("deliver {}", hex_encode(k)),
+            Event::Lose(k) => format!("lose {}", hex_encode(k)),
+            Event::Fire { node, token } => format!("fire {node} {token}"),
+            Event::Expire { node, dest } => format!("expire {node} {dest}"),
+            Event::Bump { node } => format!("bump {node}"),
+            Event::Originate { index } => format!("originate {index}"),
+            Event::Toggle { index } => format!("toggle {index}"),
+            Event::Restart { node } => format!("restart {node}"),
+        }
+    }
+
+    /// Parses one line of the witness wire format; `None` on malformed
+    /// input (wrong verb, missing or non-numeric operands, odd-length
+    /// hex). Blank lines and `#` comments are the *caller's* concern —
+    /// this parses exactly one event.
+    pub fn from_wire(line: &str) -> Option<Event> {
+        let mut parts = line.split_whitespace();
+        let verb = parts.next()?;
+        let event = match verb {
+            "deliver" => Event::Deliver(hex_decode(parts.next()?)?),
+            "lose" => Event::Lose(hex_decode(parts.next()?)?),
+            "fire" => Event::Fire {
+                node: parts.next()?.parse().ok()?,
+                token: parts.next()?.parse().ok()?,
+            },
+            "expire" => Event::Expire {
+                node: parts.next()?.parse().ok()?,
+                dest: parts.next()?.parse().ok()?,
+            },
+            "bump" => Event::Bump { node: parts.next()?.parse().ok()? },
+            "originate" => Event::Originate { index: parts.next()?.parse().ok()? },
+            "toggle" => Event::Toggle { index: parts.next()?.parse().ok()? },
+            "restart" => Event::Restart { node: parts.next()?.parse().ok()? },
+            _ => return None,
+        };
+        if parts.next().is_some() {
+            return None;
+        }
+        Some(event)
+    }
 }
 
 /// FNV-1a over a byte slice with a caller-chosen offset basis.
@@ -368,6 +452,28 @@ impl<M: ProtocolModel> NetState<M> {
             }
         }
         traces
+    }
+
+    /// Injects a data origination at `src` towards `dst` outside the
+    /// scenario workload — the liveness executor's probe (flow id
+    /// [`PROBE_FLOW`]). Returns the traces the callback emitted.
+    pub(crate) fn inject_origination(
+        &mut self,
+        scenario: &Scenario,
+        src: u16,
+        dst: u16,
+    ) -> Vec<TraceEvent> {
+        let data = DataPacket {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            flow: PROBE_FLOW,
+            seq: 0,
+            created: T0,
+            payload_len: 512,
+            ttl: DATA_TTL,
+            ext: vec![],
+        };
+        self.callback(scenario, src, |m, ctx| m.on_originate(ctx, data))
     }
 
     /// Every event enabled in this state, in deterministic order.

@@ -28,26 +28,23 @@ fn route_line(out: &mut String, r: &RouteDump) {
     );
 }
 
-/// Renders the full deterministic report for a counterexample.
-pub fn render<M: ProtocolModel>(
+/// Replays `events` through the simulator's [`InvariantAuditor`] and
+/// renders the forensic section alone: the auditor's first-violation
+/// report when it flags one, the final route tables otherwise. The
+/// differential replay suite compares this section against the tail of
+/// each pinned fixture — the simulator's audit machinery must reach the
+/// same first-breach verdict the checker reached.
+pub fn forensic_section<M: ProtocolModel>(
     scenario: &Scenario,
     factory: impl Fn(NodeId) -> M + Copy,
-    cex: &Counterexample,
+    events: &[crate::net::Event],
 ) -> String {
     let mut out = String::new();
-    let proto = factory(NodeId(0)).protocol_name();
-    let _ = writeln!(out, "== counterexample: {} ({proto}) ==", scenario.name);
-    let _ = writeln!(out, "violation: {}", cex.violation);
-    let _ = writeln!(out, "trace ({} events, shrunk from {}):", cex.events.len(), cex.raw_len);
-    for (i, e) in cex.events.iter().enumerate() {
-        let _ = writeln!(out, "  {:>2}. {e}", i + 1);
-    }
-
     // Forensic replay: drive the auditor exactly as the simulator's
     // invariant layer would.
     let mut auditor = InvariantAuditor::new();
     let mut state = NetState::init(scenario, factory);
-    for event in &cex.events {
+    for event in events {
         let Some(step) = state.apply(scenario, event) else { continue };
         for t in &step.traces {
             auditor.observe(T0, t);
@@ -76,5 +73,23 @@ pub fn render<M: ProtocolModel>(
             }
         }
     }
+    out
+}
+
+/// Renders the full deterministic report for a counterexample.
+pub fn render<M: ProtocolModel>(
+    scenario: &Scenario,
+    factory: impl Fn(NodeId) -> M + Copy,
+    cex: &Counterexample,
+) -> String {
+    let mut out = String::new();
+    let proto = factory(NodeId(0)).protocol_name();
+    let _ = writeln!(out, "== counterexample: {} ({proto}) ==", scenario.name);
+    let _ = writeln!(out, "violation: {}", cex.violation);
+    let _ = writeln!(out, "trace ({} events, shrunk from {}):", cex.events.len(), cex.raw_len);
+    for (i, e) in cex.events.iter().enumerate() {
+        let _ = writeln!(out, "  {:>2}. {e}", i + 1);
+    }
+    out.push_str(&forensic_section(scenario, factory, &cex.events));
     out
 }

@@ -18,7 +18,7 @@ fn ctrl_msg(src: u16, dst: u16, payload: &[u8]) -> Msg {
 
 #[test]
 fn fingerprint_is_insertion_order_invariant() {
-    let sc = scenarios::LDR_SUITE[0].scenario;
+    let sc = scenarios::ldr_suite()[0].scenario.clone();
     let mk = scenarios::ldr_factory();
     let m1 = ctrl_msg(0, 1, b"alpha");
     let m2 = ctrl_msg(1, 2, b"beta");
@@ -41,14 +41,14 @@ fn fingerprint_is_insertion_order_invariant() {
 
 #[test]
 fn fingerprint_tracks_environment_not_just_tables() {
-    let sc = scenarios::LDR_SUITE[1].scenario;
+    let sc = scenarios::ldr_suite()[1].scenario.clone();
     let mk = scenarios::ldr_factory();
     let a = NetState::init(&sc, mk);
     let mut b = NetState::init(&sc, mk);
     b.expires_left -= 1;
     assert_ne!(a.fingerprint(), b.fingerprint(), "remaining hazard budgets are part of the state");
 
-    let rc = scenarios::LDR_SUITE[4].scenario;
+    let rc = scenarios::ldr_suite()[4].scenario.clone();
     assert_eq!(rc.name, "ldr-restart-recover");
     let c = NetState::init(&rc, mk);
     let mut d = NetState::init(&rc, mk);
@@ -58,7 +58,7 @@ fn fingerprint_tracks_environment_not_just_tables() {
 
 #[test]
 fn restart_wipes_timers_spends_budget_and_changes_state() {
-    let sc = scenarios::LDR_SUITE[4].scenario;
+    let sc = scenarios::ldr_suite()[4].scenario.clone();
     let mk = scenarios::ldr_factory();
     let init = NetState::init(&sc, mk);
     assert_eq!(init.restarts_left, 1);
@@ -87,8 +87,8 @@ fn restart_wipes_timers_spends_budget_and_changes_state() {
 
 #[test]
 fn dfs_reports_budget_exhaustion() {
-    let entry = scenarios::LDR_SUITE[0];
-    let tight = Checker::new(entry.scenario, Budget { max_depth: 3, max_states: 10 });
+    let entry = scenarios::ldr_suite()[0].clone();
+    let tight = Checker::new(entry.scenario.clone(), Budget { max_depth: 3, max_states: 10 });
     let outcome = tight.run(scenarios::ldr_factory());
     assert!(outcome.violation.is_none());
     assert!(!outcome.exhaustive, "a 10-state budget cannot cover the scenario");
@@ -121,8 +121,10 @@ fn ldr_scenarios_explore_clean() {
     // The cheap obligations run under `cargo test`; the full suite
     // (including the larger expire/rediscover space) runs in the
     // release binary and the CI smoke job.
-    for entry in [scenarios::LDR_SUITE[0], scenarios::LDR_SUITE[2], scenarios::LDR_SUITE[3]] {
-        let outcome = Checker::new(entry.scenario, entry.budget).run(scenarios::ldr_factory());
+    let suite = scenarios::ldr_suite();
+    for entry in [&suite[0], &suite[2], &suite[3]] {
+        let outcome =
+            Checker::new(entry.scenario.clone(), entry.budget).run(scenarios::ldr_factory());
         assert!(
             outcome.violation.is_none(),
             "{}: unexpected violation: {:?}",
@@ -135,8 +137,8 @@ fn ldr_scenarios_explore_clean() {
 
 #[test]
 fn aodv_stale_reply_loop_is_pinned() {
-    let entry = scenarios::AODV_STALE_REPLY;
-    let outcome = Checker::new(entry.scenario, entry.budget).run(scenarios::aodv_factory());
+    let entry = scenarios::aodv_stale_reply();
+    let outcome = Checker::new(entry.scenario.clone(), entry.budget).run(scenarios::aodv_factory());
     let cex = outcome.violation.expect("the checker must find the classic AODV stale-route loop");
     let rendered = modelcheck::report::render(&entry.scenario, scenarios::aodv_factory(), &cex);
     let expected = include_str!("fixtures/aodv_stale_reply.txt");
@@ -152,8 +154,8 @@ fn aodv_restart_amnesia_loop_is_pinned() {
     // expiry) makes AODV assemble a 2-cycle, because the restarted
     // node's sequence-number-less request draws a stale intermediate
     // reply from the neighbour that still routes through it.
-    let entry = scenarios::AODV_RESTART_AMNESIA;
-    let outcome = Checker::new(entry.scenario, entry.budget).run(scenarios::aodv_factory());
+    let entry = scenarios::aodv_restart_amnesia();
+    let outcome = Checker::new(entry.scenario.clone(), entry.budget).run(scenarios::aodv_factory());
     let cex = outcome.violation.expect("the checker must find the AODV restart loop");
     let rendered = modelcheck::report::render(&entry.scenario, scenarios::aodv_factory(), &cex);
     let expected = include_str!("fixtures/aodv_restart_amnesia.txt");

@@ -1,0 +1,155 @@
+//! Differential replay: every shipped witness fixture must replay
+//! through the simulator's forensic audit machinery (`sim::audit`) and
+//! reproduce the checker's first-breach verdict byte-for-byte.
+//!
+//! Each safety witness ships as a pair of fixtures: the rendered report
+//! (`*.txt`, pinned by `checker.rs`) and the machine-readable trace
+//! (`*.events`, one [`Event`] wire line per step). The tests here close
+//! the loop in both directions: the `.events` trace must equal the
+//! minimized trace the checker finds today, and feeding it to the
+//! auditor must yield exactly the forensic section embedded in the
+//! report. A liveness witness has no auditor counterpart — the audit
+//! layer watches route tables, and a discovery that never starts leaves
+//! them untouched — so its differential check asserts the *absence* of
+//! a table breach alongside the stall verdict.
+
+use modelcheck::coverage::ViolationClass;
+use modelcheck::live::{self, LiveVerdict};
+use modelcheck::{report, scenarios, Checker, Event};
+
+fn parse_events(text: &str) -> Vec<Event> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| Event::from_wire(l).unwrap_or_else(|| panic!("bad fixture line: {l}")))
+        .collect()
+}
+
+#[test]
+fn event_wire_format_round_trips() {
+    let events = [
+        Event::Deliver(vec![0, 0, 1, 0, 1, 0, 0xde, 0xad]),
+        Event::Lose(vec![2, 0, 1, 0, 3, 255]),
+        Event::Fire { node: 3, token: u64::MAX },
+        Event::Expire { node: 1, dest: 0 },
+        Event::Bump { node: 2 },
+        Event::Originate { index: 0 },
+        Event::Toggle { index: 1 },
+        Event::Restart { node: 4 },
+    ];
+    for e in events {
+        let line = e.to_wire();
+        assert_eq!(Event::from_wire(&line), Some(e.clone()), "round-trip failed for {line}");
+    }
+    for bad in ["", "deliver", "deliver xyz", "deliver abc", "fire 1", "restart 1 2", "warp 3"] {
+        assert_eq!(Event::from_wire(bad), None, "accepted malformed line: {bad:?}");
+    }
+}
+
+/// Replays one safety witness: checks the `.events` fixture against the
+/// checker's freshly-minimized trace, then against the auditor.
+fn check_safety_witness(entry: &scenarios::SuiteEntry, events_fixture: &str, report_fixture: &str) {
+    let events = parse_events(events_fixture);
+
+    // Direction 1: the fixture is exactly what the checker finds today.
+    let outcome = Checker::new(entry.scenario.clone(), entry.budget).run(scenarios::aodv_factory());
+    let cex = outcome.violation.expect("the curated witness must still produce its violation");
+    let fresh: Vec<String> = cex.events.iter().map(Event::to_wire).collect();
+    let pinned: Vec<String> = events.iter().map(Event::to_wire).collect();
+    assert_eq!(fresh, pinned, "{}: .events fixture drifted", entry.scenario.name);
+
+    // Direction 2: the simulator's audit machinery, fed the fixture,
+    // reaches the same first-breach verdict the checker rendered.
+    let section = report::forensic_section(&entry.scenario, scenarios::aodv_factory(), &events);
+    assert!(
+        section.starts_with("-- forensic replay --"),
+        "{}: the auditor failed to flag the breach",
+        entry.scenario.name
+    );
+    assert!(
+        report_fixture.ends_with(&section),
+        "{}: auditor verdict differs from the pinned report section",
+        entry.scenario.name
+    );
+}
+
+#[test]
+fn aodv_stale_reply_witness_replays_through_audit() {
+    check_safety_witness(
+        &scenarios::aodv_stale_reply(),
+        include_str!("fixtures/aodv_stale_reply.events"),
+        include_str!("fixtures/aodv_stale_reply.txt"),
+    );
+}
+
+#[test]
+fn aodv_restart_amnesia_witness_replays_through_audit() {
+    check_safety_witness(
+        &scenarios::aodv_restart_amnesia(),
+        include_str!("fixtures/aodv_restart_amnesia.events"),
+        include_str!("fixtures/aodv_restart_amnesia.txt"),
+    );
+}
+
+/// The DSR restart stall: a pure liveness hole. The auditor must see
+/// *no* table breach on the same trace — the unsoundness is that
+/// nothing ever happens, which only the fair-completion probe observes.
+#[test]
+fn dsr_restart_stall_witness_is_audit_invisible_but_stalls() {
+    let entry = scenarios::dsr_restart_stale_id();
+    let events = parse_events(include_str!("fixtures/dsr_restart_stale_id.events"));
+
+    let verdict = live::replay_live(&entry.scenario, scenarios::dsr_factory(), &events);
+    assert_eq!(
+        verdict,
+        LiveVerdict::Stall { src: 0, dst: 2, discovering: true },
+        "the pinned trace must stall with a wedged discovery"
+    );
+
+    let section = report::forensic_section(&entry.scenario, scenarios::dsr_factory(), &events);
+    assert!(
+        section.starts_with("-- final route tables --"),
+        "a liveness stall must not register as a table-safety breach: {section}"
+    );
+
+    // And the full liveness report stays pinned.
+    let raw_len = events.len();
+    let rendered = live::render_stall(&entry.scenario, scenarios::dsr_factory(), &events, raw_len);
+    let expected = include_str!("fixtures/dsr_restart_stale_id.txt");
+    assert_eq!(rendered, expected, "liveness stall report drifted from the pinned fixture");
+}
+
+/// The same class of hole in AODV: restarting the probe source wedges
+/// its next discovery behind the neighbours' immortal RREQ-id cache.
+#[test]
+fn aodv_restart_stall_witness_is_audit_invisible_but_stalls() {
+    let entry = scenarios::aodv_restart_amnesia();
+    let events = parse_events(include_str!("fixtures/aodv_restart_stall.events"));
+
+    let verdict = live::replay_live(&entry.scenario, scenarios::aodv_factory(), &events);
+    assert!(
+        matches!(verdict, LiveVerdict::Stall { src: 2, dst: 0, .. }),
+        "the pinned trace must stall the probe source, got {verdict}"
+    );
+
+    let section = report::forensic_section(&entry.scenario, scenarios::aodv_factory(), &events);
+    assert!(
+        section.starts_with("-- final route tables --"),
+        "this stall trace must not trip the table-safety auditor"
+    );
+
+    let rendered =
+        live::render_stall(&entry.scenario, scenarios::aodv_factory(), &events, events.len());
+    let expected = include_str!("fixtures/aodv_restart_stall.txt");
+    assert_eq!(rendered, expected, "AODV stall report drifted from the pinned fixture");
+}
+
+/// Sanity for the expectation machinery: classification is stable.
+#[test]
+fn class_labels_are_stable() {
+    assert_eq!(ViolationClass::RoutingLoop.to_string(), "routing-loop");
+    assert_eq!(ViolationClass::FdRaised.to_string(), "fd-raised");
+    assert_eq!(ViolationClass::NdcUnsound.to_string(), "ndc-unsound");
+    assert_eq!(ViolationClass::LivenessStall.to_string(), "liveness-stall");
+    assert_eq!(ViolationClass::Diverged.to_string(), "diverged");
+}

@@ -1,0 +1,259 @@
+//! Liveness property tests: hand-built witnesses driven through fair
+//! completion, shrinker 1-minimality on the liveness oracle, and the
+//! pinned minimal stall traces.
+//!
+//! The ignored `bless_fixtures` test regenerates every fixture this
+//! suite and its siblings pin (`cargo test -p modelcheck --release
+//! --test liveness -- --ignored bless_fixtures`). Blessing is a
+//! deliberate act: run it only after verifying a format change is
+//! intentional, and review the diff.
+
+use manet_sim::packet::NodeId;
+use modelcheck::live::{self, LiveVerdict};
+use modelcheck::{coverage, report, scenarios, Event, NetState, ProtocolModel, Scenario};
+
+/// Hand-drives a witness: inject origination 0, deliver every in-flight
+/// copy to quiescence (first copy in enumeration order — the benign
+/// schedule), then apply `tail`. Returns the recorded trace.
+fn originate_drain_then<M: ProtocolModel>(
+    scenario: &Scenario,
+    factory: impl Fn(NodeId) -> M + Copy,
+    tail: &[Event],
+) -> Vec<Event> {
+    let mut state = NetState::init(scenario, factory);
+    let mut trace = Vec::new();
+    let mut push = |state: &mut NetState<M>, event: Event| {
+        let step = state.apply(scenario, &event).expect("hand-built event must apply");
+        trace.push(event);
+        *state = step.state;
+    };
+    push(&mut state, Event::Originate { index: 0 });
+    for _ in 0..200 {
+        let next = state.enumerate(scenario).into_iter().find(|e| matches!(e, Event::Deliver(_)));
+        let Some(event) = next else { break };
+        push(&mut state, event);
+    }
+    for event in tail {
+        push(&mut state, event.clone());
+    }
+    trace
+}
+
+/// Asserts 1-minimality of a stalling trace: removing any single event
+/// must lose the stall.
+fn assert_stall_minimal<M: ProtocolModel>(
+    scenario: &Scenario,
+    factory: impl Fn(NodeId) -> M + Copy,
+    events: &[Event],
+) {
+    assert!(
+        matches!(live::replay_live(scenario, factory, events), LiveVerdict::Stall { .. }),
+        "the full trace must stall"
+    );
+    for i in 0..events.len() {
+        let mut cand = events.to_vec();
+        let removed = cand.remove(i);
+        assert!(
+            !matches!(live::replay_live(scenario, factory, &cand), LiveVerdict::Stall { .. }),
+            "trace is not 1-minimal: still stalls without event {i} ({removed})"
+        );
+    }
+}
+
+/// A completed discovery fair-completes to Pass: the baseline sanity
+/// check that the executor's probe machinery works at all.
+#[test]
+fn ldr_completed_discovery_fair_completes_to_pass() {
+    let entry = &scenarios::ldr_suite()[0];
+    let trace = originate_drain_then(&entry.scenario, scenarios::ldr_factory(), &[]);
+    assert!(trace.len() > 1, "discovery must generate traffic");
+    let verdict = live::replay_live(&entry.scenario, scenarios::ldr_factory(), &trace);
+    assert_eq!(verdict, LiveVerdict::Pass);
+}
+
+/// LDR's persistent request identifiers survive a reboot of the probe
+/// source, so the restart that permanently wedges DSR and AODV merely
+/// costs LDR one fresh discovery — the paper's point, as a liveness
+/// property.
+#[test]
+fn ldr_restart_of_probe_source_recovers() {
+    let suite = scenarios::ldr_suite();
+    let entry = &suite[4];
+    assert_eq!(entry.scenario.name, "ldr-restart-recover");
+    let (src, _) = entry.scenario.probe.expect("witness has a probe");
+    let trace = originate_drain_then(
+        &entry.scenario,
+        scenarios::ldr_factory(),
+        &[Event::Restart { node: src }],
+    );
+    let verdict = live::replay_live(&entry.scenario, scenarios::ldr_factory(), &trace);
+    assert_eq!(verdict, LiveVerdict::Pass, "LDR must re-discover after a source reboot");
+}
+
+/// An unreachable probe destination makes the property vacuous, not a
+/// stall: liveness is only demanded of physically possible routes.
+#[test]
+fn partitioned_probe_destination_is_vacuous() {
+    let scenario = Scenario {
+        name: "isolated-dest".into(),
+        n: 3,
+        links: vec![(0, 1)],
+        originations: vec![(0, 2)],
+        toggles: vec![],
+        max_expires: 0,
+        max_bumps: 0,
+        max_losses: 0,
+        max_restarts: 0,
+        probe: Some((0, 2)),
+    };
+    let state = NetState::init(&scenario, scenarios::ldr_factory());
+    let (verdict, _) = live::fair_complete(&scenario, state);
+    assert_eq!(verdict, LiveVerdict::Vacuous);
+}
+
+/// A scenario without a probe never produces a liveness verdict.
+#[test]
+fn probe_free_scenario_is_vacuous() {
+    let mut entry = scenarios::ldr_suite()[0].clone();
+    entry.scenario.probe = None;
+    let state = NetState::init(&entry.scenario, scenarios::ldr_factory());
+    let (verdict, _) = live::fair_complete(&entry.scenario, state);
+    assert_eq!(verdict, LiveVerdict::Vacuous);
+}
+
+/// The DSR restart hole, built by hand: complete one discovery, reboot
+/// the source. Its request-id counter restarts at zero, every neighbour
+/// still remembers `(src, 0)`, and — at a frozen instant, where
+/// duplicate state never ages out — every later discovery for the probe
+/// is suppressed at the first hop, forever.
+#[test]
+fn dsr_restart_stall_witness_is_one_minimal_and_pinned() {
+    let entry = scenarios::dsr_restart_stale_id();
+    let (src, _) = entry.scenario.probe.expect("witness has a probe");
+    let raw = originate_drain_then(
+        &entry.scenario,
+        scenarios::dsr_factory(),
+        &[Event::Restart { node: src }],
+    );
+    let min = live::shrink_stall(&entry.scenario, scenarios::dsr_factory(), raw);
+    assert_stall_minimal(&entry.scenario, scenarios::dsr_factory(), &min);
+
+    let rendered = live::render_stall(&entry.scenario, scenarios::dsr_factory(), &min, min.len());
+    assert_eq!(
+        rendered,
+        include_str!("fixtures/dsr_restart_stale_id.txt"),
+        "minimal DSR stall drifted from the pinned fixture"
+    );
+}
+
+/// The same hole in AODV: the rebooted source's RREQ-id restarts while
+/// neighbours' duplicate caches survive, wedging discovery for good.
+#[test]
+fn aodv_restart_stall_witness_is_one_minimal_and_pinned() {
+    let entry = scenarios::aodv_restart_amnesia();
+    let (src, _) = entry.scenario.probe.expect("witness has a probe");
+    let raw = originate_drain_then(
+        &entry.scenario,
+        scenarios::aodv_factory(),
+        &[Event::Restart { node: src }],
+    );
+    let min = live::shrink_stall(&entry.scenario, scenarios::aodv_factory(), raw);
+    assert_stall_minimal(&entry.scenario, scenarios::aodv_factory(), &min);
+
+    let rendered = live::render_stall(&entry.scenario, scenarios::aodv_factory(), &min, min.len());
+    assert_eq!(
+        rendered,
+        include_str!("fixtures/aodv_restart_stall.txt"),
+        "minimal AODV stall drifted from the pinned fixture"
+    );
+}
+
+/// Regenerates every pinned fixture in `tests/fixtures/`. Ignored by
+/// default; see the module docs.
+#[test]
+#[ignore = "regenerates pinned fixtures; run deliberately and review the diff"]
+fn bless_fixtures() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let write = |name: &str, contents: &str| {
+        std::fs::write(format!("{dir}/{name}"), contents)
+            .unwrap_or_else(|e| panic!("write {name}: {e}"));
+    };
+
+    // Safety witnesses: minimized DFS traces as wire-format .events.
+    for (entry, name) in [
+        (scenarios::aodv_stale_reply(), "aodv_stale_reply.events"),
+        (scenarios::aodv_restart_amnesia(), "aodv_restart_amnesia.events"),
+    ] {
+        let outcome = modelcheck::Checker::new(entry.scenario.clone(), entry.budget)
+            .run(scenarios::aodv_factory());
+        let cex = outcome.violation.expect("curated witness must violate");
+        let mut text = String::new();
+        text.push_str(&format!("# {}: minimized checker trace\n", entry.scenario.name));
+        for e in &cex.events {
+            text.push_str(&e.to_wire());
+            text.push('\n');
+        }
+        write(name, &text);
+        // Keep the rendered report in sync too.
+        write(
+            &name.replace(".events", ".txt"),
+            &report::render(&entry.scenario, scenarios::aodv_factory(), &cex),
+        );
+    }
+
+    // Liveness witnesses: minimal stall traces plus rendered reports.
+    {
+        let entry = scenarios::dsr_restart_stale_id();
+        let raw = originate_drain_then(
+            &entry.scenario,
+            scenarios::dsr_factory(),
+            &[Event::Restart { node: 0 }],
+        );
+        let min = live::shrink_stall(&entry.scenario, scenarios::dsr_factory(), raw);
+        let mut text = format!("# {}: minimal liveness stall\n", entry.scenario.name);
+        for e in &min {
+            text.push_str(&e.to_wire());
+            text.push('\n');
+        }
+        write("dsr_restart_stale_id.events", &text);
+        write(
+            "dsr_restart_stale_id.txt",
+            &live::render_stall(&entry.scenario, scenarios::dsr_factory(), &min, min.len()),
+        );
+    }
+    {
+        let entry = scenarios::aodv_restart_amnesia();
+        let (src, _) = entry.scenario.probe.expect("witness has a probe");
+        let raw = originate_drain_then(
+            &entry.scenario,
+            scenarios::aodv_factory(),
+            &[Event::Restart { node: src }],
+        );
+        let min = live::shrink_stall(&entry.scenario, scenarios::aodv_factory(), raw);
+        let mut text = format!("# {}: minimal liveness stall\n", entry.scenario.name);
+        for e in &min {
+            text.push_str(&e.to_wire());
+            text.push('\n');
+        }
+        write("aodv_restart_stall.events", &text);
+        write(
+            "aodv_restart_stall.txt",
+            &live::render_stall(&entry.scenario, scenarios::aodv_factory(), &min, min.len()),
+        );
+    }
+
+    // The clean LDR coverage report.
+    {
+        let budget = coverage::ExploreBudget { walks: 8, max_steps: 40, max_states: 20_000 };
+        let mut explorations = Vec::new();
+        for entry in scenarios::ldr_suite() {
+            explorations.push(coverage::explore(
+                &entry.scenario,
+                scenarios::ldr_factory(),
+                0xc0ffee,
+                &budget,
+            ));
+        }
+        write("ldr_coverage.txt", &coverage::render_report(&explorations, &budget));
+    }
+}

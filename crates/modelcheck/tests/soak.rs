@@ -1,0 +1,131 @@
+//! Random-cell soak: the coverage explorer is exercised over hundreds
+//! of generated topologies per protocol. No cell may panic, LDR must
+//! stay breach-free, every baseline finding must land in its pinned
+//! unsoundness class, and any witness trace the shrinkers emit must be
+//! 1-minimal. Failing RNG states persist under `proptest-regressions/`
+//! so a once-seen counterexample replays on every later run.
+
+use modelcheck::coverage::{self, ExploreBudget, ViolationClass};
+use modelcheck::live::{self, LiveVerdict};
+use modelcheck::{checker, scenarios, topo};
+use proptest::prelude::*;
+
+/// Deliberately tiny: the soak's job is breadth across topologies, not
+/// depth within one — depth belongs to the release binary's CI budget.
+fn soak_budget() -> ExploreBudget {
+    ExploreBudget { walks: 2, max_steps: 24, max_states: 4_000 }
+}
+
+/// Checks a finding's witness trace: classified, and 1-minimal under
+/// the oracle that matches its class.
+fn check_finding(
+    scenario: &modelcheck::Scenario,
+    finding: &coverage::Finding,
+    replay_class: impl Fn(&[modelcheck::Event]) -> Option<ViolationClass>,
+) {
+    assert!(finding.events.len() <= finding.raw_len);
+    assert_eq!(
+        replay_class(&finding.events),
+        Some(finding.class),
+        "{}: witness trace does not reproduce its finding",
+        scenario.name
+    );
+    for i in 0..finding.events.len() {
+        let mut cand = finding.events.clone();
+        cand.remove(i);
+        assert_ne!(
+            replay_class(&cand),
+            Some(finding.class),
+            "{}: witness trace is not 1-minimal (event {i} is removable)",
+            scenario.name
+        );
+    }
+}
+
+/// The class a trace replays to under a given factory: safety classes
+/// via the transition checker, stall via fair completion.
+fn replay_class<M: modelcheck::ProtocolModel>(
+    scenario: &modelcheck::Scenario,
+    factory: impl Fn(manet_sim::packet::NodeId) -> M + Copy,
+    events: &[modelcheck::Event],
+) -> Option<ViolationClass> {
+    if let Some((_, v)) = checker::replay(scenario, factory, events) {
+        return Some(coverage::classify(&v));
+    }
+    match live::replay_live(scenario, factory, events) {
+        LiveVerdict::Stall { .. } => Some(ViolationClass::LivenessStall),
+        LiveVerdict::Diverged => Some(ViolationClass::Diverged),
+        LiveVerdict::Pass | LiveVerdict::Vacuous => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// LDR: zero breaches, safety or liveness, on every generated cell.
+    #[test]
+    fn ldr_random_cells_explore_clean(index in 0u64..1_000_000, seed in 0u64..1_000_000) {
+        let sc = topo::generate(seed, index, true);
+        let e = coverage::explore(&sc, scenarios::ldr_factory(), seed, &soak_budget());
+        prop_assert!(
+            e.finding.is_none(),
+            "{}: LDR produced {:?}",
+            sc.name,
+            e.finding.map(|f| f.class)
+        );
+    }
+
+    /// AODV: anything it breaks must be one of its pinned classes.
+    #[test]
+    fn aodv_random_cells_stay_in_pinned_classes(index in 0u64..1_000_000, seed in 0u64..1_000_000) {
+        let sc = topo::generate(seed, index, true);
+        let e = coverage::explore(&sc, scenarios::aodv_factory(), seed, &soak_budget());
+        if let Some(f) = &e.finding {
+            prop_assert!(
+                matches!(
+                    f.class,
+                    ViolationClass::RoutingLoop
+                        | ViolationClass::FdRaised
+                        | ViolationClass::LivenessStall
+                ),
+                "{}: unpinned AODV class {}",
+                sc.name,
+                f.class
+            );
+            check_finding(&sc, f, |ev| replay_class(&sc, scenarios::aodv_factory(), ev));
+        }
+    }
+
+    /// DSR: no successor graphs exist, so only the liveness class can
+    /// fire — anything else is new unsoundness.
+    #[test]
+    fn dsr_random_cells_stay_in_pinned_classes(index in 0u64..1_000_000, seed in 0u64..1_000_000) {
+        let sc = topo::generate(seed, index, false);
+        let e = coverage::explore(&sc, scenarios::dsr_factory(), seed, &soak_budget());
+        if let Some(f) = &e.finding {
+            prop_assert!(
+                f.class == ViolationClass::LivenessStall,
+                "{}: unpinned DSR class {}",
+                sc.name,
+                f.class
+            );
+            check_finding(&sc, f, |ev| replay_class(&sc, scenarios::dsr_factory(), ev));
+        }
+    }
+
+    /// OLSR: stale link-state views may loop transiently or stall.
+    #[test]
+    fn olsr_random_cells_stay_in_pinned_classes(index in 0u64..1_000_000, seed in 0u64..1_000_000) {
+        let sc = topo::generate(seed, index, false);
+        let e = coverage::explore(&sc, scenarios::olsr_factory(), seed, &soak_budget());
+        if let Some(f) = &e.finding {
+            prop_assert!(
+                matches!(f.class, ViolationClass::RoutingLoop | ViolationClass::LivenessStall),
+                "{}: unpinned OLSR class {}",
+                sc.name,
+                f.class
+            );
+            check_finding(&sc, f, |ev| replay_class(&sc, scenarios::olsr_factory(), ev));
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//@ path: crates/modelcheck/src/fixture_no_panic.rs
+//! Planted violations proving the `no-panic` rule covers the model
+//! checker: an abort mid-replay loses the counterexample.
+
+fn live(trace: Option<Vec<u8>>) -> Vec<u8> {
+    trace.expect("trace present")
+}
+
+fn live2(budget: u32) {
+    if budget == 0 {
+        panic!("planted");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    fn exempt(v: Option<u8>) -> u8 {
+        v.unwrap() // test code: not a finding
+    }
+}

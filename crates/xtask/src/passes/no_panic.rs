@@ -1,7 +1,9 @@
 //! `no-panic`: simulation and protocol code must degrade gracefully —
 //! a malformed frame or a missing table entry is a rejected input, not
 //! an abort. Flags `.unwrap()` / `.expect(…)` and the panicking macros
-//! in non-test code across `core`, `sim`, and `baselines`.
+//! in non-test code across `core`, `sim`, `baselines`, and
+//! `modelcheck` (the checker replays adversarial schedules; an abort
+//! mid-replay loses the counterexample it exists to report).
 
 use super::{under, FileCtx, Pass, RawDiag};
 use crate::lexer::Kind;
@@ -21,7 +23,10 @@ impl Pass for NoPanic {
     }
 
     fn applies(&self, rel: &str) -> bool {
-        under(rel, "crates/core") || under(rel, "crates/sim") || under(rel, "crates/baselines")
+        under(rel, "crates/core")
+            || under(rel, "crates/sim")
+            || under(rel, "crates/baselines")
+            || under(rel, "crates/modelcheck")
     }
 
     fn run(&self, ctx: &FileCtx<'_>, out: &mut Vec<RawDiag>) {

@@ -115,3 +115,15 @@ fn check_json(s: &str) {
     assert!(stack.is_empty(), "unbalanced braces/brackets");
     assert!(seen_value, "empty document");
 }
+
+#[test]
+fn no_panic_scope_covers_the_model_checker() {
+    let pass = passes::registry()
+        .into_iter()
+        .find(|p| p.id() == "no-panic")
+        .expect("no-panic pass registered");
+    assert!(pass.applies("crates/modelcheck/src/live.rs"));
+    assert!(pass.applies("crates/modelcheck/src/main.rs"));
+    assert!(pass.applies("crates/core/src/protocol.rs"));
+    assert!(!pass.applies("crates/xtask/src/lib.rs"));
+}
