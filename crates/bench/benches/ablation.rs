@@ -21,6 +21,7 @@ fn scenario(seed: u64) -> Scenario {
         audit: false,
         spatial_grid: true,
         workers: 1,
+        recycle_pools: true,
     }
 }
 

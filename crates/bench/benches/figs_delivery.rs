@@ -21,6 +21,7 @@ fn scenario(pause: u64, seed: u64) -> Scenario {
         audit: false,
         spatial_grid: true,
         workers: 1,
+        recycle_pools: true,
     }
 }
 

@@ -22,6 +22,7 @@ fn scaled_scenario(seed: u64) -> Scenario {
         audit: false,
         spatial_grid: true,
         workers: 1,
+        recycle_pools: true,
     }
 }
 

@@ -24,7 +24,8 @@ fn main() {
             let sc = args.apply(Scenario::n50(10, pause));
             let mut violations = 0u64;
             for k in 0..sc.trials {
-                let m = ldr_bench::run_once(proto, &sc, sc.seed_base + u64::from(k));
+                let m =
+                    ldr_bench::run_once(proto, &sc, ldr_bench::runner::trial_seed(sc.seed_base, k));
                 violations += m.loop_violations;
             }
             if proto == Protocol::Ldr {

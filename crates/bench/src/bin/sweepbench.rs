@@ -1,0 +1,150 @@
+//! The experiment orchestrator CLI: memoized, resumable sweeps over
+//! the paper grid, appended to the BENCH trajectory as `BENCH_6.json`.
+//!
+//! ```text
+//! cargo run --release -p ldr-bench --bin sweepbench -- --smoke
+//! cargo run --release -p ldr-bench --bin sweepbench -- --smoke --check BENCH_6.json
+//! ```
+//!
+//! A sweep journals every cell as it completes (`--sweep-dir`), so a
+//! killed run resumes where it stopped, and memoizes cells
+//! content-addressed by their code-relevant configuration, so a rerun
+//! over an unchanged tree executes zero cells and reproduces the BENCH
+//! output byte for byte. `--check` compares that output against the
+//! committed trajectory and exits non-zero on any drift (the CI
+//! regression gate). `--max-cells N` stops after N executed cells —
+//! the hook the resumability tests (and impatient humans) use.
+
+use ldr_bench::sweep::{cells_for, full_cells, run_sweep, smoke_cells, SweepConfig};
+use ldr_bench::workpool;
+
+fn main() {
+    let mut smoke = false;
+    let mut full = false;
+    let mut out = "BENCH_6.json".to_string();
+    let mut table = "results/sweepbench.txt".to_string();
+    let mut sweep_dir = ".sweep".to_string();
+    let mut check: Option<String> = None;
+    let mut threads: Option<usize> = None;
+    let mut max_cells: Option<usize> = None;
+    let mut fresh = false;
+    let mut trials: Option<u32> = None;
+    let mut duration: Option<u64> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--full" => full = true,
+            "--out" => out = it.next().expect("--out needs a path"),
+            "--table" => table = it.next().expect("--table needs a path"),
+            "--sweep-dir" => sweep_dir = it.next().expect("--sweep-dir needs a directory"),
+            "--check" => check = Some(it.next().expect("--check needs a path")),
+            "--threads" => {
+                threads =
+                    Some(it.next().expect("--threads needs a value").parse().expect("integer"))
+            }
+            "--max-cells" => {
+                max_cells =
+                    Some(it.next().expect("--max-cells needs a value").parse().expect("integer"))
+            }
+            "--fresh" => fresh = true,
+            "--trials" => {
+                trials = Some(it.next().expect("--trials needs a value").parse().expect("integer"))
+            }
+            "--duration" => {
+                duration =
+                    Some(it.next().expect("--duration needs a value").parse().expect("seconds"))
+            }
+            other => {
+                eprintln!(
+                    "unknown flag {other}; supported: --smoke --full --out PATH --table PATH \
+                     --sweep-dir DIR --check PATH --threads N --max-cells N --fresh \
+                     --trials N --duration SECS"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    let mode = if full { "full" } else { "smoke" };
+    let _ = smoke; // smoke is the default grid
+    let cells = match (trials, duration) {
+        (None, None) if full => full_cells(),
+        (None, None) => smoke_cells(),
+        _ => cells_for(
+            duration.unwrap_or(if full { 900 } else { 60 }),
+            trials.unwrap_or(if full { 3 } else { 1 }),
+            if full { &[0, 1, 2] } else { &[0, 1] },
+        ),
+    };
+
+    let mut cfg = SweepConfig::rooted(std::path::Path::new(&sweep_dir));
+    // The cells all run single-worker kernels, so the pool can use
+    // every core; an explicit --threads overrides.
+    cfg.threads = threads.unwrap_or_else(workpool::host_cores);
+    cfg.max_cells = max_cells;
+    cfg.fresh = fresh;
+
+    eprintln!(
+        "sweepbench {mode}: {} cells, {} pool thread(s), journal {}",
+        cells.len(),
+        cfg.threads,
+        cfg.journal.display()
+    );
+    let outcome = match run_sweep(&cells, &cfg) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(2);
+        }
+    };
+    let rendered_table = outcome.to_table(mode);
+    print!("{rendered_table}");
+
+    if !outcome.complete() {
+        let pending = outcome.cells.iter().filter(|(_, r)| r.is_none()).count();
+        println!(
+            "sweep paused after {} executed cell(s); {pending} pending — rerun to resume",
+            outcome.executed
+        );
+        return;
+    }
+
+    let json = outcome.to_json(mode);
+    if let Some(golden) = &check {
+        let committed = std::fs::read_to_string(golden).unwrap_or_else(|e| {
+            eprintln!("cannot read {golden}: {e}");
+            std::process::exit(2);
+        });
+        if committed != json {
+            let drift = committed
+                .lines()
+                .zip(json.lines())
+                .position(|(a, b)| a != b)
+                .map_or("length".to_string(), |i| format!("line {}", i + 1));
+            eprintln!("REGRESSION: sweep output diverged from {golden} (first drift: {drift})");
+            std::process::exit(1);
+        }
+        println!("check OK: output is byte-identical to {golden}");
+    } else {
+        std::fs::write(&out, &json).expect("write BENCH json");
+        println!("wrote {out}");
+    }
+    if let Some(dir) = std::path::Path::new(&table).parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    std::fs::write(&table, &rendered_table).expect("write sweep table");
+    println!(
+        "executed {} / memoized {} / journaled {} of {} cells; wrote {table}",
+        outcome.executed,
+        outcome.memo_hits,
+        outcome.journal_hits,
+        outcome.cells.len()
+    );
+    if outcome.failures() > 0 {
+        eprintln!(
+            "{} cell(s) FAILED (panicked trials recorded in the journal)",
+            outcome.failures()
+        );
+        std::process::exit(1);
+    }
+}

@@ -16,7 +16,9 @@ pub mod perf_parallel;
 pub mod report;
 pub mod runner;
 pub mod scenario;
+pub mod sweep;
 pub mod telemetry_export;
+pub mod workpool;
 
 pub use report::Summary;
 pub use runner::{

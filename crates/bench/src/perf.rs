@@ -184,7 +184,7 @@ pub fn run_perfbench_filtered(
                 metrics_identical: true,
             };
             for k in 0..scenario.trials {
-                let seed = scenario.seed_base + u64::from(k);
+                let seed = crate::runner::trial_seed(scenario.seed_base, k);
                 let mut grid_sc = scenario.clone();
                 grid_sc.spatial_grid = true;
                 let g = run_timed(protocol, &grid_sc, seed);

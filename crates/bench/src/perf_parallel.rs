@@ -155,7 +155,7 @@ pub fn run_parallel_perfbench(
                     .collect(),
             };
             for k in 0..scenario.trials {
-                let seed = scenario.seed_base + u64::from(k);
+                let seed = crate::runner::trial_seed(scenario.seed_base, k);
                 let mut seq_sc = scenario.clone();
                 seq_sc.workers = 1;
                 let s = run_timed(protocol, &seq_sc, seed);

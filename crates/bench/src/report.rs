@@ -3,6 +3,17 @@
 use manet_sim::metrics::Metrics;
 use manet_sim::stats::Accumulator;
 
+/// One trial that panicked instead of producing metrics. The runner
+/// catches the unwind, records the cell here, and keeps the sweep
+/// going — a single bad trial no longer discards every completed cell.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrialFailure {
+    /// The trial's seed, for exact reproduction with `run_once`.
+    pub seed: u64,
+    /// The panic payload, stringified.
+    pub panic_msg: String,
+}
+
 /// Per-protocol aggregate over trials: the six §4 metrics plus the
 /// Fig. 7 sequence-number measure and loop-audit results.
 #[derive(Clone, Debug)]
@@ -36,6 +47,8 @@ pub struct Summary {
     pub faults_injected: u64,
     /// Total crash/restart recoveries across trials.
     pub node_restarts: u64,
+    /// Trials that panicked; excluded from every accumulator above.
+    pub failed: Vec<TrialFailure>,
 }
 
 impl Summary {
@@ -56,7 +69,14 @@ impl Summary {
             invariant_breaches: 0,
             faults_injected: 0,
             node_restarts: 0,
+            failed: Vec::new(),
         }
+    }
+
+    /// Records a panicked trial (does not touch the metric
+    /// accumulators — a failed trial produced none).
+    pub fn record_failure(&mut self, seed: u64, panic_msg: String) {
+        self.failed.push(TrialFailure { seed, panic_msg });
     }
 
     /// Folds one trial's metrics in.
@@ -100,6 +120,7 @@ impl Summary {
         self.invariant_breaches += other.invariant_breaches;
         self.faults_injected += other.faults_injected;
         self.node_restarts += other.node_restarts;
+        self.failed.extend(other.failed.iter().cloned());
     }
 
     /// Number of trials folded in.
@@ -210,6 +231,20 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.invariant_checks, 15);
         assert_eq!(a.invariant_breaches, 3);
+    }
+
+    #[test]
+    fn failures_are_recorded_without_skewing_accumulators() {
+        let mut a = Summary::new("X");
+        a.add(&metrics(90, 100));
+        a.record_failure(41, "index out of bounds".to_string());
+        assert_eq!(a.trials(), 1, "a failed trial contributes no samples");
+        assert_eq!(a.failed.len(), 1);
+        let mut b = Summary::new("X");
+        b.record_failure(77, "boom".to_string());
+        a.merge(&b);
+        assert_eq!(a.failed.len(), 2);
+        assert_eq!(a.failed[1], TrialFailure { seed: 77, panic_msg: "boom".to_string() });
     }
 
     #[test]

@@ -1,8 +1,12 @@
 //! Executes scenarios: one deterministic run per `(protocol, scenario,
-//! trial)`, with trials parallelised across threads.
+//! trial)`, with trials parallelised across the bounded
+//! [work-stealing pool](crate::workpool) — never one OS thread per
+//! trial, and never more than the host's cores even when each trial's
+//! kernel itself runs multi-worker.
 
 use crate::report::Summary;
 use crate::scenario::{Protocol, Scenario};
+use crate::workpool::{self, PoolStats};
 use manet_sim::config::SimConfig;
 use manet_sim::faults::{FaultIntensity, FaultPlan};
 use manet_sim::metrics::Metrics;
@@ -66,6 +70,7 @@ pub fn build_world_telemetry(
         spatial_grid: scenario.spatial_grid,
         telemetry,
         workers: scenario.workers,
+        recycle_pools: scenario.recycle_pools,
     };
     let mobility = RandomWaypoint::new(
         scenario.n_nodes,
@@ -93,46 +98,79 @@ pub fn trial_fault_plan(scenario: &Scenario, seed: u64, level: u32) -> FaultPlan
     FaultPlan::random(&mut SimRng::stream(seed, "faultbench-plan"), &intensity)
 }
 
-/// Runs all trials of a scenario at a fault-intensity level (in
-/// parallel threads) and aggregates them into a [`Summary`].
-pub fn run_fault_trials(protocol: Protocol, scenario: &Scenario, level: u32) -> Summary {
-    let results: Vec<Metrics> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..scenario.trials)
-            .map(|k| {
-                let sc = scenario.clone();
-                scope.spawn(move || {
-                    let seed = sc.seed_base + u64::from(k);
-                    let plan = trial_fault_plan(&sc, seed, level);
-                    run_once_faulted(protocol, &sc, seed, Some(plan))
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("trial thread panicked")).collect()
-    });
-    let mut summary = Summary::new(protocol.name());
-    for m in &results {
-        summary.add(m);
-    }
-    summary
+/// The seed trial `k` of a scenario runs at: `seed_base` advanced by
+/// `k` with **wrapping** arithmetic. The pre-PR-9 `seed_base + k`
+/// overflowed (a debug-build abort, and UB-adjacent silent wrap in
+/// release) when `seed_base` sat near `u64::MAX`; wrapping is the
+/// intended modular semantics, and distinct trials always get distinct
+/// seeds because the offsets `0..trials` are distinct modulo 2⁶⁴.
+pub fn trial_seed(seed_base: u64, k: u32) -> u64 {
+    seed_base.wrapping_add(u64::from(k))
 }
 
-/// Runs all trials of a scenario (in parallel threads) and aggregates
-/// them into a [`Summary`].
-pub fn run_trials(protocol: Protocol, scenario: &Scenario) -> Summary {
-    let results: Vec<Metrics> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..scenario.trials)
-            .map(|k| {
-                let sc = scenario.clone();
-                scope.spawn(move || run_once(protocol, &sc, sc.seed_base + u64::from(k)))
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("trial thread panicked")).collect()
-    });
+/// All trial seeds for a scenario, with an explicit collision check —
+/// if a future seed-derivation change ever maps two trials to one
+/// seed, the sweep must refuse to silently run duplicate cells.
+pub fn trial_seeds(scenario: &Scenario) -> Vec<u64> {
+    let seeds: Vec<u64> = (0..scenario.trials).map(|k| trial_seed(scenario.seed_base, k)).collect();
+    let mut sorted = seeds.clone();
+    sorted.sort_unstable();
+    let before = sorted.len();
+    sorted.dedup();
+    assert_eq!(sorted.len(), before, "trial seed collision: seed_base={}", scenario.seed_base);
+    seeds
+}
+
+/// Trial-pool width for a scenario: the host's cores divided by the
+/// inner kernel workers each trial itself spawns, so the product never
+/// oversubscribes the machine (the pre-PR-9 runner spawned
+/// `trials × workers` threads with no cap at all).
+pub fn pool_threads(scenario: &Scenario) -> usize {
+    let cores = workpool::host_cores();
+    let inner = scenario.workers.max(1);
+    (cores / inner).clamp(1, cores)
+}
+
+/// Shared trial loop: derives the seeds, fans `run(k, seed)` out over
+/// the bounded pool, folds successes into the summary, and records a
+/// panicking trial as a [`crate::report::TrialFailure`] instead of
+/// aborting the batch.
+fn run_trials_core(
+    protocol: Protocol,
+    scenario: &Scenario,
+    run: &(dyn Fn(u32, u64) -> Metrics + Sync),
+) -> (Summary, PoolStats) {
+    let seeds = trial_seeds(scenario);
+    let jobs: Vec<_> =
+        seeds.iter().enumerate().map(|(i, &seed)| move || run(i as u32, seed)).collect();
+    let (results, stats) = workpool::run_jobs(pool_threads(scenario), jobs);
     let mut summary = Summary::new(protocol.name());
-    for m in &results {
-        summary.add(m);
+    for (i, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(m) => summary.add(&m),
+            Err(panic_msg) => summary.record_failure(seeds[i], panic_msg),
+        }
     }
-    summary
+    (summary, stats)
+}
+
+/// Runs all trials of a scenario at a fault-intensity level (across
+/// the bounded worker pool) and aggregates them into a [`Summary`].
+/// A panicking trial is recorded in [`Summary::failed`]; the remaining
+/// trials still run.
+pub fn run_fault_trials(protocol: Protocol, scenario: &Scenario, level: u32) -> Summary {
+    run_trials_core(protocol, scenario, &|_k, seed| {
+        let plan = trial_fault_plan(scenario, seed, level);
+        run_once_faulted(protocol, scenario, seed, Some(plan))
+    })
+    .0
+}
+
+/// Runs all trials of a scenario (across the bounded worker pool) and
+/// aggregates them into a [`Summary`]. A panicking trial is recorded
+/// in [`Summary::failed`]; the remaining trials still run.
+pub fn run_trials(protocol: Protocol, scenario: &Scenario) -> Summary {
+    run_trials_core(protocol, scenario, &|_k, seed| run_once(protocol, scenario, seed)).0
 }
 
 #[cfg(test)]
@@ -152,6 +190,7 @@ mod tests {
             audit: true,
             spatial_grid: true,
             workers: 1,
+            recycle_pools: true,
         };
         run_once(protocol, &scenario, 7)
     }
@@ -202,6 +241,7 @@ mod tests {
             audit: false,
             spatial_grid: true,
             workers: 1,
+            recycle_pools: true,
         };
         let s = run_trials(Protocol::Aodv, &scenario);
         assert_eq!(s.trials(), 3);
@@ -222,6 +262,7 @@ mod tests {
             audit: true,
             spatial_grid: true,
             workers: 1,
+            recycle_pools: true,
         };
         assert!(trial_fault_plan(&scenario, scenario.seed_base, 0).is_empty());
         let faulted = run_fault_trials(Protocol::Ldr, &scenario, 0);
@@ -247,6 +288,7 @@ mod tests {
             audit: true,
             spatial_grid: true,
             workers: 1,
+            recycle_pools: true,
         };
         // The per-trial plan depends only on (scenario, seed, level),
         // never the protocol, so every row faces the same schedule.
@@ -277,18 +319,99 @@ mod tests {
             audit: true,
             spatial_grid: true,
             workers: 1,
+            recycle_pools: true,
         };
         let threaded = run_trials(Protocol::Ldr, &scenario);
         let mut sequential = Summary::new(Protocol::Ldr.name());
         for k in 0..scenario.trials {
-            let m = run_once(Protocol::Ldr, &scenario, scenario.seed_base + u64::from(k));
+            let m = run_once(Protocol::Ldr, &scenario, trial_seed(scenario.seed_base, k));
             sequential.add(&m);
         }
         assert_eq!(threaded.trials(), sequential.trials());
+        assert!(threaded.failed.is_empty());
         assert_eq!(threaded.delivery.mean(), sequential.delivery.mean());
         assert_eq!(threaded.latency.mean(), sequential.latency.mean());
         assert_eq!(threaded.net_load.mean(), sequential.net_load.mean());
         assert_eq!(threaded.rreq_tx.mean(), sequential.rreq_tx.mean());
         assert_eq!(threaded.loop_violations, sequential.loop_violations);
+    }
+
+    #[test]
+    fn seeds_near_u64_max_wrap_without_panicking_or_colliding() {
+        // The pre-PR-9 derivation `seed_base + k` aborted here in
+        // debug builds and silently wrapped in release. Wrapping is
+        // now the contract, and the seeds must stay pairwise distinct
+        // across the boundary.
+        let scenario = Scenario { seed_base: u64::MAX - 1, trials: 4, ..Scenario::n50(4, 0) };
+        let seeds = trial_seeds(&scenario);
+        assert_eq!(seeds, vec![u64::MAX - 1, u64::MAX, 0, 1]);
+        assert_eq!(trial_seed(u64::MAX, 1), 0);
+    }
+
+    #[test]
+    fn a_panicking_trial_is_recorded_and_the_rest_survive() {
+        let scenario = Scenario {
+            n_nodes: 15,
+            terrain: (700.0, 300.0),
+            n_flows: 3,
+            pause_secs: 0,
+            duration_secs: 30,
+            trials: 3,
+            seed_base: 100,
+            flavor: crate::scenario::SimFlavor::Default,
+            audit: false,
+            spatial_grid: true,
+            workers: 1,
+            recycle_pools: true,
+        };
+        let (summary, _) = run_trials_core(Protocol::Ldr, &scenario, &|k, seed| {
+            if k == 1 {
+                panic!("injected fault in trial {k}");
+            }
+            run_once(Protocol::Ldr, &scenario, seed)
+        });
+        assert_eq!(summary.trials(), 2, "the two healthy trials must complete");
+        assert_eq!(summary.failed.len(), 1);
+        assert_eq!(summary.failed[0].seed, trial_seed(scenario.seed_base, 1));
+        assert!(summary.failed[0].panic_msg.contains("injected fault in trial 1"));
+    }
+
+    #[test]
+    fn trial_pool_is_bounded_by_host_cores_not_trials_times_workers() {
+        // workers = 4 inner kernel threads per trial: the pre-PR-9
+        // runner would have run all trials at once (trials × workers
+        // OS threads). The pool must instead divide the host's cores
+        // by the inner width.
+        let scenario = Scenario {
+            n_nodes: 15,
+            terrain: (700.0, 300.0),
+            n_flows: 3,
+            pause_secs: 0,
+            duration_secs: 30,
+            trials: 5,
+            seed_base: 100,
+            flavor: crate::scenario::SimFlavor::Default,
+            audit: false,
+            spatial_grid: true,
+            workers: 4,
+            recycle_pools: true,
+        };
+        let cores = crate::workpool::host_cores();
+        let cap = pool_threads(&scenario);
+        assert!(cap <= cores, "pool cap must never exceed the host");
+        assert!(
+            cap * scenario.workers <= cores.max(scenario.workers),
+            "trial-level × kernel-level threads would oversubscribe: {cap} × {}",
+            scenario.workers
+        );
+        let (summary, stats) = run_trials_core(Protocol::Aodv, &scenario, &|_k, seed| {
+            run_once(Protocol::Aodv, &scenario, seed)
+        });
+        assert_eq!(summary.trials(), 5);
+        assert!(
+            stats.peak_live_workers <= cap,
+            "peak live trial threads {} exceeded the cap {cap}",
+            stats.peak_live_workers
+        );
     }
 }

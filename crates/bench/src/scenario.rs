@@ -133,7 +133,8 @@ pub struct Scenario {
     pub duration_secs: u64,
     /// Trials per configuration (10 in the paper).
     pub trials: u32,
-    /// Base seed; trial `k` uses `seed_base + k`.
+    /// Base seed; trial `k` uses `seed_base.wrapping_add(k)`
+    /// ([`crate::runner::trial_seed`]).
     pub seed_base: u64,
     /// Simulator flavour.
     pub flavor: SimFlavor,
@@ -148,6 +149,11 @@ pub struct Scenario {
     /// (`manet_sim::parallel`). `0`/`1` run the sequential kernel; any
     /// value is byte-identical, so this only changes wall-clock time.
     pub workers: usize,
+    /// Recycle hot-path buffers through the kernel's free lists
+    /// ([`manet_sim::pool`]). Byte-identical to allocate-per-event —
+    /// only faster — so it defaults to on; the pool differential tests
+    /// flip it off to diff against the reference path.
+    pub recycle_pools: bool,
 }
 
 impl Scenario {
@@ -165,6 +171,7 @@ impl Scenario {
             audit: false,
             spatial_grid: true,
             workers: 1,
+            recycle_pools: true,
         }
     }
 

@@ -97,6 +97,7 @@ mod tests {
             audit: false,
             spatial_grid: true,
             workers: 1,
+            recycle_pools: true,
         }
     }
 

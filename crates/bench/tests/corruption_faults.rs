@@ -116,6 +116,7 @@ fn corruption_ppm_fault_plans_replay_without_panics() {
         audit: true,
         spatial_grid: true,
         workers: 1,
+        recycle_pools: true,
     };
     for protocol in Protocol::PAPER_SET {
         let plan = corruption_heavy_plan(&scenario, 301);

@@ -30,6 +30,7 @@ fn golden_scenario() -> Scenario {
         audit: true,
         spatial_grid: true,
         workers: 1,
+        recycle_pools: true,
     }
 }
 

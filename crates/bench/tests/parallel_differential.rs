@@ -115,6 +115,7 @@ fn randomized_small_worlds_are_identical_across_worker_counts() {
             audit: false,
             spatial_grid: case % 2 == 0,
             workers: 1,
+            recycle_pools: true,
         };
         let s = run_timed(Protocol::Ldr, &scenario, seed);
         for workers in [2, 4, 8] {

@@ -1,0 +1,81 @@
+//! Steady-state allocation-count differential for the recycling pools
+//! ([`manet_sim::pool`]): with `recycle_pools` on, the hot event loop
+//! must perform strictly fewer heap allocations than the
+//! allocate-per-event reference on the identical deterministic run —
+//! and the two runs must still be `Metrics`-equal, bit for bit.
+//!
+//! The counter is a thin wrapper around the system allocator, so this
+//! file holds exactly one `#[test]`: integration tests in other files
+//! run in their own binaries and are unaffected, but a second test in
+//! *this* binary would race the window counters.
+//!
+//! Measurement excludes start-up: the world is built and run through a
+//! warm-up prefix first (filling the free lists and amortising event
+//! queue growth), then allocations are counted over the steady-state
+//! suffix only.
+
+use ldr_bench::runner::build_world;
+use ldr_bench::scenario::{Protocol, Scenario};
+use manet_sim::time::SimTime;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Allocations performed by the steady-state window (warm-up excluded)
+/// of one deterministic run, plus the run's final metrics.
+fn steady_state_allocs(recycle_pools: bool) -> (u64, manet_sim::Metrics) {
+    let mut scenario = Scenario::n50(10, 0);
+    scenario.duration_secs = 12;
+    scenario.recycle_pools = recycle_pools;
+    let mut world = build_world(Protocol::Ldr, &scenario, 9201, None);
+    // Warm-up: traffic is flowing and the free lists are primed.
+    world.run_until(SimTime::from_secs(4));
+    let before = ALLOCS.load(Ordering::Relaxed);
+    world.run_until(SimTime::from_secs(12));
+    let during = ALLOCS.load(Ordering::Relaxed) - before;
+    (during, world.into_metrics())
+}
+
+#[test]
+fn pooled_steady_state_allocates_less_and_stays_byte_identical() {
+    let (pooled, pooled_metrics) = steady_state_allocs(true);
+    let (fresh, fresh_metrics) = steady_state_allocs(false);
+    assert_eq!(
+        pooled_metrics, fresh_metrics,
+        "pooling changed the run's observable result — it must only change allocation traffic"
+    );
+    assert!(pooled > 0 && fresh > 0, "allocator counter not engaged");
+    assert!(
+        pooled < fresh,
+        "recycling must cut steady-state allocations: pooled {pooled} >= fresh {fresh}"
+    );
+    // The recycled buffers (protocol action lists + receiver batches)
+    // are a large share of per-event heap traffic; require a real
+    // saving, not a rounding error.
+    assert!(
+        pooled * 100 <= fresh * 95,
+        "expected ≥5% fewer steady-state allocations: pooled {pooled}, fresh {fresh}"
+    );
+}

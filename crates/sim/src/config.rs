@@ -154,6 +154,14 @@ pub struct SimConfig {
     /// telemetry; enforced by differential tests), so this knob only
     /// changes how fast the same answer is computed.
     pub workers: usize,
+    /// Recycle hot-path buffers (protocol action lists, receiver
+    /// batches) through [`crate::pool::VecPool`] free lists instead of
+    /// allocating per event. Pooled runs are byte-identical (metrics,
+    /// trace and telemetry) to unpooled runs — a recycled buffer is
+    /// always handed out empty — so this defaults to on; the
+    /// differential tests flip it off to diff against the
+    /// allocate-per-event reference.
+    pub recycle_pools: bool,
 }
 
 impl Default for SimConfig {
@@ -169,6 +177,7 @@ impl Default for SimConfig {
             spatial_grid: true,
             telemetry: None,
             workers: 1,
+            recycle_pools: true,
         }
     }
 }

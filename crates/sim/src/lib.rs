@@ -77,6 +77,7 @@ pub mod metrics;
 pub mod mobility;
 pub mod packet;
 pub mod parallel;
+pub mod pool;
 pub mod protocol;
 pub mod rng;
 pub mod spatial;

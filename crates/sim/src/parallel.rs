@@ -60,6 +60,8 @@ use crate::faults::{FaultState, RxFate};
 use crate::geometry::Position;
 use crate::mobility::MotionLeg;
 use crate::packet::NodeId;
+use crate::pool::VecPool;
+use crate::protocol::Action;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceEvent;
 use crate::world::{
@@ -401,6 +403,11 @@ struct Shard<'a, 'b> {
     scratch: Vec<(NodeId, f64)>,
     batches: BTreeMap<u64, Vec<NodeId>>,
     pool: Vec<Vec<NodeId>>,
+    /// Shard-local protocol-action buffer pool. Always recycling:
+    /// pooling is observationally neutral (buffers hand out empty), so
+    /// the shard does not need to consult `recycle_pools` — the
+    /// parallel differential tests prove byte-identity either way.
+    action_pool: VecPool<Action>,
     /// Current event's buffered effects.
     effects: Vec<Effect>,
     child_ctr: u32,
@@ -551,6 +558,12 @@ impl Kern for Shard<'_, '_> {
     fn pool_push(&mut self, buf: Vec<NodeId>) {
         self.pool.push(buf);
     }
+    fn take_actions(&mut self) -> Vec<Action> {
+        self.action_pool.take()
+    }
+    fn put_actions(&mut self, buf: Vec<Action>) {
+        self.action_pool.put(buf);
+    }
     fn after_protocol(&mut self) {
         // Every-event auditors force the sequential path (see
         // `plan_window`), so there is nothing to run here.
@@ -567,6 +580,7 @@ fn run_component(task: CompTask<'_>, comp: u32, shared: Shared<'_>) -> CompResul
         scratch: Vec::new(),
         batches: task.batches,
         pool: Vec::new(),
+        action_pool: VecPool::new(8),
         effects: Vec::new(),
         child_ctr: 0,
         heap: BinaryHeap::new(),

@@ -15,6 +15,7 @@ use crate::mac::{Mac, MacState, OutFrame, RetryVerdict};
 use crate::metrics::Metrics;
 use crate::mobility::MobilityModel;
 use crate::packet::{ControlKind, DataPacket, NodeId, Packet, PacketBody, DEFAULT_DATA_TTL};
+use crate::pool::VecPool;
 use crate::protocol::{Action, Ctx, DropReason, RoutingProtocol};
 use crate::rng::SimRng;
 use crate::spatial::NeighborGrid;
@@ -148,6 +149,12 @@ struct AppPacket {
 /// Flow ids at or above this value belong to manually injected packets.
 const MANUAL_FLOW_BASE: u32 = 1 << 31;
 
+/// Free-list depth for the hot-path buffer pools. Concurrent
+/// transmissions keep at most a few dozen receiver batches in flight
+/// and protocol callbacks never nest deeply, so a shallow list already
+/// makes the steady-state event loop allocation-free.
+const POOL_SPARES: usize = 64;
+
 /// The simulator.
 pub struct World {
     pub(crate) cfg: SimConfig,
@@ -206,7 +213,11 @@ pub struct World {
     /// entries wide.
     pub(crate) rx_batches: HashMap<u64, Vec<NodeId>, U64Build>,
     /// Spare receiver-list allocations recycled across batches.
-    batch_pool: Vec<Vec<NodeId>>,
+    batch_pool: VecPool<NodeId>,
+    /// Spare protocol-action buffers recycled across callbacks (the
+    /// hottest allocation in the event loop: one per protocol
+    /// callback). Gated on [`SimConfig::recycle_pools`].
+    action_pool: VecPool<Action>,
     /// Windows the parallel kernel ([`crate::parallel`]) fanned out
     /// over worker threads (0 on sequential runs). Purely
     /// observational — never branches the simulation.
@@ -286,7 +297,8 @@ impl World {
             sample_base: SampleBaseline::default(),
             range_scratch: Vec::new(),
             rx_batches: HashMap::default(),
-            batch_pool: Vec::new(),
+            batch_pool: VecPool::new(POOL_SPARES),
+            action_pool: VecPool::new(POOL_SPARES),
             parallel_windows: 0,
             first_loop: None,
         };
@@ -1059,6 +1071,13 @@ pub(crate) trait Kern {
     fn pool_pop(&mut self) -> Vec<NodeId>;
     /// Recycles a receiver-list allocation.
     fn pool_push(&mut self, buf: Vec<NodeId>);
+    /// Takes an empty protocol-action buffer — recycled from the
+    /// action pool when [`SimConfig::recycle_pools`] is on, freshly
+    /// allocated otherwise. Exactly one buffer is in flight per
+    /// protocol callback.
+    fn take_actions(&mut self) -> Vec<Action>;
+    /// Returns a drained action buffer to the pool.
+    fn put_actions(&mut self, buf: Vec<Action>);
     /// Post-protocol-callback hook: the sequential kernel runs the
     /// every-event auditors here; parallel windows are classified
     /// sequential whenever those auditors are active, so the shard
@@ -1131,10 +1150,28 @@ impl Kern for World {
         self.rx_batches.remove(&tx_id)
     }
     fn pool_pop(&mut self) -> Vec<NodeId> {
-        self.batch_pool.pop().unwrap_or_default()
+        if self.cfg.recycle_pools {
+            self.batch_pool.take()
+        } else {
+            Vec::new()
+        }
     }
     fn pool_push(&mut self, buf: Vec<NodeId>) {
-        self.batch_pool.push(buf);
+        if self.cfg.recycle_pools {
+            self.batch_pool.put(buf);
+        }
+    }
+    fn take_actions(&mut self) -> Vec<Action> {
+        if self.cfg.recycle_pools {
+            self.action_pool.take()
+        } else {
+            Vec::new()
+        }
+    }
+    fn put_actions(&mut self, buf: Vec<Action>) {
+        if self.cfg.recycle_pools {
+            self.action_pool.put(buf);
+        }
     }
     fn after_protocol(&mut self) {
         if self.cfg.audit_every_event {
@@ -1159,19 +1196,20 @@ where
     let n = k.n_nodes();
     let now = k.now();
     let trace_on = k.trace_on();
-    let mut actions = Vec::new();
+    let mut actions = k.take_actions();
     {
         let slot = k.slot(node);
         let mut ctx = Ctx::new(now, node, n, &mut slot.proto_rng, &mut actions);
         ctx.set_trace_enabled(trace_on);
         f(slot.protocol.as_mut(), &mut ctx);
     }
-    apply_actions(k, node, actions);
+    apply_actions(k, node, &mut actions);
+    k.put_actions(actions);
     k.after_protocol();
 }
 
-pub(crate) fn apply_actions<K: Kern>(k: &mut K, node: NodeId, actions: Vec<Action>) {
-    for action in actions {
+pub(crate) fn apply_actions<K: Kern>(k: &mut K, node: NodeId, actions: &mut Vec<Action>) {
+    for action in actions.drain(..) {
         match action {
             Action::Broadcast { ctrl, initiated } => {
                 if initiated {
@@ -1674,6 +1712,7 @@ mod tests {
             spatial_grid: true,
             telemetry: None,
             workers: 1,
+            recycle_pools: true,
         };
         let topo = StaticRouting::tables_for_line(n);
         World::new(cfg, Box::new(mobility), move |id, _| {
@@ -1689,6 +1728,51 @@ mod tests {
         assert_eq!(m.data_originated, 1);
         assert_eq!(m.data_delivered, 1);
         assert!(m.mean_latency_s() > 0.0 && m.mean_latency_s() < 0.1);
+    }
+
+    #[test]
+    fn recycling_pools_engage_during_a_run() {
+        let mut w = small_world(5, 200.0, 2);
+        for i in 0..20 {
+            w.schedule_app_packet(SimTime::from_millis(1000 + i * 100), NodeId(0), NodeId(4), 512);
+        }
+        w.run_until(SimTime::from_secs(30));
+        assert!(
+            w.action_pool.reuses() > 0,
+            "with recycle_pools on, action buffers should be recycled, not reallocated"
+        );
+        assert!(w.batch_pool.reuses() > 0, "receiver batch lists should be recycled too");
+        // Steady state: after warm-up, every take is a reuse; the gap
+        // (true allocations) stays bounded by the free-list size.
+        assert!(
+            w.action_pool.takes() - w.action_pool.reuses() <= POOL_SPARES as u64,
+            "allocations bounded by pool capacity: {} takes, {} reuses",
+            w.action_pool.takes(),
+            w.action_pool.reuses()
+        );
+        let m = w.into_metrics();
+        assert_eq!(m.data_delivered, 20);
+    }
+
+    #[test]
+    fn disabling_pools_keeps_them_cold() {
+        let mobility = StaticMobility::line(3, 200.0);
+        let cfg = SimConfig {
+            duration: SimDuration::from_secs(30),
+            seed: 2,
+            recycle_pools: false,
+            ..SimConfig::default()
+        };
+        let topo = StaticRouting::tables_for_line(3);
+        let mut w = World::new(cfg, Box::new(mobility), move |id, _| {
+            Box::new(StaticRouting::new(id, topo.clone()))
+        });
+        w.schedule_app_packet(SimTime::from_secs(1), NodeId(0), NodeId(2), 512);
+        w.run_until(SimTime::from_secs(30));
+        assert_eq!(w.action_pool.takes(), 0, "pool bypassed when recycle_pools is off");
+        assert_eq!(w.batch_pool.takes(), 0);
+        let m = w.into_metrics();
+        assert_eq!(m.data_delivered, 1);
     }
 
     #[test]

@@ -1,9 +1,12 @@
-//! `fault-determinism`: the fault, spatial, telemetry, and parallel
-//! layers run on the hot replay path where even *probe-only* std hash
-//! maps have bitten before (capacity-dependent rehash cost skews
+//! `fault-determinism`: the fault, spatial, telemetry, parallel and
+//! pool layers run on the hot replay path where even *probe-only* std
+//! hash maps have bitten before (capacity-dependent rehash cost skews
 //! wall-clock telemetry; accidental later iteration is one refactor
 //! away). These files ban `HashMap`/`HashSet` outright — use the
-//! deterministic `FxBuild` maps or ordered collections.
+//! deterministic `FxBuild` maps or ordered collections. The bench
+//! sweep engine is held to the same bar: its content-addressed cell
+//! keys and journal replay must iterate in a stable order or resumed
+//! sweeps would schedule cells nondeterministically.
 
 use super::{FileCtx, Pass, RawDiag};
 use crate::lexer::Kind;
@@ -15,6 +18,8 @@ const FILES: &[&str] = &[
     "crates/sim/src/spatial.rs",
     "crates/sim/src/telemetry.rs",
     "crates/sim/src/parallel.rs",
+    "crates/sim/src/pool.rs",
+    "crates/bench/src/sweep.rs",
 ];
 
 impl Pass for FaultDeterminism {

@@ -3,7 +3,10 @@
 //! an abort. Flags `.unwrap()` / `.expect(…)` and the panicking macros
 //! in non-test code across `core`, `sim`, `baselines`, and
 //! `modelcheck` (the checker replays adversarial schedules; an abort
-//! mid-replay loses the counterexample it exists to report).
+//! mid-replay loses the counterexample it exists to report), plus the
+//! bench sweep engine and its worker pool — a panic in the sweep
+//! coordinator or a pool worker would abandon a half-journaled sweep
+//! the resumability machinery exists to protect.
 
 use super::{under, FileCtx, Pass, RawDiag};
 use crate::lexer::Kind;
@@ -27,6 +30,8 @@ impl Pass for NoPanic {
             || under(rel, "crates/sim")
             || under(rel, "crates/baselines")
             || under(rel, "crates/modelcheck")
+            || rel == "crates/bench/src/sweep.rs"
+            || rel == "crates/bench/src/workpool.rs"
     }
 
     fn run(&self, ctx: &FileCtx<'_>, out: &mut Vec<RawDiag>) {

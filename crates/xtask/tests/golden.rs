@@ -127,3 +127,31 @@ fn no_panic_scope_covers_the_model_checker() {
     assert!(pass.applies("crates/core/src/protocol.rs"));
     assert!(!pass.applies("crates/xtask/src/lib.rs"));
 }
+
+#[test]
+fn no_panic_scope_covers_the_sweep_engine_and_pool() {
+    let pass = passes::registry()
+        .into_iter()
+        .find(|p| p.id() == "no-panic")
+        .expect("no-panic pass registered");
+    // A panic in the sweep coordinator or a pool worker abandons a
+    // half-journaled sweep; both files are held to the no-panic bar.
+    assert!(pass.applies("crates/bench/src/sweep.rs"));
+    assert!(pass.applies("crates/bench/src/workpool.rs"));
+    // The rest of the bench crate (report rendering, binaries) stays
+    // out of scope — a CLI is allowed to abort on bad flags.
+    assert!(!pass.applies("crates/bench/src/runner.rs"));
+    assert!(!pass.applies("crates/bench/src/bin/sweepbench.rs"));
+}
+
+#[test]
+fn fault_determinism_scope_covers_the_pools_and_sweep() {
+    let pass = passes::registry()
+        .into_iter()
+        .find(|p| p.id() == "fault-determinism")
+        .expect("fault-determinism pass registered");
+    assert!(pass.applies("crates/sim/src/pool.rs"));
+    assert!(pass.applies("crates/bench/src/sweep.rs"));
+    assert!(pass.applies("crates/sim/src/parallel.rs"));
+    assert!(!pass.applies("crates/bench/src/report.rs"));
+}
