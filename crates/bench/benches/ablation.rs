@@ -22,6 +22,7 @@ fn scenario(seed: u64) -> Scenario {
         spatial_grid: true,
         workers: 1,
         recycle_pools: true,
+        profile: false,
     }
 }
 

@@ -23,6 +23,7 @@ fn scaled_scenario(seed: u64) -> Scenario {
         spatial_grid: true,
         workers: 1,
         recycle_pools: true,
+        profile: false,
     }
 }
 

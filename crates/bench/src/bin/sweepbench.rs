@@ -30,6 +30,7 @@ fn main() {
     let mut fresh = false;
     let mut trials: Option<u32> = None;
     let mut duration: Option<u64> = None;
+    let mut telemetry_dir: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -55,11 +56,14 @@ fn main() {
                 duration =
                     Some(it.next().expect("--duration needs a value").parse().expect("seconds"))
             }
+            "--telemetry-dir" => {
+                telemetry_dir = Some(it.next().expect("--telemetry-dir needs a directory"))
+            }
             other => {
                 eprintln!(
                     "unknown flag {other}; supported: --smoke --full --out PATH --table PATH \
                      --sweep-dir DIR --check PATH --threads N --max-cells N --fresh \
-                     --trials N --duration SECS"
+                     --trials N --duration SECS --telemetry-dir DIR"
                 );
                 std::process::exit(2);
             }
@@ -131,6 +135,34 @@ fn main() {
     }
     if let Some(dir) = std::path::Path::new(&table).parent() {
         let _ = std::fs::create_dir_all(dir);
+    }
+    // One representative telemetry export per paper protocol: the
+    // grid's first scenario, fault-free seed, with the kernel profiler
+    // attached — so the dir carries trace + series + prof JSONL for
+    // each protocol alongside the sweep artifacts.
+    if let Some(dir) = &telemetry_dir {
+        let dir = std::path::Path::new(dir);
+        let mut scenario = cells[0].scenario.clone();
+        scenario.profile = true;
+        for protocol in ldr_bench::Protocol::PAPER_SET {
+            let prefix = format!("{}-{}", cells[0].scenario_name, protocol.name().to_lowercase());
+            match ldr_bench::telemetry_export::export_run(
+                protocol,
+                &scenario,
+                cells[0].seed,
+                None,
+                dir,
+                &prefix,
+            ) {
+                Ok((_, paths)) => {
+                    println!("telemetry: wrote {} (+series, +prof)", paths.trace.display())
+                }
+                Err(e) => {
+                    eprintln!("telemetry export failed for {}: {e}", protocol.name());
+                    std::process::exit(2);
+                }
+            }
+        }
     }
     std::fs::write(&table, &rendered_table).expect("write sweep table");
     println!(

@@ -1,4 +1,5 @@
-//! Trace forensics CLI: query an exported `manet-trace` JSONL file.
+//! Trace forensics CLI: query an exported `manet-trace` JSONL file,
+//! or render exported `manet-prof` profiler documents.
 //!
 //! ```text
 //! tracegrep --trace FILE [QUERY...]
@@ -8,13 +9,20 @@
 //!   --loops                     successor-cycle check replayed from the
 //!                               route-mutation stream (independent of the
 //!                               simulator's own audit)
+//!
+//! tracegrep --prof FILE [FILE...] [--top K]
+//!   renders the profiler report for one or more `manet-prof` JSONL
+//!   files: top-K phases by self time per run, the per-protocol cost
+//!   table, and the parallel-efficiency breakdown for multi-worker
+//!   runs
 //! ```
 //!
 //! Without a trace on disk, export one first:
-//! `faultbench --telemetry-dir DIR` or
+//! `faultbench --telemetry-dir DIR`, `profbench --out-dir DIR`, or
 //! [`ldr_bench::telemetry_export::export_run`].
 
 use ldr_bench::forensics::{self, TraceFile};
+use ldr_bench::profiling::{render_report, ProfView};
 use std::io::Write;
 use std::process::ExitCode;
 
@@ -26,21 +34,39 @@ enum Query {
 }
 
 struct Args {
-    trace: String,
+    trace: Option<String>,
     queries: Vec<Query>,
+    prof: Vec<String>,
+    top: usize,
 }
 
 const USAGE: &str = "usage: tracegrep --trace FILE \
-[--explain-packet FLOW,SEQ] [--route-lifetimes DST] [--drops] [--loops]";
+[--explain-packet FLOW,SEQ] [--route-lifetimes DST] [--drops] [--loops]
+       tracegrep --prof FILE [FILE...] [--top K]";
 
 fn parse_args() -> Result<Args, String> {
     let mut trace = None;
     let mut queries = Vec::new();
-    let mut it = std::env::args().skip(1);
+    let mut prof: Vec<String> = Vec::new();
+    let mut top = 10usize;
+    let mut it = std::env::args().skip(1).peekable();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--trace" => {
                 trace = Some(it.next().ok_or("--trace needs a file path")?);
+            }
+            "--prof" => {
+                prof.push(it.next().ok_or("--prof needs at least one file path")?);
+                while let Some(next) = it.peek() {
+                    if next.starts_with("--") {
+                        break;
+                    }
+                    prof.push(it.next().unwrap_or_default());
+                }
+            }
+            "--top" => {
+                let spec = it.next().ok_or("--top needs a value")?;
+                top = spec.trim().parse().map_err(|_| format!("bad --top value {spec:?}"))?;
             }
             "--explain-packet" => {
                 let spec = it.next().ok_or("--explain-packet needs FLOW,SEQ")?;
@@ -62,11 +88,38 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
         }
     }
-    let trace = trace.ok_or(USAGE)?;
-    if queries.is_empty() {
+    if trace.is_none() && prof.is_empty() {
+        return Err(USAGE.into());
+    }
+    if trace.is_some() && queries.is_empty() {
         return Err(format!("no query given\n{USAGE}"));
     }
-    Ok(Args { trace, queries })
+    Ok(Args { trace, queries, prof, top })
+}
+
+/// Renders the `--prof` report for the given `manet-prof` files.
+fn run_prof(files: &[String], top: usize) -> ExitCode {
+    let mut views = Vec::new();
+    for path in files {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("tracegrep: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match ProfView::parse(&text) {
+            Ok(v) => views.push(v),
+            Err(e) => {
+                eprintln!("tracegrep: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = write!(out, "{}", render_report(&views, top));
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -77,17 +130,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let text = match std::fs::read_to_string(&args.trace) {
+    if !args.prof.is_empty() {
+        return run_prof(&args.prof, args.top);
+    }
+    let Some(trace_path) = &args.trace else {
+        return ExitCode::from(2);
+    };
+    let text = match std::fs::read_to_string(trace_path) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("tracegrep: cannot read {}: {e}", args.trace);
+            eprintln!("tracegrep: cannot read {trace_path}: {e}");
             return ExitCode::from(2);
         }
     };
     let trace = match TraceFile::parse(&text) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("tracegrep: {}: {e}", args.trace);
+            eprintln!("tracegrep: {trace_path}: {e}");
             return ExitCode::from(2);
         }
     };
@@ -98,7 +157,7 @@ fn main() -> ExitCode {
     if writeln!(
         out,
         "{}: {} events (seed {}, {} nodes)",
-        args.trace,
+        trace_path,
         trace.events.len(),
         trace.header.u64_field("seed").unwrap_or(0),
         trace.header.u64_field("nodes").unwrap_or(0)

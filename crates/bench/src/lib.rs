@@ -13,6 +13,7 @@ pub mod experiments;
 pub mod forensics;
 pub mod perf;
 pub mod perf_parallel;
+pub mod profiling;
 pub mod report;
 pub mod runner;
 pub mod scenario;

@@ -3,6 +3,21 @@
 use manet_sim::metrics::Metrics;
 use manet_sim::stats::Accumulator;
 
+/// The scoreboard's throughput figure: kernel events per *simulated*
+/// second per core. Both inputs are deterministic (the kernel's event
+/// counter and the cell's configuration), so — unlike a wall-clock
+/// rate — the column reproduces byte-exactly on reruns and can live
+/// in committed artifacts like `BENCH_6.json`-derived tables.
+/// `cores` is the worker count (1 for the sequential kernel).
+pub fn events_per_simsec_core(events: u64, sim_secs: u64, cores: u64) -> f64 {
+    let denom = (sim_secs * cores.max(1)) as f64;
+    if denom == 0.0 {
+        0.0
+    } else {
+        events as f64 / denom
+    }
+}
+
 /// One trial that panicked instead of producing metrics. The runner
 /// catches the unwind, records the cell here, and keeps the sweep
 /// going — a single bad trial no longer discards every completed cell.

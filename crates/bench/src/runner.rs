@@ -71,6 +71,7 @@ pub fn build_world_telemetry(
         telemetry,
         workers: scenario.workers,
         recycle_pools: scenario.recycle_pools,
+        profile: scenario.profile,
     };
     let mobility = RandomWaypoint::new(
         scenario.n_nodes,
@@ -191,6 +192,7 @@ mod tests {
             spatial_grid: true,
             workers: 1,
             recycle_pools: true,
+            profile: false,
         };
         run_once(protocol, &scenario, 7)
     }
@@ -242,6 +244,7 @@ mod tests {
             spatial_grid: true,
             workers: 1,
             recycle_pools: true,
+            profile: false,
         };
         let s = run_trials(Protocol::Aodv, &scenario);
         assert_eq!(s.trials(), 3);
@@ -263,6 +266,7 @@ mod tests {
             spatial_grid: true,
             workers: 1,
             recycle_pools: true,
+            profile: false,
         };
         assert!(trial_fault_plan(&scenario, scenario.seed_base, 0).is_empty());
         let faulted = run_fault_trials(Protocol::Ldr, &scenario, 0);
@@ -289,6 +293,7 @@ mod tests {
             spatial_grid: true,
             workers: 1,
             recycle_pools: true,
+            profile: false,
         };
         // The per-trial plan depends only on (scenario, seed, level),
         // never the protocol, so every row faces the same schedule.
@@ -320,6 +325,7 @@ mod tests {
             spatial_grid: true,
             workers: 1,
             recycle_pools: true,
+            profile: false,
         };
         let threaded = run_trials(Protocol::Ldr, &scenario);
         let mut sequential = Summary::new(Protocol::Ldr.name());
@@ -363,6 +369,7 @@ mod tests {
             spatial_grid: true,
             workers: 1,
             recycle_pools: true,
+            profile: false,
         };
         let (summary, _) = run_trials_core(Protocol::Ldr, &scenario, &|k, seed| {
             if k == 1 {
@@ -395,6 +402,7 @@ mod tests {
             spatial_grid: true,
             workers: 4,
             recycle_pools: true,
+            profile: false,
         };
         let cores = crate::workpool::host_cores();
         let cap = pool_threads(&scenario);

@@ -154,6 +154,13 @@ pub struct Scenario {
     /// only faster — so it defaults to on; the pool differential tests
     /// flip it off to diff against the reference path.
     pub recycle_pools: bool,
+    /// Attach the deterministic kernel profiler
+    /// ([`manet_sim::prof`]): per-phase wall-time attribution plus
+    /// deterministic counts and histograms, exported as `manet-prof`
+    /// JSONL by [`crate::telemetry_export`]. Strictly observational —
+    /// metrics, trace and series are byte-identical with this on or
+    /// off (enforced by the prof purity tests) — and off by default.
+    pub profile: bool,
 }
 
 impl Scenario {
@@ -172,6 +179,7 @@ impl Scenario {
             spatial_grid: true,
             workers: 1,
             recycle_pools: true,
+            profile: false,
         }
     }
 
@@ -191,6 +199,13 @@ impl Scenario {
     /// The terrain as a [`Terrain`].
     pub fn terrain(&self) -> Terrain {
         Terrain::new(self.terrain.0, self.terrain.1)
+    }
+
+    /// A stable label for file names and prof headers
+    /// (`n<nodes>-f<flows>-p<pause>`), matching the perfbench case
+    /// names.
+    pub fn label(&self) -> String {
+        format!("n{}-f{}-p{}", self.n_nodes, self.n_flows, self.pause_secs)
     }
 
     /// The paper's pause-time sweep.

@@ -12,10 +12,10 @@
 //!   [`SWEEP_CODE_REV`]). Completed cells land in an on-disk cache
 //!   under `<cache>/<key>.json`; a later sweep that contains the same
 //!   cell reads the cached record instead of simulating.
-//!   `spatial_grid`, `workers` and `recycle_pools` are deliberately
-//!   *excluded* from the key: the kernel's determinism contract makes
-//!   them byte-identical, so they can never change a cell's result —
-//!   only its wall-clock.
+//!   `spatial_grid`, `workers`, `recycle_pools` and `profile` are
+//!   deliberately *excluded* from the key: the kernel's determinism
+//!   contract makes them byte-identical, so they can never change a
+//!   cell's result — only its wall-clock.
 //! * **A completion journal** — each cell is appended to a JSONL
 //!   journal the moment it finishes (single writer: the pool's
 //!   coordinator thread). A sweep killed mid-flight restarts, replays
@@ -32,10 +32,11 @@
 //! cell rather than resurrect the failure from disk.
 
 use crate::forensics::Json;
-use crate::runner::{run_once_faulted, trial_fault_plan, trial_seed};
+use crate::runner::{trial_fault_plan, trial_seed};
 use crate::scenario::{Protocol, Scenario, SimFlavor};
 use crate::workpool;
 use manet_sim::metrics::Metrics;
+use manet_sim::time::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::fs;
@@ -45,7 +46,7 @@ use std::path::PathBuf;
 /// Bumped whenever simulator semantics change in a way that
 /// invalidates previously recorded cells (part of every cell key, so
 /// stale cache entries simply stop matching).
-pub const SWEEP_CODE_REV: &str = "pr9-r1";
+pub const SWEEP_CODE_REV: &str = "pr10-r1";
 
 // ----- cells ------------------------------------------------------------
 
@@ -193,11 +194,16 @@ pub struct CellMetrics {
     pub faults_injected: u64,
     /// Crash/restart recoveries.
     pub node_restarts: u64,
+    /// Kernel events executed — the deterministic numerator of the
+    /// scoreboard's events-per-sim-second-per-core column (wall-clock
+    /// never enters the journal or cache, so reruns stay byte-exact).
+    pub events: u64,
 }
 
 impl CellMetrics {
-    /// Extracts the recorded subset from a trial's full [`Metrics`].
-    pub fn from_metrics(m: &Metrics) -> Self {
+    /// Extracts the recorded subset from a trial's full [`Metrics`],
+    /// plus the kernel's event counter.
+    pub fn from_metrics(m: &Metrics, events: u64) -> Self {
         CellMetrics {
             delivery: m.delivery_ratio(),
             latency_s: m.mean_latency_s(),
@@ -214,6 +220,7 @@ impl CellMetrics {
             invariant_breaches: m.invariant_breaches,
             faults_injected: m.faults_injected,
             node_restarts: m.node_restarts,
+            events,
         }
     }
 }
@@ -271,7 +278,7 @@ fn f64_approx(x: f64) -> String {
 
 const F64_FIELDS: [&str; 7] =
     ["delivery", "latency_s", "net_load", "rreq_load", "rrep_init", "rrep_recv", "mean_seqno"];
-const U64_FIELDS: [&str; 8] = [
+const U64_FIELDS: [&str; 9] = [
     "rreq_tx",
     "data_originated",
     "data_delivered",
@@ -280,13 +287,14 @@ const U64_FIELDS: [&str; 8] = [
     "invariant_breaches",
     "faults_injected",
     "node_restarts",
+    "events",
 ];
 
 fn f64_values(m: &CellMetrics) -> [f64; 7] {
     [m.delivery, m.latency_s, m.net_load, m.rreq_load, m.rrep_init, m.rrep_recv, m.mean_seqno]
 }
 
-fn u64_values(m: &CellMetrics) -> [u64; 8] {
+fn u64_values(m: &CellMetrics) -> [u64; 9] {
     [
         m.rreq_tx,
         m.data_originated,
@@ -296,6 +304,7 @@ fn u64_values(m: &CellMetrics) -> [u64; 8] {
         m.invariant_breaches,
         m.faults_injected,
         m.node_restarts,
+        m.events,
     ]
 }
 
@@ -333,7 +342,7 @@ pub fn parse_record(line: &str) -> Option<(String, CellRecord)> {
             for (slot, name) in f.iter_mut().zip(F64_FIELDS) {
                 *slot = f64_from_hex(v.str_field(name)?)?;
             }
-            let mut u = [0u64; 8];
+            let mut u = [0u64; 9];
             for (slot, name) in u.iter_mut().zip(U64_FIELDS) {
                 *slot = v.u64_field(name)?;
             }
@@ -353,6 +362,7 @@ pub fn parse_record(line: &str) -> Option<(String, CellRecord)> {
                 invariant_breaches: u[5],
                 faults_injected: u[6],
                 node_restarts: u[7],
+                events: u[8],
             };
             Some((key, CellRecord::Done(m)))
         }
@@ -429,8 +439,14 @@ fn run_cell(cell: &CellSpec) -> CellMetrics {
     // Level 0 yields an empty plan, which the kernel treats exactly
     // like no plan (covered by the runner's level-zero test).
     let plan = trial_fault_plan(&cell.scenario, cell.seed, cell.fault_level);
-    let m = run_once_faulted(cell.protocol, &cell.scenario, cell.seed, Some(plan));
-    CellMetrics::from_metrics(&m)
+    // Kept alive past the run so the kernel's event counter — the
+    // deterministic numerator of the scoreboard's throughput column —
+    // can be read alongside the metrics.
+    let mut world =
+        crate::runner::build_world(cell.protocol, &cell.scenario, cell.seed, Some(plan));
+    world.run_until(SimTime::ZERO + SimDuration::from_secs(cell.scenario.duration_secs));
+    world.finalize();
+    CellMetrics::from_metrics(world.metrics(), world.events_executed())
 }
 
 /// Runs (or resumes) a sweep. Per cell, in order of preference: replay
@@ -622,13 +638,14 @@ impl SweepOutcome {
         );
         // Group in first-appearance order; BTreeMap re-keyed by the
         // group's first cell index keeps the iteration canonical.
-        let mut groups: BTreeMap<usize, (String, Vec<&CellMetrics>, usize)> = BTreeMap::new();
+        let mut groups: BTreeMap<usize, (String, Vec<&CellMetrics>, usize, u64)> = BTreeMap::new();
         let mut index: BTreeMap<String, usize> = BTreeMap::new();
         for (i, (cell, rec)) in self.cells.iter().enumerate() {
             let label =
                 format!("{}/L{} {}", cell.scenario_name, cell.fault_level, cell.protocol.name());
             let slot = *index.entry(label.clone()).or_insert(i);
-            let entry = groups.entry(slot).or_insert_with(|| (label, Vec::new(), 0));
+            let denom = cell.scenario.duration_secs * cell.scenario.workers.max(1) as u64;
+            let entry = groups.entry(slot).or_insert_with(|| (label, Vec::new(), 0, denom));
             match rec {
                 Some(CellRecord::Done(m)) => entry.1.push(m),
                 Some(CellRecord::Failed { .. }) => entry.2 += 1,
@@ -637,10 +654,17 @@ impl SweepOutcome {
         }
         let _ = writeln!(
             s,
-            "{:<28} {:>6} {:>10} {:>12} {:>10} {:>7} {:>7}",
-            "cell group", "seeds", "delivery", "latency(s)", "net load", "loops", "failed"
+            "{:<28} {:>6} {:>10} {:>12} {:>10} {:>7} {:>10} {:>7}",
+            "cell group",
+            "seeds",
+            "delivery",
+            "latency(s)",
+            "net load",
+            "loops",
+            "ev/ssc",
+            "failed"
         );
-        for (_, (label, ms, failed)) in groups {
+        for (_, (label, ms, failed, denom)) in groups {
             let n = ms.len();
             let mean = |f: fn(&CellMetrics) -> f64| -> f64 {
                 if n == 0 {
@@ -650,15 +674,20 @@ impl SweepOutcome {
                 }
             };
             let loops: u64 = ms.iter().map(|m| m.loop_violations).sum();
+            // Events per simulated second per core: deterministic (no
+            // wall-clock), so the rendered table reproduces byte-exactly.
+            let total_events: u64 = ms.iter().map(|m| m.events).sum();
+            let ev_ssc = crate::report::events_per_simsec_core(total_events, denom * n as u64, 1);
             let _ = writeln!(
                 s,
-                "{:<28} {:>6} {:>10.4} {:>12.4} {:>10.3} {:>7} {:>7}",
+                "{:<28} {:>6} {:>10.4} {:>12.4} {:>10.3} {:>7} {:>10.1} {:>7}",
                 label,
                 n,
                 mean(|m| m.delivery),
                 mean(|m| m.latency_s),
                 mean(|m| m.net_load),
                 loops,
+                ev_ssc,
                 failed
             );
         }
@@ -702,6 +731,7 @@ mod tests {
         d.scenario.spatial_grid = false;
         d.scenario.workers = 4;
         d.scenario.recycle_pools = false;
+        d.scenario.profile = true;
         assert_eq!(a.key(), d.key(), "wall-clock-only knobs must not change the key");
         // Display names are labels, not identity.
         let mut e = cell(7, 0);
@@ -727,6 +757,7 @@ mod tests {
             invariant_breaches: 1,
             faults_injected: 9,
             node_restarts: 2,
+            events: 987654321,
         };
         let rec = CellRecord::Done(m);
         let line = record_line("abc123", "tiny/LDR/L0/s7", &rec);
@@ -758,6 +789,7 @@ mod tests {
             invariant_breaches: 0,
             faults_injected: 0,
             node_restarts: 0,
+            events: 1200,
         };
         let full = record_line("k1", "c", &CellRecord::Done(m));
         let torn = &full[..full.len() / 2];

@@ -11,18 +11,22 @@ use crate::runner::build_world_telemetry;
 use crate::scenario::{Protocol, Scenario};
 use manet_sim::faults::FaultPlan;
 use manet_sim::metrics::Metrics;
+use manet_sim::prof::prof_to_jsonl;
 use manet_sim::telemetry::{series_to_jsonl, JsonlTrace, TelemetryConfig};
 use manet_sim::time::{SimDuration, SimTime};
 use std::fs;
 use std::path::{Path, PathBuf};
 
-/// Where [`export_run`] wrote its two documents.
+/// Where [`export_run`] wrote its documents.
 #[derive(Clone, Debug)]
 pub struct ExportPaths {
     /// The `manet-trace` event file.
     pub trace: PathBuf,
     /// The `manet-series` sampler file.
     pub series: PathBuf,
+    /// The `manet-prof` profiler file, when [`Scenario::profile`] was
+    /// on.
+    pub prof: Option<PathBuf>,
 }
 
 /// An exported run, still in memory.
@@ -34,6 +38,11 @@ pub struct RenderedRun {
     pub trace: String,
     /// The full `manet-series` JSONL document.
     pub series: String,
+    /// The `manet-prof` JSONL document, when [`Scenario::profile`] was
+    /// on. Only its `count`/`hist` section is deterministic
+    /// ([`manet_sim::prof::deterministic_section`]); the `timing`
+    /// lines carry wall nanoseconds and are never byte-gated.
+    pub prof: Option<String>,
 }
 
 /// Runs one telemetry-attached trial and returns the rendered JSONL
@@ -57,12 +66,23 @@ pub fn render_run(
         Ok(guard) => guard.contents().to_string(),
         Err(poisoned) => poisoned.into_inner().contents().to_string(),
     };
-    RenderedRun { metrics, trace, series }
+    let prof = world.prof_snapshot().map(|snap| {
+        prof_to_jsonl(
+            seed,
+            scenario.n_nodes,
+            scenario.workers.max(1),
+            &protocol.name(),
+            &scenario.label(),
+            &snap,
+        )
+    });
+    RenderedRun { metrics, trace, series, prof }
 }
 
 /// Runs one telemetry-attached trial and writes
-/// `<dir>/<prefix>-trace.jsonl` and `<dir>/<prefix>-series.jsonl`,
-/// creating `dir` if needed.
+/// `<dir>/<prefix>-trace.jsonl` and `<dir>/<prefix>-series.jsonl`
+/// (plus `<dir>/<prefix>-prof.jsonl` when [`Scenario::profile`] is
+/// on), creating `dir` if needed.
 pub fn export_run(
     protocol: Protocol,
     scenario: &Scenario,
@@ -77,7 +97,15 @@ pub fn export_run(
     let series = dir.join(format!("{prefix}-series.jsonl"));
     fs::write(&trace, &run.trace)?;
     fs::write(&series, &run.series)?;
-    Ok((run.metrics, ExportPaths { trace, series }))
+    let prof = match &run.prof {
+        Some(doc) => {
+            let path = dir.join(format!("{prefix}-prof.jsonl"));
+            fs::write(&path, doc)?;
+            Some(path)
+        }
+        None => None,
+    };
+    Ok((run.metrics, ExportPaths { trace, series, prof }))
 }
 
 #[cfg(test)]
@@ -98,6 +126,7 @@ mod tests {
             spatial_grid: true,
             workers: 1,
             recycle_pools: true,
+            profile: false,
         }
     }
 
@@ -122,6 +151,22 @@ mod tests {
         let series = fs::read_to_string(&paths.series).expect("series written");
         assert!(trace.starts_with("{\"schema\":\"manet-trace\""));
         assert!(series.starts_with("{\"schema\":\"manet-series\""));
+        assert!(paths.prof.is_none(), "no prof file without Scenario::profile");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn profiled_export_adds_the_prof_document() {
+        let dir = std::env::temp_dir().join("ldr-bench-prof-export-test");
+        let scenario = Scenario { profile: true, ..smoke_scenario() };
+        let (_m, paths) =
+            export_run(Protocol::Ldr, &scenario, 11, None, &dir, "smoke").expect("export");
+        let prof_path = paths.prof.expect("profiled run exports a prof file");
+        let prof = fs::read_to_string(&prof_path).expect("prof written");
+        assert!(prof.starts_with("{\"schema\":\"manet-prof\",\"version\":1,"), "{prof}");
+        assert!(prof.contains("\"protocol\":\"LDR\""));
+        assert!(prof.contains("\"scenario\":\"n12-f3-p0\""));
+        assert!(prof.contains("\"sect\":\"timing\",\"name\":\"total\""));
         let _ = fs::remove_dir_all(&dir);
     }
 }

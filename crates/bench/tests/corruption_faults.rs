@@ -117,6 +117,7 @@ fn corruption_ppm_fault_plans_replay_without_panics() {
         spatial_grid: true,
         workers: 1,
         recycle_pools: true,
+        profile: false,
     };
     for protocol in Protocol::PAPER_SET {
         let plan = corruption_heavy_plan(&scenario, 301);

@@ -31,6 +31,7 @@ fn golden_scenario() -> Scenario {
         spatial_grid: true,
         workers: 1,
         recycle_pools: true,
+        profile: false,
     }
 }
 

@@ -116,6 +116,7 @@ fn randomized_small_worlds_are_identical_across_worker_counts() {
             spatial_grid: case % 2 == 0,
             workers: 1,
             recycle_pools: true,
+            profile: false,
         };
         let s = run_timed(Protocol::Ldr, &scenario, seed);
         for workers in [2, 4, 8] {

@@ -162,6 +162,15 @@ pub struct SimConfig {
     /// differential tests flip it off to diff against the
     /// allocate-per-event reference.
     pub recycle_pools: bool,
+    /// Attach the deterministic kernel profiler ([`crate::prof`]):
+    /// per-phase wall-time attribution, phase counts, and FEL-depth /
+    /// window-size / component-count histograms, exported as
+    /// `manet-prof` JSONL. The profiler is strictly observational —
+    /// its wall-clock readings never feed simulation state, so a
+    /// profiled run is byte-identical (metrics, trace and telemetry)
+    /// to an unprofiled one (enforced by differential tests). Off by
+    /// default; when off, no wall clock is ever read.
+    pub profile: bool,
 }
 
 impl Default for SimConfig {
@@ -178,6 +187,7 @@ impl Default for SimConfig {
             telemetry: None,
             workers: 1,
             recycle_pools: true,
+            profile: false,
         }
     }
 }

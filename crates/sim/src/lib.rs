@@ -32,7 +32,13 @@
 //! * an observation-pure telemetry layer — bounded per-node flight
 //!   recorder, sim-time time-series sampler, hand-rolled JSONL export —
 //!   that never changes a run's observable behaviour ([`telemetry`],
-//!   [`SimConfig::telemetry`](config::SimConfig::telemetry)).
+//!   [`SimConfig::telemetry`](config::SimConfig::telemetry));
+//! * a deterministic kernel profiler — per-phase wall-time
+//!   attribution (FEL churn, neighbor queries, dispatch, protocol
+//!   callbacks, the parallel pipeline), counts and histograms,
+//!   rendered as `manet-prof` JSONL with wall times segregated from
+//!   the byte-gated sections ([`prof`],
+//!   [`SimConfig::profile`](config::SimConfig::profile)).
 //!
 //! Routing protocols implement [`protocol::RoutingProtocol`] and plug
 //! into a [`world::World`].
@@ -78,6 +84,7 @@ pub mod mobility;
 pub mod packet;
 pub mod parallel;
 pub mod pool;
+pub mod prof;
 pub mod protocol;
 pub mod rng;
 pub mod spatial;

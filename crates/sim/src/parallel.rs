@@ -102,10 +102,17 @@ fn window_lookahead(phy: &PhyConfig) -> SimDuration {
     phy.prop_delay + phy.ack_duration().min(phy.tx_duration(0))
 }
 
+/// How many lookaheads a failed-plan sequential fallback window
+/// spans before the planner retries.
+const SEQ_FALLBACK_STRETCH: u64 = 4;
+
 /// Parallel-kernel entry point: processes all events with `t ≤ until`,
 /// then sets the clock to `until`. Byte-identical to the sequential
 /// [`World::run_until`] loop.
 pub(crate) fn run_until_parallel(world: &mut World, until: SimTime) {
+    // Bottom profiler frame, exactly like the sequential loop's
+    // (no-ops when profiling is off).
+    Kern::prof_enter(world, crate::prof::PHASE_KERN_LOOP);
     let lookahead = window_lookahead(&world.cfg.phy);
     let cell = world.cfg.phy.range_m + CELL_SLACK_M;
     let n = world.nodes.len();
@@ -118,10 +125,17 @@ pub(crate) fn run_until_parallel(world: &mut World, until: SimTime) {
     // forces the first refresh before any position is read.
     let mut legs: Vec<MotionLeg> = vec![MotionLeg::parked(Position::default(), SimTime::ZERO); n];
     let limit = until + SimDuration::from_nanos(1);
-    while let Some(t0) = world.fel.peek_time() {
-        if t0 > until {
-            break;
-        }
+    loop {
+        // The peek sits inside the plan span: deciding whether a
+        // window exists is part of planning it.
+        Kern::prof_enter(world, crate::prof::PHASE_PAR_PLAN);
+        let t0 = match world.fel.peek_time() {
+            Some(t0) if t0 <= until => t0,
+            _ => {
+                Kern::prof_exit(world);
+                break;
+            }
+        };
         let w_end = (t0 + lookahead).min(limit);
         let plan = if can_parallel {
             let mut legs_ok = true;
@@ -142,20 +156,28 @@ pub(crate) fn run_until_parallel(world: &mut World, until: SimTime) {
         } else {
             None
         };
+        Kern::prof_exit(world);
         match plan {
             Some(plan) => run_window_parallel(world, t0, w_end, cell, plan, &legs, workers),
-            None => run_window_sequential(world, w_end),
+            // A failed plan falls back to a *stretched* sequential
+            // window: planning every single-lookahead window that
+            // cannot fan out is pure overhead, and sequential windows
+            // execute in global FEL order whatever their boundaries,
+            // so the stretch is observably identical — it only delays
+            // the next parallelisation attempt.
+            None => run_window_sequential(
+                world,
+                (t0 + lookahead.saturating_mul(SEQ_FALLBACK_STRETCH)).min(limit),
+            ),
         }
     }
+    Kern::prof_exit(world);
     world.now = until;
 }
 
 /// Executes one window on the unchanged sequential path.
 fn run_window_sequential(world: &mut World, w_end: SimTime) {
-    while world.fel.peek_time().is_some_and(|t| t < w_end) {
-        let Some((t, event)) = world.fel.pop() else { break };
-        world.execute(t, event);
-    }
+    world.run_events(w_end, false);
 }
 
 /// A committed plan for one parallel window: the disjoint dilated
@@ -619,6 +641,7 @@ fn run_window_parallel(
     let k = plan.n_comps;
     let n = world.nodes.len();
     world.parallel_windows += 1;
+    Kern::prof_enter(world, crate::prof::PHASE_PAR_BUILD);
     // Drain the window in canonical (t, seq) order; the drain index is
     // each event's replay key.
     let mut comp_events: Vec<Vec<(SimTime, u64, Event)>> = (0..k).map(|_| Vec::new()).collect();
@@ -626,7 +649,7 @@ fn run_window_parallel(
         (0..k).map(|_| BTreeMap::new()).collect();
     let mut drain: u64 = 0;
     while world.fel.peek_time().is_some_and(|t| t < w_end) {
-        let Some((t, event)) = world.fel.pop() else { break };
+        let Some((t, event)) = world.pop_event() else { break };
         let home = match &event {
             Event::MacKick(node)
             | Event::TxEnd { node, .. }
@@ -653,6 +676,10 @@ fn run_window_parallel(
         comp_events[comp].push((t, drain, event));
         drain += 1;
     }
+    if let Some(p) = world.prof.as_mut() {
+        p.record_hist(crate::prof::HIST_WINDOW_SIZE, drain);
+        p.record_hist(crate::prof::HIST_COMPONENT_COUNT, k as u64);
+    }
     let trace_on = Kern::trace_on(world);
     let fast_path = world.cfg.spatial_grid;
     // Which component owns each node (u32::MAX: untouched this window).
@@ -661,6 +688,8 @@ fn run_window_parallel(
             plan.comp_of_cell.get(&cell_of(legs[i].pos_at(t0), cell)).copied().unwrap_or(u32::MAX)
         })
         .collect();
+    Kern::prof_exit(world); // par_build
+    Kern::prof_enter(world, crate::prof::PHASE_PAR_EXECUTE);
     let mut results: Vec<CompResult> = {
         // Field-disjoint borrows of the world: exclusive node slots for
         // the shards, shared PHY/fault state alongside.
@@ -715,8 +744,11 @@ fn run_window_parallel(
             out
         })
     };
+    Kern::prof_exit(world); // par_execute
+    Kern::prof_enter(world, crate::prof::PHASE_PAR_REPLAY);
     results.sort_by_key(|r| r.comp);
     replay(world, results);
+    Kern::prof_exit(world); // par_replay
 }
 
 /// Merges the components' records in canonical order and applies their
@@ -753,7 +785,7 @@ fn replay(world: &mut World, mut comps: Vec<CompResult>) {
                 Effect::Emit(e) => Kern::emit(world, e),
                 Effect::TraceBump => Kern::bump_trace_events(world),
                 Effect::Metric(op) => Kern::metric(world, op),
-                Effect::ScheduleFel { at, event } => world.fel.schedule(at, event),
+                Effect::ScheduleFel { at, event } => Kern::schedule(world, at, event),
                 Effect::ScheduleChild { at, child } => {
                     let rec_idx = comps[ci as usize].child_map[child as usize];
                     heap.push(Reverse((at, next_child_key, ci, rec_idx as u32)));

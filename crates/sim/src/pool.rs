@@ -60,6 +60,12 @@ impl<T> VecPool<T> {
         self.spares.len()
     }
 
+    /// Whether the next [`VecPool::take`] will recycle rather than
+    /// allocate (the profiler's pool-hit/miss probe).
+    pub fn has_spare(&self) -> bool {
+        !self.spares.is_empty()
+    }
+
     /// Total `take` calls.
     pub fn takes(&self) -> u64 {
         self.takes

@@ -16,6 +16,11 @@ use crate::metrics::Metrics;
 use crate::mobility::MobilityModel;
 use crate::packet::{ControlKind, DataPacket, NodeId, Packet, PacketBody, DEFAULT_DATA_TTL};
 use crate::pool::VecPool;
+use crate::prof::{
+    ProfSnapshot, Profiler, DISPATCH_BASE, HIST_FEL_DEPTH, PHASE_FEL_POP, PHASE_FEL_PUSH,
+    PHASE_KERN_LOOP, PHASE_NEIGHBOR_GRID, PHASE_NEIGHBOR_LINEAR, PHASE_PROTOCOL,
+    PHASE_TELEMETRY_SAMPLE, PHASE_TRACE_EMIT,
+};
 use crate::protocol::{Action, Ctx, DropReason, RoutingProtocol};
 use crate::rng::SimRng;
 use crate::spatial::NeighborGrid;
@@ -222,6 +227,12 @@ pub struct World {
     /// over worker threads (0 on sequential runs). Purely
     /// observational — never branches the simulation.
     pub(crate) parallel_windows: u64,
+    /// The kernel profiler ([`crate::prof`]), attached when
+    /// [`SimConfig::profile`] is on. Strictly observational: every
+    /// hook first checks this `Option`, so an unprofiled run never
+    /// reads a wall clock, and a profiled run mutates nothing but
+    /// these counters.
+    pub(crate) prof: Option<Box<Profiler>>,
     /// First routing loop the auditor found, if any.
     pub first_loop: Option<LoopViolation>,
 }
@@ -272,6 +283,7 @@ impl World {
             .flatten()
             .filter(|v| v.is_finite() && *v >= 0.0)
             .map(|v_max| RefCell::new(NeighborGrid::new(n, cfg.phy.range_m, v_max)));
+        let prof = cfg.profile.then(|| Box::new(Profiler::new()));
         let mut world = World {
             traffic_rng: SimRng::stream(seed, "traffic"),
             cfg,
@@ -300,6 +312,7 @@ impl World {
             batch_pool: VecPool::new(POOL_SPARES),
             action_pool: VecPool::new(POOL_SPARES),
             parallel_windows: 0,
+            prof,
             first_loop: None,
         };
         if let Some(interval) = world.cfg.audit_interval {
@@ -504,6 +517,17 @@ impl World {
         self.parallel_windows
     }
 
+    /// A snapshot of the kernel profiler's accumulators, when
+    /// [`SimConfig::profile`] is on. The snapshot pairs the profiler's
+    /// own span counters with the kernel-truth dispatch counters
+    /// (which also cover events replayed from parallel workers).
+    /// Render with [`crate::prof::prof_to_jsonl`].
+    pub fn prof_snapshot(&self) -> Option<ProfSnapshot> {
+        self.prof
+            .as_ref()
+            .map(|p| p.snapshot(self.dispatch_counts, self.events_executed, self.parallel_windows))
+    }
+
     /// The flight recorder's merged dump (all nodes' retained rings in
     /// global emission order); empty when no recorder is configured.
     pub fn flight_dump(&self) -> Vec<FlightEntry> {
@@ -555,14 +579,88 @@ impl World {
             crate::parallel::run_until_parallel(self, until);
             return;
         }
-        while let Some(t) = self.fel.peek_time() {
-            if t > until {
-                break;
+        // The run loop is the profiler's bottom stack frame: its self
+        // time (startup/teardown glue) is the only unattributed
+        // residue. No-ops when profiling is off.
+        Kern::prof_enter(self, PHASE_KERN_LOOP);
+        self.run_events(until, true);
+        Kern::prof_exit(self);
+        self.now = until;
+    }
+
+    /// Executes every FEL event due within the bound, in order.
+    /// `inclusive` executes events at exactly `bound` (the sequential
+    /// `t ≤ until` loop); exclusive stops before it (the parallel
+    /// kernel's `t < w_end` windows).
+    ///
+    /// When profiling is on, the loop runs as one fused span chain:
+    /// the `fel_pop` span opens once, [`Profiler::switch`]es into
+    /// each event's dispatch span and back, and only closes when
+    /// nothing more is due — so loop glue (peeks, bound checks) is
+    /// attributed to `fel_pop` (fetching the next event) and no
+    /// per-event residue leaks into the parent frame. Identical
+    /// observable behaviour to peek + pop + [`World::execute`].
+    pub(crate) fn run_events(&mut self, bound: SimTime, inclusive: bool) {
+        let due = |t: SimTime| (inclusive && t <= bound) || (!inclusive && t < bound);
+        if self.prof.is_none() {
+            while let Some(t) = self.fel.peek_time() {
+                if !due(t) {
+                    break;
+                }
+                let Some((t, event)) = self.fel.pop() else { break };
+                self.execute(t, event);
+            }
+            return;
+        }
+        if let Some(p) = self.prof.as_mut() {
+            p.enter(PHASE_FEL_POP);
+        }
+        loop {
+            match self.fel.peek_time() {
+                Some(t) if due(t) => {}
+                _ => break,
+            }
+            let depth = self.fel.len() as u64;
+            if let Some(p) = self.prof.as_mut() {
+                p.record_hist(HIST_FEL_DEPTH, depth);
             }
             let Some((t, event)) = self.fel.pop() else { break };
-            self.execute(t, event);
+            debug_assert!(t >= self.now, "event from the past");
+            let kind = event.kind_index();
+            if let Some(p) = self.prof.as_mut() {
+                p.switch(DISPATCH_BASE + kind as u16);
+            }
+            self.now = t;
+            self.events_executed += 1;
+            self.dispatch_counts[kind] += 1;
+            self.dispatch(event);
+            if let Some(p) = self.prof.as_mut() {
+                p.switch(PHASE_FEL_POP);
+            }
         }
-        self.now = until;
+        if let Some(p) = self.prof.as_mut() {
+            p.exit();
+        }
+    }
+
+    /// Pops the next FEL event, under a profiler `fel_pop` span (and an
+    /// FEL-depth histogram observation) when profiling is on. All
+    /// kernel loops pop through here.
+    pub(crate) fn pop_event(&mut self) -> Option<(SimTime, Event)> {
+        if self.prof.is_some() {
+            let depth = self.fel.len() as u64;
+            if let Some(p) = self.prof.as_mut() {
+                p.enter(PHASE_FEL_POP);
+                p.record_hist(HIST_FEL_DEPTH, depth);
+            }
+            let out = self.fel.pop();
+            if let Some(p) = self.prof.as_mut() {
+                p.exit();
+            }
+            out
+        } else {
+            self.fel.pop()
+        }
     }
 
     /// Executes one event popped from the FEL: advances the clock,
@@ -571,10 +669,20 @@ impl World {
     /// windows and canonical replay.
     pub(crate) fn execute(&mut self, t: SimTime, event: Event) {
         debug_assert!(t >= self.now, "event from the past");
-        self.now = t;
-        self.events_executed += 1;
-        self.dispatch_counts[event.kind_index()] += 1;
-        self.dispatch(event);
+        let kind = event.kind_index();
+        if self.prof.is_some() {
+            Kern::prof_enter(self, DISPATCH_BASE + kind as u16);
+            self.now = t;
+            self.events_executed += 1;
+            self.dispatch_counts[kind] += 1;
+            self.dispatch(event);
+            Kern::prof_exit(self);
+        } else {
+            self.now = t;
+            self.events_executed += 1;
+            self.dispatch_counts[kind] += 1;
+            self.dispatch(event);
+        }
     }
 
     /// Replay-side bookkeeping for one event the parallel kernel
@@ -668,7 +776,9 @@ impl World {
                 }
             }
             Event::TelemetrySample => {
+                Kern::prof_enter(self, PHASE_TELEMETRY_SAMPLE);
                 self.take_sample();
+                Kern::prof_exit(self);
                 if let Some(interval) = self.cfg.telemetry.as_ref().and_then(|t| t.sample_interval)
                 {
                     let next = self.now + interval;
@@ -1083,6 +1193,14 @@ pub(crate) trait Kern {
     /// sequential whenever those auditors are active, so the shard
     /// impl is a no-op.
     fn after_protocol(&mut self);
+    /// Opens a profiler span ([`crate::prof`]). Default no-op: only
+    /// the coordinating [`World`] carries a profiler — shard-side
+    /// handler time is attributed to the `par_execute` phase at the
+    /// coordinator, so worker threads never touch a wall clock.
+    fn prof_enter(&mut self, _phase: u16) {}
+    /// Closes the innermost profiler span. Default no-op (see
+    /// [`Kern::prof_enter`]).
+    fn prof_exit(&mut self) {}
 }
 
 impl Kern for World {
@@ -1120,7 +1238,15 @@ impl Kern for World {
         }
     }
     fn in_range_into(&mut self, of: NodeId, out: &mut Vec<(NodeId, f64)>) {
-        World::in_range_into(self, of, out);
+        if self.prof.is_some() {
+            let phase =
+                if self.grid.is_some() { PHASE_NEIGHBOR_GRID } else { PHASE_NEIGHBOR_LINEAR };
+            Kern::prof_enter(self, phase);
+            World::in_range_into(self, of, out);
+            Kern::prof_exit(self);
+        } else {
+            World::in_range_into(self, of, out);
+        }
     }
     fn take_scratch(&mut self) -> Vec<(NodeId, f64)> {
         std::mem::take(&mut self.range_scratch)
@@ -1129,10 +1255,22 @@ impl Kern for World {
         self.range_scratch = buf;
     }
     fn schedule(&mut self, at: SimTime, event: Event) {
-        self.fel.schedule(at, event);
+        if let Some(p) = self.prof.as_mut() {
+            p.enter(PHASE_FEL_PUSH);
+            self.fel.schedule(at, event);
+            p.exit();
+        } else {
+            self.fel.schedule(at, event);
+        }
     }
     fn emit(&mut self, event: TraceEvent) {
-        World::emit(self, event);
+        if self.prof.is_some() {
+            Kern::prof_enter(self, PHASE_TRACE_EMIT);
+            World::emit(self, event);
+            Kern::prof_exit(self);
+        } else {
+            World::emit(self, event);
+        }
     }
     fn bump_trace_events(&mut self) {
         self.trace_events += 1;
@@ -1151,8 +1289,14 @@ impl Kern for World {
     }
     fn pool_pop(&mut self) -> Vec<NodeId> {
         if self.cfg.recycle_pools {
+            if let Some(p) = self.prof.as_mut() {
+                p.pool_event(self.batch_pool.has_spare());
+            }
             self.batch_pool.take()
         } else {
+            if let Some(p) = self.prof.as_mut() {
+                p.pool_event(false);
+            }
             Vec::new()
         }
     }
@@ -1163,8 +1307,14 @@ impl Kern for World {
     }
     fn take_actions(&mut self) -> Vec<Action> {
         if self.cfg.recycle_pools {
+            if let Some(p) = self.prof.as_mut() {
+                p.pool_event(self.action_pool.has_spare());
+            }
             self.action_pool.take()
         } else {
+            if let Some(p) = self.prof.as_mut() {
+                p.pool_event(false);
+            }
             Vec::new()
         }
     }
@@ -1178,6 +1328,16 @@ impl Kern for World {
             self.audit_now();
         }
         self.invariant_check();
+    }
+    fn prof_enter(&mut self, phase: u16) {
+        if let Some(p) = self.prof.as_mut() {
+            p.enter(phase);
+        }
+    }
+    fn prof_exit(&mut self) {
+        if let Some(p) = self.prof.as_mut() {
+            p.exit();
+        }
     }
 }
 
@@ -1197,12 +1357,14 @@ where
     let now = k.now();
     let trace_on = k.trace_on();
     let mut actions = k.take_actions();
+    k.prof_enter(PHASE_PROTOCOL);
     {
         let slot = k.slot(node);
         let mut ctx = Ctx::new(now, node, n, &mut slot.proto_rng, &mut actions);
         ctx.set_trace_enabled(trace_on);
         f(slot.protocol.as_mut(), &mut ctx);
     }
+    k.prof_exit();
     apply_actions(k, node, &mut actions);
     k.put_actions(actions);
     k.after_protocol();
@@ -1713,6 +1875,7 @@ mod tests {
             telemetry: None,
             workers: 1,
             recycle_pools: true,
+            profile: false,
         };
         let topo = StaticRouting::tables_for_line(n);
         World::new(cfg, Box::new(mobility), move |id, _| {

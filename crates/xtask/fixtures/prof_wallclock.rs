@@ -1,0 +1,19 @@
+//@ path: crates/sim/src/prof.rs
+//! Planted violations for the profiler file's lint scope: the
+//! justified `xtask:allow(determinism)` carve-out covers exactly one
+//! wall-clock read, a stray read still fires, and std hash maps are
+//! banned here like the rest of the hot replay path.
+
+fn covered_read() -> Instant {
+    // xtask:allow(determinism): observation-only wall-clock read, accumulated into counters that never feed simulation state
+    Instant::now()
+}
+
+fn stray_read() -> Instant {
+    Instant::now()
+}
+
+fn live() {
+    let mut spans: HashMap<u16, u64> = HashMap::new();
+    spans.insert(0, 1);
+}

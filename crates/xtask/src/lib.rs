@@ -191,6 +191,45 @@ mod tests {
     }
 
     #[test]
+    fn profiler_is_scoped_into_the_hot_path_lints() {
+        let registry = passes::registry();
+        // The profiler file carries both bans: wall clocks need a
+        // justified allow, and std hash maps are banned outright.
+        let src = "\
+fn hot() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let t = Instant::now();
+}
+";
+        let diags = analyze_file("crates/sim/src/prof.rs", src, &registry);
+        assert!(
+            diags.iter().any(|d| d.rule == "fault-determinism" && d.line == 2),
+            "prof.rs must be under the hash-map ban: {diags:?}"
+        );
+        assert!(
+            diags.iter().any(|d| d.rule == "determinism" && d.line == 3),
+            "a bare Instant::now in prof.rs must still fire: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn profiler_wall_clock_allow_carve_out_is_line_scoped() {
+        let registry = passes::registry();
+        let src = "\
+fn read_wall_clock() -> Instant {
+    // xtask:allow(determinism): observation-only wall-clock read
+    Instant::now()
+}
+fn stray() -> Instant {
+    Instant::now()
+}
+";
+        let diags = analyze_file("crates/sim/src/prof.rs", src, &registry);
+        assert_eq!(diags.len(), 1, "only the uncovered read may fire: {diags:?}");
+        assert_eq!((diags[0].rule, diags[0].line), ("determinism", 6));
+    }
+
+    #[test]
     fn effect_discipline_catches_direct_world_mutation_in_worker() {
         // The acceptance demo: a deliberately-introduced direct World
         // mutation inside a worker closure must fail the pass. This

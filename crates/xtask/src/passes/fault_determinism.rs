@@ -1,5 +1,6 @@
-//! `fault-determinism`: the fault, spatial, telemetry, parallel and
-//! pool layers run on the hot replay path where even *probe-only* std
+//! `fault-determinism`: the fault, spatial, telemetry, parallel, pool
+//! and profiler layers run on the hot replay path where even
+//! *probe-only* std
 //! hash maps have bitten before (capacity-dependent rehash cost skews
 //! wall-clock telemetry; accidental later iteration is one refactor
 //! away). These files ban `HashMap`/`HashSet` outright — use the
@@ -19,6 +20,7 @@ const FILES: &[&str] = &[
     "crates/sim/src/telemetry.rs",
     "crates/sim/src/parallel.rs",
     "crates/sim/src/pool.rs",
+    "crates/sim/src/prof.rs",
     "crates/bench/src/sweep.rs",
 ];
 
